@@ -1,0 +1,90 @@
+// Coding ablation: linear coded variables (the paper's eq. 3) versus
+// log-axis coding for the clock frequency, whose range spans 64x
+// (125 kHz - 8 MHz). With linear coding the three DOE levels are
+// {125 kHz, 4.06 MHz, 8 MHz} — the whole sub-MHz regime collapses into one
+// level; a log axis probes {125 kHz, 1 MHz, 8 MHz} instead.
+#include <cmath>
+#include <cstdio>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "dse/system_evaluator.hpp"
+#include "numeric/stats.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "rsm/quadratic_model.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    dse::system_evaluator evaluator;
+    const auto candidates = doe::full_factorial(3, 3);
+    const auto basis = [](const numeric::vec& x) { return rsm::quadratic_basis(x); };
+
+    struct variant {
+        const char* name;
+        rsm::design_space space;
+    };
+    const variant variants[] = {
+        {"linear coding (paper)", dse::paper_design_space()},
+        {"log-coded clock",
+         rsm::design_space({
+             {"mcu_clock_hz", 125e3, 8e6, rsm::axis_scale::logarithmic},
+             {"watchdog_period_s", 60.0, 600.0, rsm::axis_scale::linear},
+             {"tx_interval_s", 0.005, 10.0, rsm::axis_scale::linear},
+         })},
+    };
+
+    std::printf("=== Coding ablation: linear vs log clock axis ===\n\n");
+    for (const auto& v : variants) {
+        std::printf("--- %s ---\n", v.name);
+        std::printf("clock DOE levels: %.3g / %.3g / %.3g Hz\n",
+                    v.space.decode(0, -1.0), v.space.decode(0, 0.0),
+                    v.space.decode(0, 1.0));
+
+        const auto selection = doe::d_optimal_design(candidates, basis, 10);
+        std::vector<numeric::vec> pts;
+        numeric::vec y;
+        for (std::size_t idx : selection.selected) {
+            const auto& coded = candidates[idx];
+            pts.push_back(coded);
+            const auto cfg = dse::system_config::from_vector(v.space.decode(coded));
+            y.push_back(static_cast<double>(evaluator.evaluate(cfg).transmissions));
+        }
+        const auto fit = rsm::fit_quadratic(pts, y);
+
+        // Optimise and validate.
+        numeric::rng rng(7);
+        const auto best = opt::simulated_annealing().maximize(
+            [&](const numeric::vec& x) { return fit.model.predict(x); },
+            opt::box_bounds::unit(3), rng);
+        const auto best_cfg =
+            dse::system_config::from_vector(v.space.decode(v.space.clamp(best.best_x)));
+        const auto validated = evaluator.evaluate(best_cfg);
+
+        // Off-design accuracy: 8 probe points between the grid levels.
+        numeric::vec probe_true, probe_pred;
+        numeric::rng prng(99);
+        for (int i = 0; i < 8; ++i) {
+            numeric::vec coded{prng.uniform(-1.0, 1.0), prng.uniform(-1.0, 1.0),
+                               prng.uniform(-1.0, 1.0)};
+            const auto cfg = dse::system_config::from_vector(v.space.decode(coded));
+            probe_true.push_back(
+                static_cast<double>(evaluator.evaluate(cfg).transmissions));
+            probe_pred.push_back(fit.model.predict(coded));
+        }
+
+        std::printf("optimum: clock %.3g Hz, wd %.0f s, interval %.3f s -> "
+                    "predicted %.0f, validated %llu tx\n",
+                    best_cfg.mcu_clock_hz, best_cfg.watchdog_period_s,
+                    best_cfg.tx_interval_s, best.best_value,
+                    static_cast<unsigned long long>(validated.transmissions));
+        std::printf("off-design probe RMSE: %.1f tx\n\n",
+                    numeric::rmse(probe_true, probe_pred));
+    }
+
+    std::printf("Reading: the response is mild along the clock axis in either\n"
+                "coding (x1's effects are second-order here), so the paper's\n"
+                "linear choice is adequate; the log axis mainly redistributes\n"
+                "where the sub-MHz regime is sampled.\n");
+    return 0;
+}

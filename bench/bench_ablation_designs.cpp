@@ -1,0 +1,83 @@
+// DOE-method ablation: the paper's D-optimal selection against the other
+// classical designs the library implements — central composite,
+// Box-Behnken and a maximin Latin hypercube — each fitted with the same
+// quadratic and judged on grid-truth accuracy and on the validated optimum
+// its surface leads to.
+#include <cstdio>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "doe/sampling.hpp"
+#include "dse/system_evaluator.hpp"
+#include "numeric/stats.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "rsm/quadratic_model.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    dse::system_evaluator evaluator;
+    const auto space = dse::paper_design_space();
+    const auto grid = doe::full_factorial(3, 3);
+    const auto basis = [](const numeric::vec& x) { return rsm::quadratic_basis(x); };
+
+    // Ground truth over the grid for the accuracy metric.
+    numeric::vec truth;
+    for (const auto& c : grid)
+        truth.push_back(static_cast<double>(
+            evaluator.evaluate(dse::config_from_coded(space, c)).transmissions));
+
+    struct design_case {
+        std::string name;
+        std::vector<numeric::vec> points;
+    };
+    std::vector<design_case> cases;
+
+    {
+        const auto sel = doe::d_optimal_design(grid, basis, 10);
+        design_case d{"D-optimal (10)", {}};
+        for (std::size_t idx : sel.selected) d.points.push_back(grid[idx]);
+        cases.push_back(std::move(d));
+    }
+    cases.push_back({"face-centred CCD (15)", doe::central_composite(3, 1.0, 1)});
+    cases.push_back({"Box-Behnken (13)", doe::box_behnken(3, 1)});
+    {
+        numeric::rng rng(7);
+        cases.push_back({"maximin LHS (14)",
+                         doe::maximin_latin_hypercube(3, 14, rng)});
+    }
+
+    std::printf("=== DOE methods through the full flow ===\n\n");
+    std::printf("%-24s %6s %11s %12s | %10s %10s\n", "design", "runs",
+                "grid RMSE", "probe max", "pred opt", "valid opt");
+    for (const auto& d : cases) {
+        numeric::vec y;
+        for (const auto& p : d.points)
+            y.push_back(static_cast<double>(
+                evaluator.evaluate(dse::config_from_coded(space, p)).transmissions));
+        const auto fit = rsm::fit_quadratic(d.points, y);
+
+        numeric::vec pred;
+        for (const auto& c : grid) pred.push_back(fit.model.predict(c));
+        const double rmse = numeric::rmse(truth, pred);
+        const double maxerr = numeric::max_abs_error(truth, pred);
+
+        numeric::rng rng(11);
+        const auto best = opt::simulated_annealing().maximize(
+            [&](const numeric::vec& x) { return fit.model.predict(x); },
+            opt::box_bounds::unit(3), rng);
+        const auto validated = evaluator.evaluate(
+            dse::config_from_coded(space, space.clamp(best.best_x)));
+
+        std::printf("%-24s %6zu %11.1f %12.1f | %10.0f %10llu\n", d.name.c_str(),
+                    d.points.size(), rmse, maxerr, best.best_value,
+                    static_cast<unsigned long long>(validated.transmissions));
+    }
+
+    std::printf("\nReading: every classical design lands its optimiser in the\n"
+                "same small-interval basin — the decision the surface exists to\n"
+                "support — while differing in run count and off-grid accuracy.\n"
+                "D-optimal does it with the fewest simulations, which is the\n"
+                "paper's §II-B argument.\n");
+    return 0;
+}

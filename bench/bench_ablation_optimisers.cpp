@@ -1,0 +1,88 @@
+// Optimiser ablation: the paper's SA and GA against Nelder-Mead, pattern
+// search and random search, on (a) the paper's published surface (eq. 9)
+// and (b) this repo's freshly fitted surface. 20 seeds each; success =
+// within 0.5% of the best value any optimiser found.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "dse/rsm_flow.hpp"
+#include "opt/genetic_algorithm.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/pattern_search.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "opt/swarm.hpp"
+#include "paper_refs.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    const std::vector<std::shared_ptr<opt::optimizer>> optimizers = {
+        std::make_shared<opt::simulated_annealing>(),
+        std::make_shared<opt::genetic_algorithm>(),
+        std::make_shared<opt::particle_swarm>(),
+        std::make_shared<opt::differential_evolution>(),
+        std::make_shared<opt::nelder_mead>(),
+        std::make_shared<opt::pattern_search>(),
+        std::make_shared<opt::random_search>(),
+    };
+
+    // Surface (a): the paper's eq. 9.
+    const rsm::quadratic_model paper_model(
+        3, numeric::vec(bench::k_paper_eq9.begin(), bench::k_paper_eq9.end()));
+
+    // Surface (b): our fitted model.
+    dse::system_evaluator evaluator;
+    const auto flow = dse::run_rsm_flow(evaluator, {});
+
+    struct surface {
+        const char* name;
+        const rsm::quadratic_model* model;
+    };
+    const surface surfaces[] = {{"paper eq. (9)", &paper_model},
+                                {"this repo's fit", &flow.fit.model}};
+
+    constexpr int seeds = 20;
+    for (const auto& s : surfaces) {
+        std::printf("=== surface: %s ===\n\n", s.name);
+        const opt::objective_fn f = [&](const numeric::vec& x) {
+            return s.model->predict(x);
+        };
+        const auto bounds = opt::box_bounds::unit(3);
+
+        // Establish the best-known value across all algorithms and seeds.
+        double best_known = -1e300;
+        std::vector<std::vector<double>> values(optimizers.size());
+        std::vector<std::vector<std::size_t>> evals(optimizers.size());
+        for (std::size_t a = 0; a < optimizers.size(); ++a) {
+            for (int seed = 0; seed < seeds; ++seed) {
+                numeric::rng rng(1000 + seed);
+                const auto r = optimizers[a]->maximize(f, bounds, rng);
+                values[a].push_back(r.best_value);
+                evals[a].push_back(r.evaluations);
+                best_known = std::max(best_known, r.best_value);
+            }
+        }
+
+        std::printf("%-22s %10s %10s %10s %10s %9s\n", "algorithm", "best",
+                    "median", "worst", "avg evals", "success");
+        for (std::size_t a = 0; a < optimizers.size(); ++a) {
+            auto vs = values[a];
+            std::sort(vs.begin(), vs.end());
+            double eval_sum = 0.0;
+            for (std::size_t e : evals[a]) eval_sum += static_cast<double>(e);
+            int successes = 0;
+            for (double v : vs)
+                if (v >= best_known - 0.005 * std::abs(best_known)) ++successes;
+            std::printf("%-22s %10.1f %10.1f %10.1f %10.0f %7d/%d\n",
+                        optimizers[a]->name().c_str(), vs.back(), vs[vs.size() / 2],
+                        vs.front(), eval_sum / seeds, successes, seeds);
+        }
+        std::printf("\nbest known maximum: %.1f\n\n", best_known);
+    }
+
+    std::printf("Paper context: MATLAB's SA and GA found 899 and 894 on eq. (9);\n"
+                "both implementations here must reach the same basin, with the\n"
+                "local baselines competitive only thanks to multistart.\n");
+    return 0;
+}

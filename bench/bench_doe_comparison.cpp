@@ -1,0 +1,109 @@
+// Section II-B claim: a D-optimal design needs 10 simulations where the
+// full factorial needs 27, at comparable model quality.
+//
+// Method: simulate ALL 27 factorial points once (ground truth), then fit
+// quadratics from (a) the D-optimal 10, (b) random 10-point subsets,
+// (c) the full 27, and compare prediction error over the whole grid plus
+// the D-efficiency of each design.
+#include <cmath>
+#include <cstdio>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "dse/rsm_flow.hpp"
+#include "numeric/stats.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    std::printf("=== DOE comparison: D-optimal(10) vs full factorial(27) ===\n\n");
+    std::printf("simulating all 27 candidate points once (ground truth)...\n");
+
+    dse::system_evaluator evaluator;
+    const auto space = dse::paper_design_space();
+    const auto candidates = doe::full_factorial(3, 3);
+    const auto basis = [](const numeric::vec& x) { return rsm::quadratic_basis(x); };
+
+    numeric::vec truth;
+    for (const auto& c : candidates) {
+        const auto cfg = dse::config_from_coded(space, c);
+        truth.push_back(static_cast<double>(evaluator.evaluate(cfg).transmissions));
+    }
+
+    struct entry {
+        std::string name;
+        std::size_t runs;
+        double rmse;
+        double max_err;
+        double log_det;
+    };
+    std::vector<entry> table;
+
+    auto evaluate_subset = [&](const std::string& name,
+                               const std::vector<std::size_t>& sel) {
+        std::vector<numeric::vec> pts;
+        numeric::vec y;
+        for (std::size_t idx : sel) {
+            pts.push_back(candidates[idx]);
+            y.push_back(truth[idx]);
+        }
+        const auto fit = rsm::fit_quadratic(pts, y);
+        numeric::vec pred;
+        for (const auto& c : candidates) pred.push_back(fit.model.predict(c));
+        table.push_back({name, sel.size(), numeric::rmse(truth, pred),
+                         numeric::max_abs_error(truth, pred),
+                         doe::selection_log_det(candidates, basis, sel)});
+    };
+
+    // (a) D-optimal 10.
+    const auto dopt = doe::d_optimal_design(candidates, basis, 10);
+    evaluate_subset("D-optimal (10 runs)", dopt.selected);
+
+    // (b) random 10-point subsets (report the median-quality one of 20
+    //     non-singular draws plus the failure rate).
+    numeric::rng rng(2012);
+    int singular = 0;
+    std::vector<std::pair<double, std::vector<std::size_t>>> randoms;
+    while (randoms.size() < 20 && singular < 200) {
+        const auto perm = rng.permutation(candidates.size());
+        std::vector<std::size_t> sel(perm.begin(), perm.begin() + 10);
+        const double ld = doe::selection_log_det(candidates, basis, sel);
+        if (!std::isfinite(ld)) {
+            ++singular;
+            continue;
+        }
+        std::vector<numeric::vec> pts;
+        numeric::vec y;
+        for (std::size_t idx : sel) {
+            pts.push_back(candidates[idx]);
+            y.push_back(truth[idx]);
+        }
+        const auto fit = rsm::fit_quadratic(pts, y);
+        numeric::vec pred;
+        for (const auto& c : candidates) pred.push_back(fit.model.predict(c));
+        randoms.emplace_back(numeric::rmse(truth, pred), sel);
+    }
+    std::sort(randoms.begin(), randoms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    evaluate_subset("random-10 (median of 20)", randoms[randoms.size() / 2].second);
+
+    // (c) the full factorial.
+    std::vector<std::size_t> all(candidates.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    evaluate_subset("full factorial (27 runs)", all);
+
+    std::printf("\n%-26s %6s %12s %12s %12s %10s\n", "design", "runs",
+                "grid RMSE", "grid max err", "log det", "D-eff");
+    const double ref_ld = table.back().log_det;  // full factorial reference
+    for (const auto& e : table) {
+        const double deff =
+            doe::relative_d_efficiency(e.log_det, e.runs, ref_ld, 27, 10);
+        std::printf("%-26s %6zu %12.2f %12.2f %12.2f %9.1f%%\n", e.name.c_str(),
+                    e.runs, e.rmse, e.max_err, e.log_det, 100.0 * deff);
+    }
+    std::printf("\n%d of %d random draws were singular (could not fit a quadratic\n"
+                "at all); the D-optimal selection is both fit-capable and close to\n"
+                "the factorial's per-run information at 37%% of the cost.\n",
+                singular, singular + 20);
+    return 0;
+}

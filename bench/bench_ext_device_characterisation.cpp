@@ -1,0 +1,79 @@
+// Device characterisation: the harvester-level figures a device paper
+// would publish — stored power vs excitation frequency at several
+// acceleration levels and actuator positions (the frequency-response
+// curves behind the tuning story), plus the tuning map f_r(position).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "harvester/envelope.hpp"
+#include "harvester/tuning_table.hpp"
+#include "harvester/vibration.hpp"
+
+namespace {
+
+std::string bar(double value, double full_scale, int width = 40) {
+    const int n = full_scale > 0.0
+                      ? static_cast<int>(value / full_scale * width + 0.5)
+                      : 0;
+    return std::string(std::min(n, width), '#');
+}
+
+}  // namespace
+
+int main() {
+    using namespace ehdse;
+
+    const harvester::microgenerator gen;
+    const harvester::tuning_table table(gen);
+
+    std::printf("=== Tuning map: resonant frequency vs actuator position ===\n\n");
+    std::printf("%10s %12s %14s\n", "position", "f_r (Hz)", "gap (mm)");
+    for (int p = 0; p <= 255; p += 51)
+        std::printf("%10d %12.2f %14.3f\n", p, gen.resonant_frequency(p),
+                    gen.gap_at(p) * 1e3);
+    std::printf("worst-case LUT quantisation: %.3f Hz\n",
+                table.max_quantisation_error());
+
+    const int pos = table.lookup(69.0);
+    const double fr = gen.resonant_frequency(pos);
+    std::printf("\n=== Frequency response at position %d (f_r = %.2f Hz) ===\n",
+                pos, fr);
+    std::printf("(the rectifier threshold sharpens the usable band well below\n"
+                " the mechanical half-power width)\n\n");
+    for (double mg : {30.0, 60.0, 120.0}) {
+        const double accel = mg * 1e-3 * harvester::k_gravity;
+        std::printf("--- %.0f mg ---\n", mg);
+        double peak = 0.0;
+        for (double df = -0.6; df <= 0.601; df += 0.1) {
+            const auto pt =
+                harvester::solve_envelope(gen, pos, fr + df, accel, 2.8);
+            peak = std::max(peak, pt.elec.p_store_w);
+        }
+        for (double df = -0.6; df <= 0.601; df += 0.1) {
+            const auto pt =
+                harvester::solve_envelope(gen, pos, fr + df, accel, 2.8);
+            std::printf("  %+5.1f Hz %8.1f uW  |%s\n", df,
+                        pt.elec.p_store_w * 1e6,
+                        bar(pt.elec.p_store_w, peak).c_str());
+        }
+    }
+
+    std::printf("\n=== Stored power vs acceleration (tuned, 2.8 V store) ===\n\n");
+    std::printf("%10s %14s %14s %16s\n", "accel", "P_store", "displacement",
+                "emf amplitude");
+    for (double mg : {10.0, 20.0, 40.0, 60.0, 100.0, 150.0, 250.0}) {
+        const double accel = mg * 1e-3 * harvester::k_gravity;
+        const auto pt = harvester::solve_envelope(gen, 128, fr, accel, 2.8);
+        std::printf("%7.0f mg %11.1f uW %11.3f mm %13.2f V %s\n", mg,
+                    pt.elec.p_store_w * 1e6, pt.mech.displacement_amp_m * 1e3,
+                    pt.mech.emf_amp_v,
+                    pt.mech.displacement_limited ? "(end-stop limited)" : "");
+    }
+
+    std::printf("\nReading: output collapses within ~1.5 Hz of resonance (the\n"
+                "high-Q device the paper's tuning loop exists for); below the\n"
+                "rectifier threshold (~20 mg here) nothing is stored at all, and\n"
+                "at high drive the end stops cap the response.\n");
+    return 0;
+}

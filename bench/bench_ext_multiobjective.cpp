@@ -1,0 +1,85 @@
+// Multi-objective extension: the paper maximises transmissions alone; a
+// deployed node also values the energy left in the store at the end of the
+// horizon (resilience against an upcoming lull). This bench fits TWO
+// response surfaces from the same 10 D-optimal simulations — transmissions
+// and final stored energy — runs NSGA-II over them, and validates a few
+// points of the resulting Pareto front with full simulations.
+#include <algorithm>
+#include <cstdio>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "dse/system_evaluator.hpp"
+#include "opt/nsga2.hpp"
+#include "rsm/quadratic_model.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    std::printf("=== Pareto trade-off: transmissions vs final stored energy ===\n\n");
+    dse::system_evaluator evaluator;
+    const auto space = dse::paper_design_space();
+    power::supercapacitor cap;
+
+    // One DOE, two responses per run.
+    const auto candidates = doe::full_factorial(3, 3);
+    const auto basis = [](const numeric::vec& x) { return rsm::quadratic_basis(x); };
+    const auto selection = doe::d_optimal_design(candidates, basis, 10);
+
+    std::vector<numeric::vec> pts;
+    numeric::vec y_tx, y_energy;
+    for (std::size_t idx : selection.selected) {
+        const auto& coded = candidates[idx];
+        const auto r = evaluator.evaluate(dse::config_from_coded(space, coded));
+        pts.push_back(coded);
+        y_tx.push_back(static_cast<double>(r.transmissions));
+        y_energy.push_back(cap.energy_at(r.final_voltage_v) * 1e3);  // mJ
+    }
+    const auto fit_tx = rsm::fit_quadratic(pts, y_tx);
+    const auto fit_energy = rsm::fit_quadratic(pts, y_energy);
+    std::printf("fitted both surfaces from %zu runs (R^2 = %.3f / %.3f)\n\n",
+                pts.size(), fit_tx.r_squared, fit_energy.r_squared);
+
+    // NSGA-II over the two surfaces.
+    numeric::rng rng(99);
+    const auto front = opt::nsga2().optimize(
+        [&](const numeric::vec& x) {
+            return numeric::vec{fit_tx.model.predict(x),
+                                fit_energy.model.predict(x)};
+        },
+        2, opt::box_bounds::unit(3), rng);
+    std::printf("Pareto front: %zu non-dominated points\n\n", front.size());
+
+    // Show a spread of the front, validating every third point.
+    std::printf("%28s | %10s %12s | %10s %12s\n", "config (clock, wd, int)",
+                "pred tx", "pred E(mJ)", "sim tx", "sim E(mJ)");
+    const std::size_t stride = std::max<std::size_t>(front.size() / 6, 1);
+    for (std::size_t i = 0; i < front.size(); i += stride) {
+        const auto& p = front[i];
+        const auto cfg = dse::config_from_coded(space, p.x);
+        const auto r = evaluator.evaluate(cfg);
+        std::printf("(%8.3g, %5.0f, %7.3f) | %10.0f %12.1f | %10llu %12.1f\n",
+                    cfg.mcu_clock_hz, cfg.watchdog_period_s, cfg.tx_interval_s,
+                    p.objectives[0], p.objectives[1],
+                    static_cast<unsigned long long>(r.transmissions),
+                    cap.energy_at(r.final_voltage_v) * 1e3);
+    }
+
+    // Reference corners.
+    const auto greedy = evaluator.evaluate(
+        dse::config_from_coded(space, {0.0, 1.0, -1.0}));
+    const auto hoarder = evaluator.evaluate(
+        dse::config_from_coded(space, {0.0, 1.0, 1.0}));
+    std::printf("\nreference: greedy (interval 5 ms)  -> %llu tx, %.1f mJ stored\n",
+                static_cast<unsigned long long>(greedy.transmissions),
+                cap.energy_at(greedy.final_voltage_v) * 1e3);
+    std::printf("reference: hoarder (interval 10 s) -> %llu tx, %.1f mJ stored\n",
+                static_cast<unsigned long long>(hoarder.transmissions),
+                cap.energy_at(hoarder.final_voltage_v) * 1e3);
+
+    std::printf("\nReading: the transmission interval sweeps the node along the\n"
+                "trade-off — every transmission beyond the interval ceiling is\n"
+                "paid for out of the final reserve. The single-objective optimum\n"
+                "of Table VI is the maximum-transmissions end of this front.\n");
+    return 0;
+}

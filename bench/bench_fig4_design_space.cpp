@@ -1,0 +1,81 @@
+// Fig. 4 reproduction: one-dimensional design-space exploration — each
+// parameter swept across its range with the other two held at the centre,
+// showing both the fitted response surface (paper: green solid) and the
+// underlying simulation (paper: red dashed design-space extent).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "dse/rsm_flow.hpp"
+#include "rsm/sensitivity.hpp"
+
+namespace {
+
+/// Minimal ASCII sparkline for a series scaled to its own min/max.
+std::string sparkline(const std::vector<double>& ys) {
+    static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    const auto [lo, hi] = std::minmax_element(ys.begin(), ys.end());
+    std::string out;
+    for (double y : ys) {
+        const double t = *hi > *lo ? (y - *lo) / (*hi - *lo) : 0.5;
+        out += levels[static_cast<int>(t * 7.0 + 0.5)];
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace ehdse;
+
+    dse::system_evaluator evaluator;
+    const auto flow = dse::run_rsm_flow(evaluator, {});
+    const auto& space = flow.space;
+
+    std::printf("=== Fig. 4: design space exploration (1-D slices) ===\n");
+    std::printf("(other parameters held at the coded origin = original design)\n");
+
+    const char* names[] = {"x1: MCU clock frequency (Hz)",
+                           "x2: watchdog wake-up time (s)",
+                           "x3: transmission interval (s)"};
+
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        std::printf("\n--- %s ---\n", names[axis]);
+        std::printf("%12s %12s %12s %12s\n", "natural", "coded", "RSM y",
+                    "simulated y");
+        std::vector<double> rsm_series;
+        for (int step = 0; step <= 10; ++step) {
+            const double coded = -1.0 + 0.2 * step;
+            numeric::vec x{0.0, 0.0, 0.0};
+            x[axis] = coded;
+            const double y_rsm = flow.fit.model.predict(x);
+            rsm_series.push_back(y_rsm);
+            // Validate with a true simulation at every other grid point.
+            if (step % 2 == 0) {
+                const auto cfg = dse::config_from_coded(space, x);
+                const auto r = evaluator.evaluate(cfg);
+                std::printf("%12.4g %12.1f %12.1f %12llu\n",
+                            space.decode(axis, coded), coded, y_rsm,
+                            static_cast<unsigned long long>(r.transmissions));
+            } else {
+                std::printf("%12.4g %12.1f %12.1f %12s\n",
+                            space.decode(axis, coded), coded, y_rsm, "-");
+            }
+        }
+        std::printf("  RSM slice: [%s]  (coded -1 .. +1)\n",
+                    sparkline(rsm_series).c_str());
+    }
+
+    // Quantify "x3 dominates": analytic Sobol decomposition of the surface.
+    const auto sens = rsm::sobol_indices(flow.fit.model);
+    std::printf("\n=== variance-based sensitivity of the fitted surface ===\n");
+    std::printf("%6s %14s %14s\n", "var", "first-order S", "total ST");
+    for (std::size_t i = 0; i < 3; ++i)
+        std::printf("  x%zu   %13.1f%% %13.1f%%\n", i + 1,
+                    100.0 * sens.first_order[i], 100.0 * sens.total_order[i]);
+
+    std::printf("\nShape check vs paper Fig. 4: y falls steeply along x3 (smaller\n"
+                "interval -> more transmissions) and is comparatively flat along\n"
+                "x1/x2 with curvature from the measurement/energy trade-offs.\n");
+    return 0;
+}

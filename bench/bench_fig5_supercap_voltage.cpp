@@ -1,0 +1,106 @@
+// Fig. 5 reproduction: supercapacitor voltage over the one-hour run for
+// the original and the SA-optimised designs. Prints a sampled table and an
+// ASCII strip chart, and writes full-resolution CSVs next to the binary.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "dse/rsm_flow.hpp"
+#include "sim/waveform_db.hpp"
+
+namespace {
+
+void ascii_plot(const ehdse::sim::trace& tr, double t_end) {
+    constexpr int cols = 72;
+    constexpr int rows = 12;
+    const double lo = tr.min_value();
+    const double hi = tr.max_value();
+    std::vector<std::string> grid(rows, std::string(cols, ' '));
+    for (int c = 0; c < cols; ++c) {
+        const double t = t_end * c / (cols - 1);
+        const double v = tr.sample(t);
+        const double frac = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+        const int r = static_cast<int>((1.0 - frac) * (rows - 1) + 0.5);
+        grid[r][c] = '*';
+    }
+    std::printf("  %.3f V\n", hi);
+    for (const auto& line : grid) std::printf("  |%s\n", line.c_str());
+    std::printf("  %.3f V  (0 .. %.0f s; frequency steps at 1500 s and 3000 s)\n",
+                lo, t_end);
+}
+
+}  // namespace
+
+int main() {
+    using namespace ehdse;
+
+    std::printf("=== Fig. 5: supercapacitor voltage, original vs optimised ===\n\n");
+    dse::system_evaluator evaluator;
+    const auto flow = dse::run_rsm_flow(evaluator, {});
+
+    dse::evaluation_options opts;
+    opts.record_traces = true;
+    opts.trace_interval_s = 1.0;
+
+    const auto original = evaluator.evaluate(dse::system_config::original(), opts);
+    const auto& best_cfg = flow.outcomes.front().config;
+    const auto optimised = evaluator.evaluate(best_cfg, opts);
+
+    const double t_end = evaluator.scene().duration_s;
+    std::printf("original design (4 MHz, 320 s, 5 s): %llu transmissions\n",
+                static_cast<unsigned long long>(original.transmissions));
+    ascii_plot(*original.voltage_trace, t_end);
+
+    std::printf("\noptimised design (%.3g Hz, %.0f s, %.3f s): %llu transmissions\n",
+                best_cfg.mcu_clock_hz, best_cfg.watchdog_period_s,
+                best_cfg.tx_interval_s,
+                static_cast<unsigned long long>(optimised.transmissions));
+    ascii_plot(*optimised.voltage_trace, t_end);
+
+    std::printf("\n%8s %14s %14s\n", "time (s)", "V original", "V optimised");
+    for (int t = 0; t <= 3600; t += 300)
+        std::printf("%8d %14.4f %14.4f\n", t, original.voltage_trace->sample(t),
+                    optimised.voltage_trace->sample(t));
+
+    // Full-resolution CSVs for external plotting.
+    for (const auto& [name, res] :
+         {std::pair<const char*, const dse::evaluation_result*>{
+              "fig5_original.csv", &original},
+          {"fig5_optimised.csv", &optimised}}) {
+        std::ofstream os(name);
+        res->voltage_trace->write_csv(os);
+        std::printf("wrote %s (%zu samples)\n", name, res->voltage_trace->size());
+    }
+
+    // Combined VCD (voltage + actuator position, both runs) for GTKWave.
+    {
+        sim::waveform_db db(1e-3);
+        const auto add = [&db](const char* prefix,
+                               const dse::evaluation_result& res) {
+            const auto v = db.add_signal(std::string(prefix) + "_vcap");
+            const auto p = db.add_signal(std::string(prefix) + "_position");
+            for (std::size_t i = 0; i < res.voltage_trace->size(); ++i)
+                db.record(v, res.voltage_trace->times()[i],
+                          res.voltage_trace->values()[i]);
+            for (std::size_t i = 0; i < res.position_trace->size(); ++i)
+                db.record(p, res.position_trace->times()[i],
+                          res.position_trace->values()[i]);
+        };
+        add("original", original);
+        add("optimised", optimised);
+        std::ofstream os("fig5_waveforms.vcd");
+        db.write_vcd(os, "fig5");
+        std::printf("wrote fig5_waveforms.vcd (4 signals)\n");
+    }
+
+    std::printf("\nShape check vs paper Fig. 5: both waveforms dip after each\n"
+                "frequency step (retune actuation) and recover; the optimised\n"
+                "design rides lower — it converts the margin into transmissions.\n");
+    std::printf("original:  min %.3f V, max %.3f V, final %.3f V\n",
+                original.voltage_trace->min_value(),
+                original.voltage_trace->max_value(), original.final_voltage_v);
+    std::printf("optimised: min %.3f V, max %.3f V, final %.3f V\n",
+                optimised.voltage_trace->min_value(),
+                optimised.voltage_trace->max_value(), optimised.final_voltage_v);
+    return 0;
+}

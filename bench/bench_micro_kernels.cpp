@@ -1,0 +1,149 @@
+// google-benchmark micro-benchmarks of the computational kernels behind
+// the reproduction: the envelope solve (hot path of the hour-long runs),
+// the RK45 integrator, the QR-based RSM fit, the D-optimal exchange, the
+// event queue, and one full one-hour system evaluation.
+#include <benchmark/benchmark.h>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "dse/system_evaluator.hpp"
+#include "harvester/envelope.hpp"
+#include "harvester/piezo.hpp"
+#include "harvester/tuning_table.hpp"
+#include "numeric/decomp.hpp"
+#include "opt/nsga2.hpp"
+#include "rsm/kriging.hpp"
+#include "rsm/quadratic_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+void bm_envelope_solve(benchmark::State& state) {
+    const harvester::microgenerator gen;
+    const harvester::tuning_table table(gen);
+    const int pos = table.lookup(69.0);
+    const double accel = 0.060 * harvester::k_gravity;
+    for (auto _ : state) {
+        auto pt = harvester::solve_envelope(gen, pos, 69.0, accel, 2.8);
+        benchmark::DoNotOptimize(pt.elec.p_store_w);
+    }
+}
+BENCHMARK(bm_envelope_solve);
+
+void bm_rk45_oscillator(benchmark::State& state) {
+    const sim::functional_system sys(
+        2, [](double, std::span<const double> x, std::span<double> d) {
+            d[0] = x[1];
+            d[1] = -400.0 * x[0];
+        });
+    sim::rk45_integrator integ;
+    for (auto _ : state) {
+        std::vector<double> x{1.0, 0.0};
+        auto status = integ.integrate(sys, 0.0, 1.0, x);
+        benchmark::DoNotOptimize(status.steps_taken);
+    }
+}
+BENCHMARK(bm_rk45_oscillator);
+
+void bm_quadratic_fit_27(benchmark::State& state) {
+    const auto points = doe::full_factorial(3, 3);
+    const rsm::quadratic_model truth(
+        3, {484.0, -121.8, -16.8, -208.4, 121.0, 106.7, -69.8, -34.2, -121.8, 32.5});
+    numeric::vec y;
+    for (const auto& p : points) y.push_back(truth.predict(p));
+    for (auto _ : state) {
+        auto fit = rsm::fit_quadratic(points, y);
+        benchmark::DoNotOptimize(fit.r_squared);
+    }
+}
+BENCHMARK(bm_quadratic_fit_27);
+
+void bm_d_optimal_10_of_27(benchmark::State& state) {
+    const auto candidates = doe::full_factorial(3, 3);
+    const auto basis = [](const numeric::vec& x) { return rsm::quadratic_basis(x); };
+    doe::d_optimal_options opt;
+    opt.restarts = 2;
+    for (auto _ : state) {
+        auto r = doe::d_optimal_design(candidates, basis, 10, opt);
+        benchmark::DoNotOptimize(r.log_det);
+    }
+}
+BENCHMARK(bm_d_optimal_10_of_27);
+
+void bm_lu_determinant_10x10(benchmark::State& state) {
+    numeric::rng rng(3);
+    numeric::matrix a(10, 10);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < 10; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? 10.0 : 0.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(numeric::determinant(a));
+    }
+}
+BENCHMARK(bm_lu_determinant_10x10);
+
+void bm_event_queue_schedule_pop(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::event_queue q;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+        while (!q.empty()) q.pop_and_run();
+        benchmark::DoNotOptimize(q.executed_count());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(bm_event_queue_schedule_pop);
+
+void bm_piezo_solve(benchmark::State& state) {
+    const harvester::piezo_microgenerator gen;
+    const harvester::tuning_table table(gen.mechanics());
+    const int pos = table.lookup(69.0);
+    const double accel = 0.060 * harvester::k_gravity;
+    for (auto _ : state) {
+        auto pt = gen.solve(pos, 69.0, accel, 2.8);
+        benchmark::DoNotOptimize(pt.p_store_w);
+    }
+}
+BENCHMARK(bm_piezo_solve);
+
+void bm_gp_fit_16(benchmark::State& state) {
+    const auto candidates = doe::full_factorial(3, 3);
+    std::vector<numeric::vec> pts(candidates.begin(), candidates.begin() + 16);
+    numeric::vec y;
+    for (const auto& p : pts) y.push_back(p[0] - 2.0 * p[2] + p[1] * p[1]);
+    for (auto _ : state) {
+        rsm::gp_model gp(pts, y, {1.0, 1.0, 1e-6});
+        benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+    }
+}
+BENCHMARK(bm_gp_fit_16);
+
+void bm_nsga2_schaffer(benchmark::State& state) {
+    opt::nsga2_options o;
+    o.population = 40;
+    o.generations = 30;
+    const opt::multi_objective_fn f = [](const numeric::vec& x) {
+        return numeric::vec{-x[0] * x[0], -(x[0] - 2.0) * (x[0] - 2.0)};
+    };
+    for (auto _ : state) {
+        numeric::rng rng(7);
+        auto front = opt::nsga2(o).optimize(f, 2, {{-5.0}, {5.0}}, rng);
+        benchmark::DoNotOptimize(front.size());
+    }
+}
+BENCHMARK(bm_nsga2_schaffer)->Unit(benchmark::kMillisecond);
+
+void bm_full_hour_evaluation(benchmark::State& state) {
+    dse::system_evaluator evaluator;
+    for (auto _ : state) {
+        auto r = evaluator.evaluate(dse::system_config::original());
+        benchmark::DoNotOptimize(r.transmissions);
+    }
+}
+BENCHMARK(bm_full_hour_evaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Robustness ablation: does the RSM-optimised configuration keep its edge
+// over the original when the deployment conditions deviate from the
+// nominal scenario the DOE was run under? (Extension beyond the paper,
+// which evaluates one fixed stimulus.)
+#include <cstdio>
+
+#include "dse/robustness.hpp"
+#include "dse/rsm_flow.hpp"
+#include "harvester/vibration.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    std::printf("=== Robustness of the optimised configuration ===\n");
+    std::printf("(5 noise seeds; 40/60/80 mg excitation; 3/5/8 Hz steps)\n\n");
+
+    dse::system_evaluator evaluator;
+    const auto flow = dse::run_rsm_flow(evaluator, {});
+
+    const dse::scenario base;  // nominal paper scenario
+    const auto orig = dse::run_robustness_study(
+        base, dse::system_config::original(), "original");
+    const auto best = dse::run_robustness_study(
+        base, flow.outcomes.front().config, flow.outcomes.front().name);
+
+    auto show = [](const dse::robustness_summary& s) {
+        std::printf("%-22s mean %7.1f  min %6.0f  max %6.0f  stddev %6.1f\n",
+                    s.label.c_str(), s.mean_tx, s.min_tx, s.max_tx, s.stddev_tx);
+    };
+    show(orig);
+    show(best);
+
+    std::printf("\nper-variant transmissions (same variant order):\n");
+    std::printf("%-10s %12s %12s %10s\n", "variant", "original", "optimised",
+                "ratio");
+    const char* variant_names[] = {"seed 1",  "seed 2",  "seed 3",  "seed 4",
+                                   "seed 5",  "40 mg",   "60 mg",   "80 mg",
+                                   "3Hz step", "5Hz step", "8Hz step"};
+    for (std::size_t i = 0; i < orig.samples.size(); ++i) {
+        const double ratio =
+            orig.samples[i] > 0 ? best.samples[i] / orig.samples[i] : 0.0;
+        std::printf("%-10s %12.0f %12.0f %9.2fx\n",
+                    i < std::size(variant_names) ? variant_names[i] : "?",
+                    orig.samples[i], best.samples[i], ratio);
+    }
+
+    // A harsher world than the paper's two clean steps: a bounded random
+    // walk of the ambient frequency (new 1-3 Hz hop every 6 minutes).
+    std::printf("\n=== random-walk ambient (3 seeds, 10 hops of <=3 Hz) ===\n\n");
+    std::printf("%8s %12s %12s %9s\n", "walk", "original", "optimised", "ratio");
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+        const auto walk = harvester::vibration_source::random_walk(
+            0.060 * harvester::k_gravity, 69.0, 360.0, 3.0, 64.5, 87.5, 10, seed);
+        dse::scenario s;
+        s.frequency_schedule.emplace_back(0.0, 69.0);
+        for (std::size_t i = 0; i < walk.change_times().size(); ++i) {
+            const double t = walk.change_times()[i];
+            s.frequency_schedule.emplace_back(t, walk.frequency_at(t));
+        }
+        dse::system_evaluator ev(s);
+        const auto r_orig = ev.evaluate(dse::system_config::original());
+        const auto r_best = ev.evaluate(flow.outcomes.front().config);
+        std::printf("%8llu %12llu %12llu %8.2fx\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(r_orig.transmissions),
+                    static_cast<unsigned long long>(r_best.transmissions),
+                    static_cast<double>(r_best.transmissions) /
+                        static_cast<double>(r_orig.transmissions));
+    }
+
+    std::printf("\nReading: the optimised design must dominate across every\n"
+                "variant (ratio > 1), with the margin growing in energy-rich\n"
+                "conditions (higher acceleration) and shrinking when retunes get\n"
+                "costlier (larger frequency steps); it holds under a wandering\n"
+                "ambient as well, where the tuning loop works far harder.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Table II reproduction: sensor node transmission cadence per
+// supercapacitor voltage band, observed by running the node process
+// against a plant pinned at one voltage per band.
+#include <cstdio>
+
+#include "node/sensor_node.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+class pinned_plant final : public ehdse::harvester::plant {
+public:
+    explicit pinned_plant(double v) : voltage_(v) {}
+    double storage_voltage() const override { return voltage_; }
+    void withdraw(double, const std::string&) override {}
+    void set_sustained_draw(const std::string&, double) override {}
+    int position() const override { return 0; }
+    void set_position(int) override {}
+    double vibration_frequency() const override { return 64.0; }
+    double phase_lag() const override { return 1.5707963; }
+
+private:
+    double voltage_;
+};
+
+class null_system final : public ehdse::sim::analog_system {
+public:
+    std::size_t state_size() const override { return 1; }
+    void derivatives(double, std::span<const double>,
+                     std::span<double> d) const override {
+        d[0] = 0.0;
+    }
+};
+
+}  // namespace
+
+int main() {
+    std::printf("=== Table II: sensor node behaviour vs supercapacitor voltage ===\n");
+    std::printf("(observed over a 30-minute run at a pinned voltage; fast interval 5 s)\n\n");
+    std::printf("%-22s %-28s %-16s %-14s\n", "voltage band", "paper behaviour",
+                "observed tx", "observed rate");
+
+    struct band {
+        const char* label;
+        double voltage;
+        const char* paper;
+    };
+    const band bands[] = {
+        {"below 2.7 V", 2.65, "no transmission"},
+        {"2.7 V - 2.8 V", 2.75, "every 1 minute"},
+        {"above 2.8 V", 2.90, "every 5 s (parameter x3)"},
+    };
+
+    constexpr double horizon = 1800.0;
+    for (const band& b : bands) {
+        null_system sys;
+        ehdse::sim::simulator sim(sys, {0.0});
+        pinned_plant plant(b.voltage);
+        ehdse::node::sensor_node node(sim, plant);
+        sim.run_until(horizon);
+        const auto tx = node.transmissions();
+        char rate[64];
+        if (tx == 0)
+            std::snprintf(rate, sizeof rate, "none");
+        else
+            std::snprintf(rate, sizeof rate, "every %.1f s",
+                          horizon / static_cast<double>(tx));
+        std::printf("%-22s %-28s %-16llu %-14s\n", b.label, b.paper,
+                    static_cast<unsigned long long>(tx), rate);
+    }
+    std::printf("\nPASS criteria: 0 tx below cut-off, ~30 tx at 1/min, ~360 tx at 1/5 s.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Table III reproduction: sensor-node current draw per transmission phase
+// and the derived per-transmission energy / equivalent resistances
+// (paper eq. 8).
+#include <cstdio>
+
+#include "node/sensor_node.hpp"
+#include "paper_refs.hpp"
+
+int main() {
+    using namespace ehdse;
+    const node::node_params p;
+    const auto m = node::derive_energy_model(p);
+
+    std::printf("=== Table III: current draw of the sensor node ===\n\n");
+    std::printf("%-14s %-10s %-10s\n", "operation", "time", "current");
+    std::printf("%-14s %-10s %-10.1f uA\n", "sleep", "-", p.sleep_current_a * 1e6);
+    std::printf("%-14s %-7.1f ms %-10.1f mA\n", "wake-up", p.wakeup_time_s * 1e3,
+                p.wakeup_current_a * 1e3);
+    std::printf("%-14s %-7.1f ms %-10.1f mA\n", "sensing", p.sensing_time_s * 1e3,
+                p.sensing_current_a * 1e3);
+    std::printf("%-14s %-7.1f ms %-10.1f mA\n", "transmission", p.tx_time_s * 1e3,
+                p.tx_current_a * 1e3);
+
+    std::printf("\n=== derived figures vs paper ===\n\n");
+    std::printf("%-34s %12s %12s\n", "quantity", "paper", "this model");
+    std::printf("%-34s %9.0f uJ %9.1f uJ\n", "energy per transmission (at 2.8 V)",
+                bench::k_paper_tx_energy_j * 1e6, m.energy_per_tx_j * 1e6);
+    std::printf("%-34s %9.0f oh %9.1f oh\n", "equivalent R while transmitting",
+                bench::k_paper_r_transmit_ohm, m.r_transmit_ohm);
+    std::printf("%-34s %9.1f Mo %9.1f Mo\n", "equivalent R asleep",
+                bench::k_paper_r_sleep_ohm / 1e6, m.r_sleep_ohm / 1e6);
+    std::printf("%-34s %12s %9.1f ms\n", "active burst duration", "4.5 ms",
+                m.active_time_s * 1e3);
+    std::printf("%-34s %12s %9.1f uC\n", "charge per burst", "-",
+                m.charge_per_tx_c * 1e6);
+
+    std::printf("\nNote: the paper's 227 uJ/167 ohm pair is internally rounded; the\n"
+                "model integrates Table III exactly, landing ~4%% below (219 uJ).\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Table VI reproduction — the paper's headline experiment.
+//
+// Runs the complete methodology (D-optimal DOE -> 10 mixed-signal
+// simulations -> quadratic RSM -> SA + GA maximisation -> validating
+// simulations) and prints the optimised configurations and transmission
+// counts beside the paper's Table VI.
+#include <cstdio>
+
+#include "dse/rsm_flow.hpp"
+#include "paper_refs.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    std::printf("=== Table V: system parameters for optimisation ===\n\n");
+    const auto space = dse::paper_design_space();
+    const char* symbols[] = {"x1", "x2", "x3"};
+    for (std::size_t i = 0; i < space.dimension(); ++i) {
+        const auto& p = space.parameter(i);
+        std::printf("  %-20s %12g .. %-12g  coded %s\n", p.name.c_str(), p.min,
+                    p.max, symbols[i]);
+    }
+
+    std::printf("\nRunning the RSM flow (DOE + %d simulations + fit + SA/GA)...\n", 10);
+    dse::system_evaluator evaluator;
+    const auto flow = dse::run_rsm_flow(evaluator, {});
+
+    std::printf("\nD-optimal design: %zu of %zu candidate points, log det(X'X) = %.2f\n",
+                flow.selection.selected.size(), flow.candidates.size(),
+                flow.selection.log_det);
+    std::printf("Surface fit: R^2 = %.4f (saturated design: exact interpolation)\n",
+                flow.fit.r_squared);
+
+    std::printf("\n=== Table VI: optimisation results ===\n\n");
+    std::printf("%-22s | %10s %9s %11s | %7s %7s | %8s\n", "design", "clock",
+                "watchdog", "tx interval", "paper", "ours", "ratio");
+    std::printf("%-22s | %10s %9s %11s | %7s %7s | %8s\n", "", "(Hz)", "(s)",
+                "(s)", "(tx/h)", "(tx/h)", "vs orig");
+
+    const double base = static_cast<double>(flow.original_eval.transmissions);
+    std::printf("%-22s | %10.3g %9.0f %11.3f | %7u %7llu | %8.2f\n", "original",
+                4e6, 320.0, 5.0, bench::k_paper_table6[0].transmissions,
+                static_cast<unsigned long long>(flow.original_eval.transmissions),
+                1.0);
+    for (std::size_t i = 0; i < flow.outcomes.size(); ++i) {
+        const auto& oc = flow.outcomes[i];
+        const auto& paper = bench::k_paper_table6[i + 1 < 3 ? i + 1 : 2];
+        std::printf("%-22s | %10.3g %9.0f %11.3f | %7u %7llu | %8.2f\n",
+                    oc.name.c_str(), oc.config.mcu_clock_hz,
+                    oc.config.watchdog_period_s, oc.config.tx_interval_s,
+                    paper.transmissions,
+                    static_cast<unsigned long long>(oc.validated.transmissions),
+                    static_cast<double>(oc.validated.transmissions) / base);
+        std::printf("%-22s | %10s %9s %11s |  (RSM predicted %.0f)\n", "", "", "",
+                    "", oc.predicted);
+    }
+
+    std::printf("\npaper ratios: SA %.2fx, GA %.2fx — the optimised designs double\n"
+                "the transmission count; the reproduction must land in the same\n"
+                "winners-and-factor regime (see EXPERIMENTS.md for the deviation\n"
+                "discussion: our baseline sits nearer its 5 s interval ceiling).\n",
+                899.0 / 405.0, 894.0 / 405.0);
+
+    std::printf("\n=== energy budget of the validated optimum (%s) ===\n\n",
+                flow.outcomes.front().name.c_str());
+    const auto& best = flow.outcomes.front().validated;
+    std::printf("harvested %.1f mJ, bursts %.1f mJ, sustained %.1f mJ, "
+                "final voltage %.3f V\n",
+                best.harvested_energy_j * 1e3, best.withdrawn_energy_j * 1e3,
+                best.sustained_load_energy_j * 1e3, best.final_voltage_v);
+    return 0;
+}

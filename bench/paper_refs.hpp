@@ -1,0 +1,50 @@
+// Reference numbers quoted from the paper (Wang et al., DATE 2012), used by
+// the benchmark harnesses to print paper-vs-measured comparisons.
+#pragma once
+
+#include <array>
+
+namespace ehdse::bench {
+
+/// Paper eq. (9): fitted response surface in coded variables, term order
+/// [1, x1, x2, x3, x1^2, x2^2, x3^2, x1x2, x1x3, x2x3].
+inline constexpr std::array<double, 10> k_paper_eq9 = {
+    484.02, -121.79, -16.77, -208.43, 120.98,
+    106.69, -69.75,  -34.23, -121.79, 32.54};
+
+/// Paper Table VI.
+struct table6_row {
+    const char* name;
+    double clock_hz;
+    double watchdog_s;
+    double interval_s;
+    unsigned transmissions;
+};
+inline constexpr table6_row k_paper_table6[] = {
+    {"original", 4e6, 320.0, 5.0, 405},
+    {"simulated-annealing", 8e6, 60.0, 0.005, 899},
+    {"genetic-algorithm", 125e3, 600.0, 3.065, 894},
+};
+
+/// Paper Table III (sensor node current draw) and derived figures.
+inline constexpr double k_paper_tx_energy_j = 227e-6;
+inline constexpr double k_paper_r_transmit_ohm = 167.0;
+inline constexpr double k_paper_r_sleep_ohm = 5.8e6;
+
+/// Paper Table IV rows: {operation, time_ms, power_mw, energy_mj}.
+struct table4_row {
+    const char* component;
+    const char* operation;
+    double time_ms;
+    double power_mw;
+    double energy_mj;
+};
+inline constexpr table4_row k_paper_table4[] = {
+    {"accelerometer", "measurement", 153.0, 13.2, 2.02},
+    {"actuator", "1 step", 5.0, 811.0, 4.06},
+    {"actuator", "100 steps", 500.0, 405.0, 203.0},
+    {"mcu", "coarse-grain tuning", 149.0, 5.0, 0.745},
+    {"mcu", "fine-grain tuning", 325.0, 6.5, 2.11},
+};
+
+}  // namespace ehdse::bench

@@ -1,0 +1,79 @@
+// Custom RSM study: the DOE + response-surface + optimiser stack applied to
+// a user-defined objective — here, a black-box "peak power vs (magnet
+// position, load voltage)" map of the harvester itself, showing the
+// library's methodology layer is independent of the sensor-node use case.
+//
+//   ./build/examples/custom_rsm
+#include <cstdio>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "harvester/envelope.hpp"
+#include "harvester/vibration.hpp"
+#include "harvester/tuning_table.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "rsm/design_space.hpp"
+#include "rsm/quadratic_model.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    // Black box under study: stored power at a fixed 70 Hz excitation as a
+    // function of actuator position and storage voltage.
+    const harvester::microgenerator gen;
+    const auto expensive_experiment = [&](double position, double store_v) {
+        const auto pt = harvester::solve_envelope(
+            gen, static_cast<int>(position + 0.5), 70.0,
+            0.060 * harvester::k_gravity, store_v);
+        return pt.elec.p_store_w * 1e6;  // uW
+    };
+
+    // 1. Define the design space in natural units. The position range
+    //    brackets the 70 Hz resonance (position ~64) by roughly one
+    //    half-power bandwidth per side — the region where a quadratic is an
+    //    honest local model; far off-resonance the response is flat zero.
+    const rsm::design_space space({
+        {"actuator_position", 52.0, 76.0},
+        {"storage_voltage", 2.0, 3.4},
+    });
+
+    // 2. Pick design points: D-optimal 8 of a 5x5 grid for the 6-term model.
+    const auto candidates = doe::full_factorial(2, 5);
+    const auto selection = doe::d_optimal_design(
+        candidates, [](const numeric::vec& x) { return rsm::quadratic_basis(x); },
+        8);
+    std::printf("D-optimal design: 8 of %zu grid points, log det = %.2f\n\n",
+                candidates.size(), selection.log_det);
+
+    // 3. Run the experiments.
+    std::vector<numeric::vec> points;
+    numeric::vec responses;
+    std::printf("%10s %12s %12s\n", "position", "voltage (V)", "P_store (uW)");
+    for (std::size_t idx : selection.selected) {
+        const auto& coded = candidates[idx];
+        const auto natural = space.decode(coded);
+        const double y = expensive_experiment(natural[0], natural[1]);
+        points.push_back(coded);
+        responses.push_back(y);
+        std::printf("%10.0f %12.2f %12.1f\n", natural[0], natural[1], y);
+    }
+
+    // 4. Fit the response surface.
+    const auto fit = rsm::fit_quadratic(points, responses);
+    std::printf("\nfitted surface (coded): %s\n", fit.model.to_string(2).c_str());
+    std::printf("R^2 = %.4f, PRESS rmse = %.2f\n", fit.r_squared, fit.press_rmse);
+
+    // 5. Maximise it.
+    numeric::rng rng(42);
+    const auto best = opt::simulated_annealing().maximize(
+        [&](const numeric::vec& x) { return fit.model.predict(x); },
+        opt::box_bounds::unit(2), rng);
+    const auto natural = space.decode(space.clamp(best.best_x));
+    std::printf("\nRSM optimum: position %.0f, storage %.2f V -> predicted %.1f uW\n",
+                natural[0], natural[1], best.best_value);
+    std::printf("validated by direct evaluation: %.1f uW\n",
+                expensive_experiment(natural[0], natural[1]));
+    std::printf("\n(for reference, a 70 Hz input resonates near position %d)\n",
+                harvester::tuning_table(gen).lookup(70.0));
+    return 0;
+}

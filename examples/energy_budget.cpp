@@ -1,0 +1,56 @@
+// Energy-budget explorer: sweep the transmission interval (the paper's
+// dominant parameter x3) across its range and print where the system flips
+// from interval-limited to energy-limited, with the full per-component
+// energy breakdown at three representative points.
+//
+//   ./build/examples/energy_budget
+#include <cstdio>
+
+#include "dse/system_evaluator.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    dse::system_evaluator evaluator;
+
+    std::printf("=== transmission interval sweep (1-hour runs) ===\n\n");
+    std::printf("%12s %8s %10s %12s %12s %10s\n", "interval (s)", "tx/h",
+                "ceiling", "harvested", "node spend", "final V");
+
+    const double intervals[] = {0.005, 0.02, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+    for (double interval : intervals) {
+        dse::system_config cfg = dse::system_config::original();
+        cfg.tx_interval_s = interval;
+        const auto r = evaluator.evaluate(cfg);
+        const double ceiling = 3600.0 / interval;
+        std::printf("%12.3f %8llu %10.0f %9.1f mJ %9.1f mJ %9.3f V %s\n", interval,
+                    static_cast<unsigned long long>(r.transmissions), ceiling,
+                    r.harvested_energy_j * 1e3,
+                    r.ledger.total("node.transmission") * 1e3, r.final_voltage_v,
+                    static_cast<double>(r.transmissions) > 0.95 * ceiling
+                        ? "interval-limited"
+                        : "energy-limited");
+    }
+
+    std::printf("\n=== energy breakdown at three operating points ===\n");
+    for (double interval : {0.005, 0.5, 10.0}) {
+        dse::system_config cfg = dse::system_config::original();
+        cfg.tx_interval_s = interval;
+        const auto r = evaluator.evaluate(cfg);
+        std::printf("\n--- interval %.3f s: %llu transmissions ---\n", interval,
+                    static_cast<unsigned long long>(r.transmissions));
+        std::printf("  %-24s %8.1f mJ\n", "harvested into store",
+                    r.harvested_energy_j * 1e3);
+        for (const auto& [account, joules] : r.ledger.accounts())
+            std::printf("  %-24s %8.1f mJ\n", account.c_str(), joules * 1e3);
+        std::printf("  %-24s %8.1f mJ\n", "sustained (sleep floors)",
+                    r.sustained_load_energy_j * 1e3);
+        std::printf("  %-24s %8.3f V -> %.3f V\n", "storage voltage", 2.8,
+                    r.final_voltage_v);
+    }
+
+    std::printf("\nReading: below ~0.5 s the node can absorb every joule the\n"
+                "harvester nets (energy-limited plateau); above it the interval\n"
+                "ceiling bites — the crossover the RSM's x3 terms encode.\n");
+    return 0;
+}

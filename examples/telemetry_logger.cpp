@@ -1,0 +1,54 @@
+// Telemetry logger: the paper's actual application (Fig. 3) — the node
+// senses the environment temperature and reports it, with the
+// supercapacitor voltage, over the radio. This example plays the role of
+// the PC-side receiver: it runs 30 minutes of the system against a daily
+// temperature profile and writes the received packet log as CSV.
+//
+//   ./build/examples/telemetry_logger > telemetry.csv
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "dse/envelope_system.hpp"
+#include "harvester/tuning_table.hpp"
+#include "mcu/tuning_controller.hpp"
+#include "node/sensor_node.hpp"
+
+int main() {
+    using namespace ehdse;
+
+    harvester::microgenerator gen;
+    harvester::tuning_table table(gen);
+    const auto vib =
+        harvester::vibration_source::stepped_mg(60.0, 64.0, 5.0, 900.0, 1);
+
+    dse::envelope_system system(gen, vib);
+    auto x0 = system.initial_state(2.85, table.lookup(64.0));
+    sim::ode_options ode;
+    ode.max_dt = 5.0;
+    sim::simulator sim(system, std::move(x0), ode);
+    system.attach(sim);
+
+    node::node_params np;
+    np.fast_interval_s = 10.0;
+    node::sensor_node node(sim, system, np);
+    mcu::tuning_controller controller(sim, system, table, {});
+
+    // Environment: a slow daily swing plus a mild machine-heating ramp.
+    node.enable_telemetry([](double t) {
+        return 21.5 + 3.0 * std::sin(2.0 * std::numbers::pi * t / 86400.0) +
+               1.5e-3 * std::min(t, 1800.0) / 60.0;
+    });
+
+    sim.run_until(1800.0);
+
+    std::fprintf(stderr,
+                 "received %zu packets over 30 minutes (radio has no ACKs; "
+                 "every transmitted packet is logged)\n",
+                 node.telemetry().size());
+    std::printf("time_s,temperature_c,supercap_v\n");
+    for (const auto& pkt : node.telemetry())
+        std::printf("%.1f,%.3f,%.4f\n", pkt.time_s, pkt.temperature_c,
+                    pkt.supercap_v);
+    return 0;
+}

@@ -1,0 +1,11 @@
+# gnuplot script for the Fig. 5 reproduction CSVs written by
+# bench_fig5_supercap_voltage (run the bench first, from this directory).
+set datafile separator ','
+set xlabel 'time (s)'
+set ylabel 'supercapacitor voltage (V)'
+set key bottom right
+set grid
+set terminal pngcairo size 1000,500
+set output 'fig5.png'
+plot 'fig5_original.csv'  using 1:2 skip 1 with lines lw 2 title 'original design', \
+     'fig5_optimised.csv' using 1:2 skip 1 with lines lw 2 title 'optimised design'

@@ -1,0 +1,164 @@
+#include "doe/d_optimal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numeric/decomp.hpp"
+
+namespace ehdse::doe {
+
+namespace {
+
+/// log det(X'X) from basis rows gathered by `selected`; -inf when singular.
+double log_det_of(const numeric::matrix& basis_rows,
+                  const std::vector<std::size_t>& selected) {
+    numeric::matrix x;
+    for (std::size_t idx : selected) x.append_row(basis_rows.row(idx));
+    const numeric::lu_decomposition lu(x.gram());
+    const auto [log_abs, sign] = lu.log_abs_determinant();
+    // X'X is positive semi-definite: a negative-sign determinant can only
+    // come from round-off on a singular matrix.
+    return sign > 0 ? log_abs : -std::numeric_limits<double>::infinity();
+}
+
+/// Greedy regularised construction used when random starts keep landing on
+/// singular subsets: add, one at a time, the candidate maximising the
+/// ridge-regularised determinant.
+std::vector<std::size_t> greedy_start(const numeric::matrix& basis_rows,
+                                      std::size_t n_runs, numeric::rng& rng) {
+    const std::size_t m = basis_rows.rows();
+    const std::size_t p = basis_rows.cols();
+    numeric::matrix info(p, p, 0.0);
+    for (std::size_t i = 0; i < p; ++i) info.at_unchecked(i, i) = 1e-8;
+
+    std::vector<std::size_t> selection;
+    selection.reserve(n_runs);
+    for (std::size_t step = 0; step < n_runs; ++step) {
+        double best = -std::numeric_limits<double>::infinity();
+        std::size_t best_j = rng.uniform_index(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            numeric::matrix trial = info;
+            const auto row = basis_rows.row(j);
+            for (std::size_t a = 0; a < p; ++a)
+                for (std::size_t b = 0; b < p; ++b)
+                    trial.at_unchecked(a, b) += row[a] * row[b];
+            const auto [log_abs, sign] = numeric::lu_decomposition(trial).log_abs_determinant();
+            const double value = sign > 0 ? log_abs : best;
+            if (value > best) {
+                best = value;
+                best_j = j;
+            }
+        }
+        selection.push_back(best_j);
+        const auto row = basis_rows.row(best_j);
+        for (std::size_t a = 0; a < p; ++a)
+            for (std::size_t b = 0; b < p; ++b)
+                info.at_unchecked(a, b) += row[a] * row[b];
+    }
+    return selection;
+}
+
+}  // namespace
+
+d_optimal_result d_optimal_design(const std::vector<numeric::vec>& candidates,
+                                  const basis_fn& basis, std::size_t n_runs,
+                                  const d_optimal_options& options) {
+    if (candidates.empty())
+        throw std::invalid_argument("d_optimal_design: empty candidate set");
+    if (n_runs > candidates.size())
+        throw std::invalid_argument("d_optimal_design: more runs than candidates");
+
+    numeric::matrix basis_rows;
+    for (const auto& c : candidates) basis_rows.append_row(basis(c));
+    const std::size_t p = basis_rows.cols();
+    const std::size_t m = basis_rows.rows();
+    if (n_runs < p)
+        throw std::invalid_argument(
+            "d_optimal_design: need at least " + std::to_string(p) +
+            " runs to estimate a " + std::to_string(p) + "-term model");
+
+    numeric::rng rng(options.seed);
+    d_optimal_result best;
+    best.log_det = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+        ++best.restarts_used;
+
+        // Non-singular random start, with a greedy fallback.
+        std::vector<std::size_t> selection;
+        double current = -std::numeric_limits<double>::infinity();
+        for (int attempt = 0; attempt < 100 && !std::isfinite(current); ++attempt) {
+            const auto perm = rng.permutation(m);
+            selection.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_runs));
+            current = log_det_of(basis_rows, selection);
+        }
+        if (!std::isfinite(current)) {
+            selection = greedy_start(basis_rows, n_runs, rng);
+            current = log_det_of(basis_rows, selection);
+            if (!std::isfinite(current)) continue;  // candidate set too poor
+        }
+
+        // Fedorov exchange: steepest-ascent swaps until no improvement.
+        for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+            double best_gain = 1e-10;
+            std::size_t best_i = 0, best_j = 0;
+            for (std::size_t i = 0; i < n_runs; ++i) {
+                const std::size_t old = selection[i];
+                for (std::size_t j = 0; j < m; ++j) {
+                    if (j == old) continue;
+                    selection[i] = j;
+                    const double trial = log_det_of(basis_rows, selection);
+                    if (trial - current > best_gain) {
+                        best_gain = trial - current;
+                        best_i = i;
+                        best_j = j;
+                    }
+                }
+                selection[i] = old;
+            }
+            if (best_gain <= 1e-10) break;
+            selection[best_i] = best_j;
+            current += best_gain;
+            ++best.exchanges;
+        }
+
+        if (current > best.log_det) {
+            best.log_det = current;
+            best.selected = selection;
+        }
+    }
+
+    if (!std::isfinite(best.log_det))
+        throw std::domain_error(
+            "d_optimal_design: no non-singular design found — candidate set "
+            "cannot support the requested model");
+    std::sort(best.selected.begin(), best.selected.end());
+    return best;
+}
+
+double selection_log_det(const std::vector<numeric::vec>& candidates,
+                         const basis_fn& basis,
+                         const std::vector<std::size_t>& selected) {
+    numeric::matrix basis_rows;
+    for (const auto& c : candidates) basis_rows.append_row(basis(c));
+    for (std::size_t idx : selected)
+        if (idx >= candidates.size())
+            throw std::out_of_range("selection_log_det: index outside candidate set");
+    return log_det_of(basis_rows, selected);
+}
+
+double relative_d_efficiency(double log_det_a, std::size_t runs_a,
+                             double log_det_b, std::size_t runs_b,
+                             std::size_t term_count) {
+    if (term_count == 0)
+        throw std::invalid_argument("relative_d_efficiency: term_count must be > 0");
+    const auto p = static_cast<double>(term_count);
+    // Compare per-run information matrices M = X'X / n.
+    const double log_ma = log_det_a - p * std::log(static_cast<double>(runs_a));
+    const double log_mb = log_det_b - p * std::log(static_cast<double>(runs_b));
+    return std::exp((log_ma - log_mb) / p);
+}
+
+}  // namespace ehdse::doe

@@ -1,0 +1,76 @@
+#include "doe/designs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdse::doe {
+
+std::vector<numeric::vec> full_factorial(std::size_t k, std::size_t levels) {
+    if (k == 0) throw std::invalid_argument("full_factorial: k must be > 0");
+    if (levels < 2) throw std::invalid_argument("full_factorial: need >= 2 levels");
+
+    std::vector<double> level_values(levels);
+    for (std::size_t l = 0; l < levels; ++l)
+        level_values[l] = -1.0 + 2.0 * static_cast<double>(l) /
+                                     static_cast<double>(levels - 1);
+
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+        if (total > 1'000'000 / levels)
+            throw std::invalid_argument("full_factorial: design too large");
+        total *= levels;
+    }
+
+    std::vector<numeric::vec> points;
+    points.reserve(total);
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        numeric::vec p(k);
+        std::size_t rem = idx;
+        for (std::size_t i = 0; i < k; ++i) {
+            p[i] = level_values[rem % levels];
+            rem /= levels;
+        }
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+std::vector<numeric::vec> factorial_corners(std::size_t k) {
+    return full_factorial(k, 2);
+}
+
+std::vector<numeric::vec> central_composite(std::size_t k, double alpha,
+                                            std::size_t center_runs) {
+    if (alpha <= 0.0)
+        throw std::invalid_argument("central_composite: alpha must be > 0");
+    std::vector<numeric::vec> points = factorial_corners(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        numeric::vec lo(k, 0.0), hi(k, 0.0);
+        lo[i] = -alpha;
+        hi[i] = alpha;
+        points.push_back(std::move(lo));
+        points.push_back(std::move(hi));
+    }
+    for (std::size_t r = 0; r < center_runs; ++r)
+        points.emplace_back(k, 0.0);
+    return points;
+}
+
+std::vector<numeric::vec> box_behnken(std::size_t k, std::size_t center_runs) {
+    if (k < 3) throw std::invalid_argument("box_behnken: defined for k >= 3");
+    std::vector<numeric::vec> points;
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = i + 1; j < k; ++j)
+            for (int si : {-1, 1})
+                for (int sj : {-1, 1}) {
+                    numeric::vec p(k, 0.0);
+                    p[i] = si;
+                    p[j] = sj;
+                    points.push_back(std::move(p));
+                }
+    for (std::size_t r = 0; r < center_runs; ++r)
+        points.emplace_back(k, 0.0);
+    return points;
+}
+
+}  // namespace ehdse::doe

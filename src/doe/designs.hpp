@@ -1,0 +1,30 @@
+// Classical designs of experiments over the coded [-1, 1]^k box
+// (paper section II-B): full factorial, central composite, Box–Behnken.
+// Points are returned in coded units; decode through rsm::design_space.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::doe {
+
+/// All combinations of `levels` equally spaced values per factor across k
+/// factors (levels >= 2). 3-level full factorial in 3 vars = 27 points,
+/// the candidate set the paper's D-optimal selection draws from.
+std::vector<numeric::vec> full_factorial(std::size_t k, std::size_t levels);
+
+/// Two-level full factorial (the 2^k cube corners).
+std::vector<numeric::vec> factorial_corners(std::size_t k);
+
+/// Central composite design: cube corners + 2k axial points at +-alpha +
+/// `center_runs` centre replicates. alpha = 1 gives the face-centred CCD
+/// (keeps points inside the box).
+std::vector<numeric::vec> central_composite(std::size_t k, double alpha = 1.0,
+                                            std::size_t center_runs = 1);
+
+/// Box–Behnken design: midpoints of the cube edges (pairs at +-1, rest 0) +
+/// centre replicates. Defined for k >= 3.
+std::vector<numeric::vec> box_behnken(std::size_t k, std::size_t center_runs = 1);
+
+}  // namespace ehdse::doe

@@ -1,0 +1,89 @@
+#include "doe/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numeric/decomp.hpp"
+
+namespace ehdse::doe {
+
+std::vector<numeric::vec> latin_hypercube(std::size_t k, std::size_t n,
+                                          numeric::rng& rng) {
+    if (k == 0 || n == 0)
+        throw std::invalid_argument("latin_hypercube: k and n must be > 0");
+    std::vector<numeric::vec> points(n, numeric::vec(k));
+    for (std::size_t axis = 0; axis < k; ++axis) {
+        const auto order = rng.permutation(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Stratum [order[i], order[i]+1) / n mapped onto [-1, 1].
+            const double u =
+                (static_cast<double>(order[i]) + rng.uniform()) / static_cast<double>(n);
+            points[i][axis] = 2.0 * u - 1.0;
+        }
+    }
+    return points;
+}
+
+double min_pairwise_distance(const std::vector<numeric::vec>& points) {
+    if (points.size() < 2) return 0.0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t j = i + 1; j < points.size(); ++j) {
+            double d2 = 0.0;
+            for (std::size_t a = 0; a < points[i].size(); ++a) {
+                const double d = points[i][a] - points[j][a];
+                d2 += d * d;
+            }
+            best = std::min(best, d2);
+        }
+    return std::sqrt(best);
+}
+
+std::vector<numeric::vec> maximin_latin_hypercube(std::size_t k, std::size_t n,
+                                                  numeric::rng& rng,
+                                                  std::size_t attempts) {
+    if (attempts == 0)
+        throw std::invalid_argument("maximin_latin_hypercube: attempts must be > 0");
+    std::vector<numeric::vec> best;
+    double best_d = -1.0;
+    for (std::size_t a = 0; a < attempts; ++a) {
+        auto candidate = latin_hypercube(k, n, rng);
+        const double d = min_pairwise_distance(candidate);
+        if (d > best_d) {
+            best_d = d;
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+double a_criterion(const numeric::matrix& design_matrix) {
+    const numeric::lu_decomposition lu(design_matrix.gram());
+    if (lu.singular())
+        throw std::domain_error("a_criterion: singular information matrix");
+    const numeric::matrix inv = lu.inverse();
+    double trace = 0.0;
+    for (std::size_t i = 0; i < inv.rows(); ++i) trace += inv.at_unchecked(i, i);
+    return trace;
+}
+
+double i_criterion(const numeric::matrix& design_matrix,
+                   const std::vector<numeric::vec>& candidates,
+                   const std::function<numeric::vec(const numeric::vec&)>& basis) {
+    if (candidates.empty())
+        throw std::invalid_argument("i_criterion: empty candidate set");
+    const numeric::lu_decomposition lu(design_matrix.gram());
+    if (lu.singular())
+        throw std::domain_error("i_criterion: singular information matrix");
+    const numeric::matrix inv = lu.inverse();
+    double acc = 0.0;
+    for (const auto& c : candidates) {
+        const numeric::vec b = basis(c);
+        acc += numeric::dot(b, inv * b);
+    }
+    return acc / static_cast<double>(candidates.size());
+}
+
+}  // namespace ehdse::doe

@@ -1,0 +1,39 @@
+// Space-filling designs and alternative optimality metrics — extensions
+// beyond the paper's D-optimal workflow, for users whose response is not
+// well served by a three-level grid.
+#pragma once
+
+#include <functional>
+
+#include "numeric/matrix.hpp"
+#include "numeric/rng.hpp"
+
+namespace ehdse::doe {
+
+/// Latin hypercube sample of n points in the coded box [-1, 1]^k: each
+/// axis is divided into n strata, each stratum hit exactly once, with the
+/// in-stratum offset jittered.
+std::vector<numeric::vec> latin_hypercube(std::size_t k, std::size_t n,
+                                          numeric::rng& rng);
+
+/// Maximin-improved Latin hypercube: draws `attempts` LHS designs and
+/// keeps the one maximising the minimum pairwise distance.
+std::vector<numeric::vec> maximin_latin_hypercube(std::size_t k, std::size_t n,
+                                                  numeric::rng& rng,
+                                                  std::size_t attempts = 32);
+
+/// Minimum pairwise Euclidean distance of a design (0 for < 2 points).
+double min_pairwise_distance(const std::vector<numeric::vec>& points);
+
+/// A-optimality value: trace((X'X)^-1) for a basis-expanded design —
+/// smaller is better. Throws std::domain_error when singular.
+double a_criterion(const numeric::matrix& design_matrix);
+
+/// I-optimality (average prediction variance) over a candidate set:
+/// mean over candidates c of b(c)' (X'X)^-1 b(c), with b the same basis
+/// used to build `design_matrix`. Smaller is better.
+double i_criterion(const numeric::matrix& design_matrix,
+                   const std::vector<numeric::vec>& candidates,
+                   const std::function<numeric::vec(const numeric::vec&)>& basis);
+
+}  // namespace ehdse::doe

@@ -1,0 +1,136 @@
+#include "dse/envelope_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdse::dse {
+
+envelope_system::envelope_system(const harvester::microgenerator& gen,
+                                 const harvester::vibration_source& vib,
+                                 power::supercapacitor_params cap,
+                                 power::rectifier_params rect)
+    : envelope_system(gen, vib, std::make_shared<power::supercapacitor>(cap),
+                      rect) {}
+
+envelope_system::envelope_system(const harvester::microgenerator& gen,
+                                 const harvester::vibration_source& vib,
+                                 std::shared_ptr<const power::storage_model> storage,
+                                 power::rectifier_params rect)
+    : gen_(gen), vib_(vib), storage_(std::move(storage)), rect_(rect) {
+    if (!storage_)
+        throw std::invalid_argument("envelope_system: null storage");
+}
+
+sim::simulator& envelope_system::sim() const {
+    if (sim_ == nullptr)
+        throw std::logic_error("envelope_system: no simulator attached");
+    return *sim_;
+}
+
+std::vector<double> envelope_system::initial_state(double v0, int initial_position) {
+    if (v0 < 0.0)
+        throw std::invalid_argument("envelope_system: negative initial voltage");
+    position_ = initial_position;
+    const harvester::envelope_point pt = operating_point(0.0, v0);
+    std::vector<double> x(k_state_count, 0.0);
+    x[ix_voltage] = v0;
+    x[ix_amplitude] = pt.mech.displacement_amp_m;
+    return x;
+}
+
+harvester::envelope_point envelope_system::operating_point(double t,
+                                                           double store_v) const {
+    return harvester::solve_envelope(gen_, position_, vib_.frequency_at(t),
+                                     vib_.amplitude_at(t), store_v, rect_);
+}
+
+void envelope_system::set_frontend(frontend_kind kind, double efficiency) {
+    if (kind == frontend_kind::mppt && !(efficiency > 0.0 && efficiency <= 1.0))
+        throw std::invalid_argument(
+            "envelope_system: mppt efficiency must be in (0, 1]");
+    frontend_ = kind;
+    frontend_efficiency_ = efficiency;
+}
+
+void envelope_system::derivatives(double t, std::span<const double> x,
+                                  std::span<double> dxdt) const {
+    const double v = std::max(x[ix_voltage], 0.0);
+    const double z_env = std::max(x[ix_amplitude], 0.0);
+    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
+
+    double i_charge = 0.0;
+    if (frontend_ == frontend_kind::diode_bridge) {
+        const harvester::envelope_point pt = operating_point(t, v);
+        // Amplitude envelope relaxes towards the steady state.
+        const double tau = gen_.settling_tau(pt.c_electrical);
+        dxdt[ix_amplitude] = (pt.mech.displacement_amp_m - z_env) / tau;
+
+        // Charging from the instantaneous envelope amplitude (not the target).
+        const double emf = gen_.params().coupling_v_per_ms * omega * z_env;
+        const power::rectifier_operating_point op = power::bridge_average(
+            emf, v, gen_.params().coil_resistance_ohm, rect_);
+        i_charge = op.i_avg_a;
+    } else {
+        // MPPT front-end: the converter holds the coil at the matched load
+        // (c_e = c_mech) regardless of the store voltage, and delivers the
+        // extracted mechanical power at the conversion efficiency.
+        const double c_match = gen_.mech_damping();
+        const harvester::linear_response mech =
+            gen_.response(omega, vib_.amplitude_at(t), position_, c_match);
+        const double tau = gen_.settling_tau(c_match);
+        dxdt[ix_amplitude] = (mech.displacement_amp_m - z_env) / tau;
+
+        const double vel_env = omega * z_env;
+        const double p_extracted = 0.5 * c_match * vel_env * vel_env;
+        i_charge = v > 0.05 ? frontend_efficiency_ * p_extracted / v : 0.0;
+    }
+
+    const double i_loads = loads_.total_current(v);
+    dxdt[ix_voltage] = storage_->dv_dt(v, i_charge - i_loads);
+    dxdt[ix_harvested] = v * i_charge;
+    dxdt[ix_load_energy] = v * i_loads;
+}
+
+double envelope_system::storage_voltage() const {
+    return sim().state_at(ix_voltage);
+}
+
+void envelope_system::withdraw(double joules, const std::string& account) {
+    if (joules < 0.0)
+        throw std::invalid_argument("envelope_system: negative withdrawal");
+    const double v = storage_voltage();
+    sim().set_state(ix_voltage, storage_->voltage_after_withdrawal(v, joules));
+    ledger_.record(account, joules);
+}
+
+void envelope_system::set_sustained_draw(const std::string& account, double amps) {
+    auto it = load_slots_.find(account);
+    if (it == load_slots_.end())
+        it = load_slots_.emplace(account, loads_.add_load(account)).first;
+    loads_.set_current(it->second, amps);
+}
+
+void envelope_system::set_position(int position) {
+    if (position < 0 || position >= harvester::microgenerator_params::k_position_count)
+        throw std::out_of_range("envelope_system: actuator position outside [0,255]");
+    position_ = position;
+}
+
+double envelope_system::vibration_frequency() const {
+    return vib_.frequency_at(sim().now());
+}
+
+double envelope_system::phase_lag() const {
+    const double t = sim().now();
+    const double v = storage_voltage();
+    const harvester::envelope_point pt = operating_point(t, v);
+    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
+    const double k = gen_.effective_stiffness(position_);
+    const double m = gen_.params().mass_kg;
+    const double c_total = gen_.mech_damping() + pt.c_electrical;
+    return std::atan2(c_total * omega, k - m * omega * omega);
+}
+
+}  // namespace ehdse::dse

@@ -1,0 +1,127 @@
+// The complete sensor-node system as an envelope-mode analogue model plus
+// the plant interface the digital processes drive.
+//
+// Continuous states:
+//   x[0] = V      supercapacitor voltage
+//   x[1] = z_env  mechanical displacement-amplitude envelope (relaxes
+//                 towards the cycle-averaged steady state with the
+//                 physical time constant 2m / c_total)
+//   x[2] = E_h    cumulative energy delivered into the store
+//   x[3] = E_l    cumulative energy consumed by sustained loads
+//
+// Digital processes interact through the harvester::plant interface:
+// instantaneous charge withdrawals (transmission bursts, MCU activity),
+// sustained draws (sleep floors), actuator position changes, and the
+// measurement taps (true vibration frequency, true phase lag) on which the
+// controller's noisy measurement models operate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "harvester/envelope.hpp"
+#include "harvester/microgenerator.hpp"
+#include "harvester/plant.hpp"
+#include "harvester/vibration.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/load_bank.hpp"
+#include "power/rectifier.hpp"
+#include "power/supercapacitor.hpp"
+#include "sim/ode.hpp"
+#include "sim/simulator.hpp"
+
+namespace ehdse::dse {
+
+/// Power-conditioning front-end between coil and store.
+enum class frontend_kind {
+    /// Passive diode bridge straight into the store (the paper's circuit).
+    diode_bridge,
+    /// Idealised maximum-power-point front-end: a switching converter that
+    /// presents the coil's matched load (electrical damping = mechanical
+    /// damping) and delivers the extracted power to the store at a fixed
+    /// conversion efficiency. The classic "active rectifier" upgrade the
+    /// power-processing literature proposes.
+    mppt,
+};
+
+class envelope_system final : public sim::analog_system,
+                              public harvester::plant {
+public:
+    enum state_index : std::size_t {
+        ix_voltage = 0,
+        ix_amplitude = 1,
+        ix_harvested = 2,
+        ix_load_energy = 3,
+        k_state_count = 4,
+    };
+
+    /// `gen` and `vib` must outlive the system. Storage defaults to the
+    /// paper's supercapacitor built from `cap`.
+    envelope_system(const harvester::microgenerator& gen,
+                    const harvester::vibration_source& vib,
+                    power::supercapacitor_params cap = {},
+                    power::rectifier_params rect = {});
+
+    /// Same, with an explicit storage element (e.g. a thin-film battery).
+    envelope_system(const harvester::microgenerator& gen,
+                    const harvester::vibration_source& vib,
+                    std::shared_ptr<const power::storage_model> storage,
+                    power::rectifier_params rect = {});
+
+    /// Bind the simulator whose state vector this system reads/writes when
+    /// servicing plant calls. Must be called before the first event fires.
+    void attach(sim::simulator& sim) { sim_ = &sim; }
+
+    /// Select the power front-end (default: the paper's diode bridge).
+    /// `efficiency` applies to the mppt kind only; must be in (0, 1].
+    void set_frontend(frontend_kind kind, double efficiency = 0.75);
+    frontend_kind frontend() const noexcept { return frontend_; }
+
+    /// Suggested initial state for storage voltage v0 (amplitude starts at
+    /// the converged steady state so t=0 is not an artificial transient).
+    std::vector<double> initial_state(double v0, int initial_position);
+
+    // --- analog_system ---
+    std::size_t state_size() const override { return k_state_count; }
+    void derivatives(double t, std::span<const double> x,
+                     std::span<double> dxdt) const override;
+
+    // --- plant ---
+    double storage_voltage() const override;
+    void withdraw(double joules, const std::string& account) override;
+    void set_sustained_draw(const std::string& account, double amps) override;
+    int position() const override { return position_; }
+    void set_position(int position) override;
+    double vibration_frequency() const override;
+    double phase_lag() const override;
+
+    /// Energy accounting of the discrete withdrawals.
+    const power::energy_ledger& ledger() const noexcept { return ledger_; }
+    power::energy_ledger& ledger() noexcept { return ledger_; }
+
+    const power::storage_model& storage() const noexcept { return *storage_; }
+    const harvester::microgenerator& generator() const noexcept { return gen_; }
+    const harvester::vibration_source& vibration() const noexcept { return vib_; }
+
+    /// Envelope operating point at explicit (t, V): used by benches to
+    /// inspect harvested power without running a simulation.
+    harvester::envelope_point operating_point(double t, double store_v) const;
+
+private:
+    sim::simulator& sim() const;
+
+    const harvester::microgenerator& gen_;
+    const harvester::vibration_source& vib_;
+    std::shared_ptr<const power::storage_model> storage_;
+    power::rectifier_params rect_;
+    power::load_bank loads_;
+    std::unordered_map<std::string, power::load_id> load_slots_;
+    power::energy_ledger ledger_;
+    sim::simulator* sim_ = nullptr;
+    int position_ = 0;
+    frontend_kind frontend_ = frontend_kind::diode_bridge;
+    double frontend_efficiency_ = 0.75;
+};
+
+}  // namespace ehdse::dse

@@ -1,0 +1,31 @@
+// Markdown report generation for a completed RSM flow — the artefact a
+// user hands around after a study: the design, the runs, the surface, the
+// optimisation outcome, and (when the design is over-determined) the
+// statistical assessment.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "dse/rsm_flow.hpp"
+
+namespace ehdse::dse {
+
+struct report_options {
+    std::string title = "Response-surface design-space exploration report";
+    bool include_design_table = true;
+    bool include_fit = true;
+    bool include_anova = true;       ///< only rendered when n > terms
+    bool include_sensitivity = true;
+    bool include_outcomes = true;
+};
+
+/// Render the flow result as a Markdown document.
+void write_report(std::ostream& os, const flow_result& flow,
+                  const report_options& options = {});
+
+/// Convenience: render to a string.
+std::string report_to_string(const flow_result& flow,
+                             const report_options& options = {});
+
+}  // namespace ehdse::dse

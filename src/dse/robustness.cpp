@@ -1,0 +1,53 @@
+#include "dse/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/stats.hpp"
+
+namespace ehdse::dse {
+
+robustness_summary run_robustness_study(const scenario& base,
+                                        const system_config& config,
+                                        const std::string& label,
+                                        const robustness_options& options) {
+    robustness_summary out;
+    out.label = label;
+    out.config = config;
+
+    auto record = [&](const scenario& scn, std::uint64_t seed) {
+        system_evaluator evaluator(scn);
+        evaluation_options eval;
+        eval.controller_seed = seed;
+        const auto r = evaluator.evaluate(config, eval);
+        out.samples.push_back(static_cast<double>(r.transmissions));
+    };
+
+    // Axis 1: measurement-noise seeds at the nominal scenario.
+    for (std::uint64_t seed : options.seeds) record(base, seed);
+
+    // Axis 2: excitation amplitude.
+    for (double mg : options.accel_levels_mg) {
+        scenario scn = base;
+        scn.accel_mg = mg;
+        record(scn, options.seeds.empty() ? 1 : options.seeds.front());
+    }
+
+    // Axis 3: frequency step size.
+    for (double step : options.step_sizes_hz) {
+        scenario scn = base;
+        scn.f_step_hz = step;
+        record(scn, options.seeds.empty() ? 1 : options.seeds.front());
+    }
+
+    if (!out.samples.empty()) {
+        out.mean_tx = numeric::mean(out.samples);
+        const auto [lo, hi] = numeric::min_max(out.samples);
+        out.min_tx = lo;
+        out.max_tx = hi;
+        out.stddev_tx = numeric::sample_stddev(out.samples);
+    }
+    return out;
+}
+
+}  // namespace ehdse::dse

@@ -1,0 +1,100 @@
+#include "dse/rsm_flow.hpp"
+
+#include <future>
+
+#include "doe/designs.hpp"
+#include "opt/genetic_algorithm.hpp"
+#include "opt/simulated_annealing.hpp"
+
+namespace ehdse::dse {
+
+flow_result run_rsm_flow(const system_evaluator& evaluator,
+                         const flow_options& options) {
+    flow_result out;
+    out.space = paper_design_space();
+    const std::size_t k = out.space.dimension();
+
+    // 1. Candidate grid (paper: 3^3 = 27 feasible points).
+    out.candidates = doe::full_factorial(k, options.factorial_levels);
+
+    // 2. D-optimal run selection for the quadratic basis.
+    out.selection = doe::d_optimal_design(
+        out.candidates, [](const numeric::vec& x) { return rsm::quadratic_basis(x); },
+        options.doe_runs, options.doe);
+
+    // 3. Simulate each selected design point (optionally replicated with
+    //    distinct measurement-noise seeds, for pure-error estimation).
+    const std::size_t replicates = std::max<std::size_t>(options.replicates, 1);
+    struct job {
+        numeric::vec coded;
+        system_config config;
+        evaluation_options eval;
+    };
+    std::vector<job> jobs;
+    for (std::size_t idx : out.selection.selected) {
+        const numeric::vec& coded = out.candidates[idx];
+        const system_config config = config_from_coded(out.space, coded);
+        for (std::size_t rep = 0; rep < replicates; ++rep) {
+            evaluation_options eval = options.eval;
+            if (replicates > 1)
+                eval.controller_seed = options.replicate_seed_base + rep;
+            jobs.push_back({coded, config, eval});
+        }
+    }
+
+    std::vector<double> responses(jobs.size());
+    if (options.parallel && jobs.size() > 1) {
+        std::vector<std::future<double>> futures;
+        futures.reserve(jobs.size());
+        for (const job& j : jobs)
+            futures.push_back(std::async(std::launch::async, [&evaluator, &j] {
+                return static_cast<double>(
+                    evaluator.evaluate(j.config, j.eval).transmissions);
+            }));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+            responses[i] = futures[i].get();
+    } else {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            responses[i] = static_cast<double>(
+                evaluator.evaluate(jobs[i].config, jobs[i].eval).transmissions);
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        out.design_coded.push_back(jobs[i].coded);
+        out.design_configs.push_back(jobs[i].config);
+        out.responses.push_back(responses[i]);
+    }
+
+    // 4. Fit the quadratic response surface (paper eq. 9).
+    out.fit = rsm::fit_quadratic(out.design_coded, out.responses);
+
+    // Baseline for Table VI.
+    out.original_eval = evaluator.evaluate(system_config::original(), options.eval);
+
+    // 5-6. Maximise the surface and validate each optimum by simulation.
+    std::vector<std::shared_ptr<opt::optimizer>> optimizers = options.optimizers;
+    if (optimizers.empty()) {
+        optimizers.push_back(std::make_shared<opt::simulated_annealing>());
+        optimizers.push_back(std::make_shared<opt::genetic_algorithm>());
+    }
+    const opt::box_bounds bounds = opt::box_bounds::unit(k);
+    const opt::objective_fn surface = [&](const numeric::vec& x) {
+        return out.fit.model.predict(x);
+    };
+
+    for (const auto& optimizer : optimizers) {
+        numeric::rng rng(options.optimizer_seed);
+        const opt::opt_result best = optimizer->maximize(surface, bounds, rng);
+
+        optimizer_outcome oc;
+        oc.name = optimizer->name();
+        oc.coded = best.best_x;
+        oc.config = config_from_coded(out.space, best.best_x);
+        oc.predicted = best.best_value;
+        oc.evaluations = best.evaluations;
+        oc.validated = evaluator.evaluate(oc.config, options.eval);
+        out.outcomes.push_back(std::move(oc));
+    }
+    return out;
+}
+
+}  // namespace ehdse::dse

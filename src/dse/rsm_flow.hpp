@@ -1,0 +1,69 @@
+// The paper's end-to-end methodology in one call (sections II and V):
+//
+//   1. candidate set: 3-level full factorial over the coded box (27 points);
+//   2. D-optimal selection of n runs (10 in the paper);
+//   3. one mixed-signal simulation per selected design point;
+//   4. least-squares fit of the quadratic response surface (paper eq. 9);
+//   5. global maximisation of the fitted surface with Simulated Annealing
+//      and a Genetic Algorithm (paper Table VI);
+//   6. validation: re-simulate each optimiser's configuration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "doe/d_optimal.hpp"
+#include "dse/system_evaluator.hpp"
+#include "opt/optimizer.hpp"
+#include "rsm/quadratic_model.hpp"
+
+namespace ehdse::dse {
+
+struct flow_options {
+    std::size_t doe_runs = 10;        ///< D-optimal design size (paper: 10)
+    std::size_t factorial_levels = 3; ///< candidate grid per axis (paper: 3)
+    doe::d_optimal_options doe{};
+    std::uint64_t optimizer_seed = 0x0b7a1;
+    evaluation_options eval{};
+    /// Simulations per design point, each with its own measurement-noise
+    /// seed. 1 = the paper's flow; > 1 produces replicated observations so
+    /// pure error / lack-of-fit can be assessed (rsm::lack_of_fit).
+    std::size_t replicates = 1;
+    std::uint64_t replicate_seed_base = 1;
+    /// Run the design-point simulations concurrently (one task per run).
+    /// Results are identical to the sequential order — each run is seeded
+    /// independently — just faster on multi-core hosts.
+    bool parallel = false;
+    /// Optimisers to run on the fitted surface. Empty = the paper's pair
+    /// (simulated annealing + genetic algorithm).
+    std::vector<std::shared_ptr<opt::optimizer>> optimizers;
+};
+
+/// One optimiser's outcome: the argmax on the surface, its prediction, and
+/// the validating full simulation.
+struct optimizer_outcome {
+    std::string name;
+    numeric::vec coded;
+    system_config config;
+    double predicted = 0.0;    ///< RSM value at the optimum
+    evaluation_result validated;
+    std::size_t evaluations = 0;  ///< objective (surface) evaluations
+};
+
+struct flow_result {
+    rsm::design_space space;
+    std::vector<numeric::vec> candidates;       ///< coded candidate grid
+    doe::d_optimal_result selection;             ///< indices into candidates
+    std::vector<numeric::vec> design_coded;      ///< the n selected points
+    std::vector<system_config> design_configs;   ///< natural units
+    numeric::vec responses;                      ///< y per design point
+    rsm::fit_result fit;                         ///< the response surface
+    evaluation_result original_eval;             ///< baseline (Table VI row 1)
+    std::vector<optimizer_outcome> outcomes;     ///< Table VI remaining rows
+};
+
+/// Run the complete flow against `evaluator`.
+flow_result run_rsm_flow(const system_evaluator& evaluator,
+                         const flow_options& options = {});
+
+}  // namespace ehdse::dse

@@ -1,0 +1,35 @@
+#include "dse/system_config.hpp"
+
+#include <stdexcept>
+
+namespace ehdse::dse {
+
+system_config system_config::from_vector(const numeric::vec& v) {
+    if (v.size() != 3)
+        throw std::invalid_argument("system_config::from_vector: need 3 entries");
+    system_config c;
+    c.mcu_clock_hz = v[0];
+    c.watchdog_period_s = v[1];
+    c.tx_interval_s = v[2];
+    return c;
+}
+
+rsm::design_space paper_design_space() {
+    return rsm::design_space({
+        {"mcu_clock_hz", 125e3, 8e6, rsm::axis_scale::linear},
+        {"watchdog_period_s", 60.0, 600.0, rsm::axis_scale::linear},
+        {"tx_interval_s", 0.005, 10.0, rsm::axis_scale::linear},
+    });
+}
+
+system_config config_from_coded(const rsm::design_space& space,
+                                const numeric::vec& coded) {
+    return system_config::from_vector(space.decode(coded));
+}
+
+numeric::vec config_to_coded(const rsm::design_space& space,
+                             const system_config& config) {
+    return space.code(config.to_vector());
+}
+
+}  // namespace ehdse::dse

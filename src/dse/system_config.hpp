@@ -1,0 +1,38 @@
+// The three-parameter system configuration under optimisation
+// (paper section III and Table V).
+#pragma once
+
+#include "numeric/matrix.hpp"
+#include "rsm/design_space.hpp"
+
+namespace ehdse::dse {
+
+/// One point of the design space in natural units.
+struct system_config {
+    double mcu_clock_hz = 4.0e6;      ///< x1: 125 kHz .. 8 MHz
+    double watchdog_period_s = 320.0; ///< x2: 60 .. 600 s
+    double tx_interval_s = 5.0;       ///< x3: 0.005 .. 10 s
+
+    /// The paper's original (unoptimised) design: 4 MHz / 320 s / 5 s.
+    static system_config original() { return {}; }
+
+    /// Natural-units vector [clock, watchdog, interval].
+    numeric::vec to_vector() const {
+        return {mcu_clock_hz, watchdog_period_s, tx_interval_s};
+    }
+
+    static system_config from_vector(const numeric::vec& v);
+};
+
+/// Table V: the optimisation ranges with their coded symbols x1..x3.
+rsm::design_space paper_design_space();
+
+/// Decode a coded point from paper_design_space() into a config.
+system_config config_from_coded(const rsm::design_space& space,
+                                const numeric::vec& coded);
+
+/// Code a config into paper_design_space() coordinates.
+numeric::vec config_to_coded(const rsm::design_space& space,
+                             const system_config& config);
+
+}  // namespace ehdse::dse

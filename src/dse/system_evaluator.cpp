@@ -1,0 +1,155 @@
+#include "dse/system_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "dse/transient_system.hpp"
+
+namespace ehdse::dse {
+
+harvester::vibration_source scenario::make_vibration() const {
+    harvester::vibration_source src =
+        frequency_schedule.empty()
+            ? harvester::vibration_source::stepped_mg(
+                  accel_mg, f_start_hz, f_step_hz, step_period_s, step_count)
+            : harvester::vibration_source::from_schedule(
+                  accel_mg * 1e-3 * harvester::k_gravity, frequency_schedule);
+    if (!amplitude_schedule.empty())
+        src = src.with_amplitude_schedule(amplitude_schedule);
+    return src;
+}
+
+system_evaluator::system_evaluator(scenario scn,
+                                   harvester::microgenerator_params gen,
+                                   power::supercapacitor_params cap,
+                                   power::rectifier_params rect,
+                                   node::node_params node,
+                                   mcu::controller_params controller)
+    : scenario_(scn),
+      gen_(gen),
+      table_(gen_),
+      cap_(cap),
+      rect_(rect),
+      node_(node),
+      controller_(controller) {
+    if (scenario_.duration_s <= 0.0)
+        throw std::invalid_argument("system_evaluator: duration must be > 0");
+}
+
+namespace {
+
+/// Shared digital wiring + run loop over either analogue plant. `System`
+/// must be both a sim::analog_system and a harvester::plant exposing
+/// initial_state(v0, position) and ledger().
+template <class System>
+evaluation_result run_simulation(System& system, const scenario& scn,
+                                 const harvester::tuning_table& table,
+                                 const node::node_params& node_params,
+                                 const mcu::controller_params& ctrl_params,
+                                 const evaluation_options& options,
+                                 int start_position, sim::ode_options ode,
+                                 std::size_t ix_voltage, std::size_t ix_harvested,
+                                 std::optional<std::size_t> ix_load_energy) {
+    std::vector<double> x0 = system.initial_state(scn.v_initial, start_position);
+    sim::simulator sim(system, std::move(x0), ode);
+    system.attach(sim);
+
+    node::sensor_node node(sim, system, node_params, /*first_wake_s=*/0.0);
+    mcu::tuning_controller controller(sim, system, table, ctrl_params);
+
+    evaluation_result out;
+    double v_min = scn.v_initial;
+    double v_max = scn.v_initial;
+    sim.add_step_observer([&](double, std::span<const double> x) {
+        const double v = x[ix_voltage];
+        v_min = std::min(v_min, v);
+        v_max = std::max(v_max, v);
+    });
+
+    if (options.record_traces) {
+        out.voltage_trace.emplace("supercap_voltage", options.trace_interval_s);
+        out.position_trace.emplace("actuator_position", options.trace_interval_s);
+        sim.add_step_observer([&](double t, std::span<const double> x) {
+            out.voltage_trace->record(t, x[ix_voltage]);
+            out.position_trace->record(t, static_cast<double>(system.position()));
+        });
+    }
+
+    out.sim_ok = sim.run_until(scn.duration_s);
+
+    out.transmissions = node.transmissions();
+    out.suppressed_wakeups = node.suppressed_wakeups();
+    out.low_band_transmissions = node.low_band_transmissions();
+    out.tuning = controller.stats();
+    out.final_voltage_v = sim.state_at(ix_voltage);
+    out.min_voltage_v = v_min;
+    out.max_voltage_v = v_max;
+    out.harvested_energy_j = sim.state_at(ix_harvested);
+    if (ix_load_energy) out.sustained_load_energy_j = sim.state_at(*ix_load_energy);
+    out.ledger = system.ledger();
+    out.withdrawn_energy_j = out.ledger.grand_total();
+    out.ode_steps = sim.total_steps();
+    out.events = sim.total_events();
+    return out;
+}
+
+}  // namespace
+
+evaluation_result system_evaluator::evaluate(const system_config& config,
+                                             const evaluation_options& options) const {
+    ++runs_;
+
+    // Per-run stimulus — evaluations are independent experiments.
+    const harvester::vibration_source vib = scenario_.make_vibration();
+    const double f_start = scenario_.frequency_schedule.empty()
+                               ? scenario_.f_start_hz
+                               : scenario_.frequency_schedule.front().second;
+    const int start_position = scenario_.initial_position >= 0
+                                   ? scenario_.initial_position
+                                   : table_.lookup(f_start);
+
+    // Digital side: configure per the design point.
+    node::node_params node_params = node_;
+    node_params.fast_interval_s = config.tx_interval_s;
+    mcu::controller_params ctrl_params = controller_;
+    ctrl_params.mcu.clock_hz = config.mcu_clock_hz;
+    ctrl_params.watchdog_period_s = config.watchdog_period_s;
+    ctrl_params.rng_seed = options.controller_seed;
+
+    if (options.model == fidelity::transient) {
+        transient_system system =
+            storage_ ? transient_system(gen_, vib, storage_, rect_)
+                     : transient_system(gen_, vib, cap_, rect_);
+        sim::ode_options ode;
+        ode.abs_tol = 1e-9;
+        ode.rel_tol = 1e-6;
+        ode.initial_dt = 1e-5;
+        ode.max_dt = system.suggested_max_dt();
+        // The transient model folds sustained loads into dV/dt directly;
+        // they are not decomposed into a separate energy state.
+        return run_simulation(system, scenario_, table_, node_params,
+                              ctrl_params, options, start_position, ode,
+                              harvester::transient_model::ix_voltage,
+                              harvester::transient_model::ix_harvested,
+                              std::nullopt);
+    }
+
+    envelope_system system = storage_
+                                 ? envelope_system(gen_, vib, storage_, rect_)
+                                 : envelope_system(gen_, vib, cap_, rect_);
+    system.set_frontend(options.frontend, options.frontend_efficiency);
+    sim::ode_options ode;
+    ode.abs_tol = 1e-8;   // volts-scale states: ~10 nV step error
+    ode.rel_tol = 1e-6;
+    ode.initial_dt = 1e-3;
+    ode.max_dt = 5.0;     // resolve watchdog/settling dynamics comfortably
+    return run_simulation(system, scenario_, table_, node_params, ctrl_params,
+                          options, start_position, ode,
+                          envelope_system::ix_voltage,
+                          envelope_system::ix_harvested,
+                          envelope_system::ix_load_energy);
+}
+
+}  // namespace ehdse::dse

@@ -1,0 +1,130 @@
+// One-hour whole-system evaluation of a configuration — the "simulation
+// run" of the paper's methodology (its SystemC-A model run for each DOE
+// design point), producing the response y = number of transmissions.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "dse/envelope_system.hpp"
+#include "dse/system_config.hpp"
+#include "harvester/tuning_table.hpp"
+#include "mcu/tuning_controller.hpp"
+#include "node/sensor_node.hpp"
+#include "sim/trace.hpp"
+
+namespace ehdse::dse {
+
+/// Stimulus and initial conditions (paper section V: 60 mg, +5 Hz steps
+/// every 25 minutes, one-hour horizon).
+struct scenario {
+    double duration_s = 3600.0;
+    double accel_mg = 60.0;
+    double f_start_hz = 64.0;
+    double f_step_hz = 5.0;
+    double step_period_s = 1500.0;  ///< 25 minutes
+    std::size_t step_count = 2;     ///< 64 -> 69 -> 74 Hz within the hour
+    double v_initial = 2.80;        ///< storage starts at the band edge
+    /// Initial actuator position; -1 = tuned to f_start via the LUT.
+    int initial_position = -1;
+
+    /// Optional explicit frequency schedule [(time, Hz), ...] starting at
+    /// t = 0. When non-empty it replaces the stepped profile above (and
+    /// f_start for the initial-position lookup comes from its first entry).
+    std::vector<std::pair<double, double>> frequency_schedule;
+
+    /// Optional amplitude-scale schedule [(time, scale), ...] starting at
+    /// t = 0; scale 0 = vibration source off (machine duty cycles).
+    std::vector<std::pair<double, double>> amplitude_schedule;
+
+    /// Build the vibration source this scenario describes.
+    harvester::vibration_source make_vibration() const;
+};
+
+/// Everything a run produces.
+struct evaluation_result {
+    std::uint64_t transmissions = 0;      ///< the response variable y
+    std::uint64_t suppressed_wakeups = 0; ///< node polls below cut-off
+    std::uint64_t low_band_transmissions = 0;
+    mcu::controller_stats tuning;
+    double final_voltage_v = 0.0;
+    double min_voltage_v = 0.0;
+    double max_voltage_v = 0.0;
+    double harvested_energy_j = 0.0;      ///< delivered into the store
+    double sustained_load_energy_j = 0.0; ///< sleep floors etc.
+    double withdrawn_energy_j = 0.0;      ///< discrete bursts (ledger total)
+    power::energy_ledger ledger;          ///< per-account discrete withdrawals
+    std::size_t ode_steps = 0;
+    std::uint64_t events = 0;
+    bool sim_ok = true;
+    std::optional<sim::trace> voltage_trace;   ///< when tracing was requested
+    std::optional<sim::trace> position_trace;  ///< actuator position over time
+};
+
+/// Analogue fidelity of a run.
+enum class fidelity {
+    envelope,   ///< cycle-averaged fast path (default; ~75 ms per hour)
+    transient,  ///< full nonlinear model, every vibration cycle resolved
+                ///< (~5000x slower; validation runs)
+};
+
+/// Options controlling one evaluation.
+struct evaluation_options {
+    bool record_traces = false;
+    double trace_interval_s = 1.0;
+    std::uint64_t controller_seed = 0x5eed;  ///< measurement-noise stream
+    fidelity model = fidelity::envelope;
+    /// Power front-end (envelope fidelity only; the transient model always
+    /// resolves the physical diode bridge).
+    frontend_kind frontend = frontend_kind::diode_bridge;
+    double frontend_efficiency = 0.75;
+};
+
+/// Reusable evaluator: fixed physics (microgenerator, scenario, node and
+/// controller base parameters), varying system_config per call.
+class system_evaluator {
+public:
+    explicit system_evaluator(scenario scn = {},
+                              harvester::microgenerator_params gen = {},
+                              power::supercapacitor_params cap = {},
+                              power::rectifier_params rect = {},
+                              node::node_params node = {},
+                              mcu::controller_params controller = {});
+
+    const scenario& scene() const noexcept { return scenario_; }
+    const harvester::microgenerator& generator() const noexcept { return gen_; }
+    const harvester::tuning_table& table() const noexcept { return table_; }
+
+    /// Replace the storage element for subsequent evaluations (e.g. a
+    /// power::thin_film_battery); nullptr restores the default
+    /// supercapacitor built from the constructor's parameters.
+    void set_storage(std::shared_ptr<const power::storage_model> storage) {
+        storage_ = std::move(storage);
+    }
+
+    /// Run the full mixed-signal simulation for `config`.
+    evaluation_result evaluate(const system_config& config,
+                               const evaluation_options& options = {}) const;
+
+    /// Number of evaluate() calls so far (DOE bookkeeping).
+    std::size_t runs() const noexcept { return runs_.load(); }
+
+    /// evaluate() is safe to call concurrently from several threads: each
+    /// call builds its own simulator/plant; the shared physics objects are
+    /// only read. run_rsm_flow exploits this when flow_options::parallel
+    /// is set.
+
+private:
+    scenario scenario_;
+    harvester::microgenerator gen_;
+    harvester::tuning_table table_;
+    power::supercapacitor_params cap_;
+    std::shared_ptr<const power::storage_model> storage_;  ///< optional override
+    power::rectifier_params rect_;
+    node::node_params node_;
+    mcu::controller_params controller_;
+    mutable std::atomic<std::size_t> runs_{0};
+};
+
+}  // namespace ehdse::dse

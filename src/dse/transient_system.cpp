@@ -1,0 +1,85 @@
+#include "dse/transient_system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdse::dse {
+
+transient_system::transient_system(const harvester::microgenerator& gen,
+                                   const harvester::vibration_source& vib,
+                                   power::supercapacitor_params cap,
+                                   power::rectifier_params rect)
+    : transient_system(gen, vib, std::make_shared<power::supercapacitor>(cap),
+                       rect) {}
+
+transient_system::transient_system(
+    const harvester::microgenerator& gen, const harvester::vibration_source& vib,
+    std::shared_ptr<const power::storage_model> storage,
+    power::rectifier_params rect)
+    : gen_(gen),
+      vib_(vib),
+      storage_(storage ? std::move(storage)
+                       : throw std::invalid_argument("transient_system: null storage")),
+      rect_(rect),
+      model_(gen_, vib_, *storage_, loads_, rect_) {}
+
+sim::simulator& transient_system::sim() const {
+    if (sim_ == nullptr)
+        throw std::logic_error("transient_system: no simulator attached");
+    return *sim_;
+}
+
+std::vector<double> transient_system::initial_state(double v0,
+                                                    int initial_position) {
+    if (v0 < 0.0)
+        throw std::invalid_argument("transient_system: negative initial voltage");
+    model_.set_position(initial_position);
+    return harvester::transient_model::initial_state(v0);
+}
+
+double transient_system::suggested_max_dt() const {
+    return harvester::transient_model::suggested_max_dt(gen_.max_frequency());
+}
+
+double transient_system::storage_voltage() const {
+    return sim().state_at(harvester::transient_model::ix_voltage);
+}
+
+void transient_system::withdraw(double joules, const std::string& account) {
+    if (joules < 0.0)
+        throw std::invalid_argument("transient_system: negative withdrawal");
+    const double v = storage_voltage();
+    sim().set_state(harvester::transient_model::ix_voltage,
+                    storage_->voltage_after_withdrawal(v, joules));
+    ledger_.record(account, joules);
+}
+
+void transient_system::set_sustained_draw(const std::string& account,
+                                          double amps) {
+    auto it = load_slots_.find(account);
+    if (it == load_slots_.end())
+        it = load_slots_.emplace(account, loads_.add_load(account)).first;
+    loads_.set_current(it->second, amps);
+}
+
+double transient_system::vibration_frequency() const {
+    return vib_.frequency_at(sim().now());
+}
+
+double transient_system::phase_lag() const {
+    // Same steady-state phase formula as the envelope plant: the fine-tuning
+    // loop waits 5 s after every move precisely so the transient has settled
+    // onto this response when it measures.
+    const double t = sim().now();
+    const double v = storage_voltage();
+    const harvester::envelope_point pt = harvester::solve_envelope(
+        gen_, model_.position(), vib_.frequency_at(t), vib_.amplitude_at(t), v, rect_);
+    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
+    const double k = gen_.effective_stiffness(model_.position());
+    const double m = gen_.params().mass_kg;
+    const double c_total = gen_.mech_damping() + pt.c_electrical;
+    return std::atan2(c_total * omega, k - m * omega * omega);
+}
+
+}  // namespace ehdse::dse

@@ -1,0 +1,85 @@
+// The complete sensor-node system over the FULL nonlinear transient model
+// — same digital processes, same plant interface as envelope_system, but
+// the analogue side resolves every vibration cycle and every rectifier
+// switching event.
+//
+// Roughly 5000x slower than the envelope plant (tens of milliseconds of
+// wall clock per simulated minute), so it serves validation
+// (bench_ablation_fidelity) and short-window studies rather than the DOE.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "harvester/envelope.hpp"
+#include "harvester/plant.hpp"
+#include "harvester/transient_model.hpp"
+#include "harvester/vibration.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/load_bank.hpp"
+#include "power/supercapacitor.hpp"
+#include "sim/simulator.hpp"
+
+namespace ehdse::dse {
+
+class transient_system final : public sim::analog_system,
+                               public harvester::plant {
+public:
+    /// `gen` and `vib` must outlive the system. Storage defaults to the
+    /// paper's supercapacitor built from `cap`.
+    transient_system(const harvester::microgenerator& gen,
+                     const harvester::vibration_source& vib,
+                     power::supercapacitor_params cap = {},
+                     power::rectifier_params rect = {});
+
+    /// Same, with an explicit storage element (e.g. a thin-film battery).
+    transient_system(const harvester::microgenerator& gen,
+                     const harvester::vibration_source& vib,
+                     std::shared_ptr<const power::storage_model> storage,
+                     power::rectifier_params rect = {});
+
+    /// Bind the simulator whose state this system reads/writes when
+    /// servicing plant calls. Must be called before the first event fires.
+    void attach(sim::simulator& sim) { sim_ = &sim; }
+
+    /// Initial state: mass at rest, store at v0, actuator at the position.
+    std::vector<double> initial_state(double v0, int initial_position);
+
+    /// Integrator ceiling that resolves the fastest resonance.
+    double suggested_max_dt() const;
+
+    // --- analog_system (delegated to the wrapped transient model) ---
+    std::size_t state_size() const override { return model_.state_size(); }
+    void derivatives(double t, std::span<const double> x,
+                     std::span<double> dxdt) const override {
+        model_.derivatives(t, x, dxdt);
+    }
+
+    // --- plant ---
+    double storage_voltage() const override;
+    void withdraw(double joules, const std::string& account) override;
+    void set_sustained_draw(const std::string& account, double amps) override;
+    int position() const override { return model_.position(); }
+    void set_position(int position) override { model_.set_position(position); }
+    double vibration_frequency() const override;
+    double phase_lag() const override;
+
+    const power::energy_ledger& ledger() const noexcept { return ledger_; }
+    const harvester::transient_model& model() const noexcept { return model_; }
+
+private:
+    sim::simulator& sim() const;
+
+    const harvester::microgenerator& gen_;
+    const harvester::vibration_source& vib_;
+    std::shared_ptr<const power::storage_model> storage_;
+    power::rectifier_params rect_;
+    power::load_bank loads_;
+    harvester::transient_model model_;
+    std::unordered_map<std::string, power::load_id> load_slots_;
+    power::energy_ledger ledger_;
+    sim::simulator* sim_ = nullptr;
+};
+
+}  // namespace ehdse::dse

@@ -1,0 +1,111 @@
+#include "harvester/envelope.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+namespace {
+
+/// One evaluation of the coupled pair at a trial electrical damping c_e,
+/// returning the equivalent damping the bridge actually presents there:
+///     T(c_e) = 2 P_mech(c_e) / (omega^2 |Z(c_e)|^2).
+/// T is monotonically non-increasing in c_e (more damping -> smaller
+/// amplitude -> smaller emf -> less conduction), so the self-consistent
+/// operating point is the unique root of T(c) - c, found by bisection.
+struct trial_point {
+    linear_response mech;
+    power::rectifier_operating_point elec;
+    double c_target = 0.0;
+};
+
+trial_point evaluate_at(const microgenerator& gen, int position, double omega,
+                        double accel_amp_ms2, double store_v, double r_coil,
+                        const power::rectifier_params& rect, double c_e) {
+    trial_point tp;
+    tp.mech = gen.response(omega, accel_amp_ms2, position, c_e);
+    tp.elec = power::bridge_average(tp.mech.emf_amp_v, store_v, r_coil, rect);
+    if (tp.elec.conducting && tp.mech.velocity_amp_ms > 0.0) {
+        const double vel2 = tp.mech.velocity_amp_ms * tp.mech.velocity_amp_ms;
+        tp.c_target = 2.0 * tp.elec.p_mech_w / vel2;
+    }
+    return tp;
+}
+
+}  // namespace
+
+envelope_point solve_envelope(const microgenerator& gen, int position,
+                              double freq_hz, double accel_amp_ms2,
+                              double store_v,
+                              const power::rectifier_params& rect,
+                              const envelope_options& options) {
+    if (freq_hz <= 0.0)
+        throw std::invalid_argument("solve_envelope: frequency must be > 0");
+    if (accel_amp_ms2 < 0.0)
+        throw std::invalid_argument("solve_envelope: negative acceleration");
+
+    const double omega = 2.0 * std::numbers::pi * freq_hz;
+    const double r_coil = gen.params().coil_resistance_ohm;
+    const double tol = options.tolerance * gen.mech_damping();
+
+    envelope_point pt;
+
+    // Root-bracket [0, c_hi]. The bridge can never present more equivalent
+    // damping than a short-circuited coil, phi^2 / R, so that (plus margin)
+    // bounds the root from above.
+    const double phi = gen.params().coupling_v_per_ms;
+    const double c_hi_limit = phi * phi / r_coil + gen.mech_damping();
+
+    trial_point at_zero = evaluate_at(gen, position, omega, accel_amp_ms2,
+                                      store_v, r_coil, rect, 0.0);
+    pt.iterations = 1;
+    if (at_zero.c_target <= tol) {
+        // Bridge blocked (or negligibly loaded) even at the open amplitude.
+        pt.mech = at_zero.mech;
+        pt.elec = at_zero.elec;
+        pt.c_electrical = 0.0;
+        pt.converged = true;
+        return pt;
+    }
+
+    double lo = 0.0;
+    double hi = c_hi_limit;
+    // Ensure T(hi) - hi < 0 (guaranteed by the physical bound, but the
+    // displacement limiter can distort T; expand defensively).
+    trial_point at_hi = evaluate_at(gen, position, omega, accel_amp_ms2,
+                                    store_v, r_coil, rect, hi);
+    ++pt.iterations;
+    int expand = 0;
+    while (at_hi.c_target > hi && expand < 8) {
+        hi *= 2.0;
+        at_hi = evaluate_at(gen, position, omega, accel_amp_ms2, store_v,
+                            r_coil, rect, hi);
+        ++pt.iterations;
+        ++expand;
+    }
+
+    trial_point mid_tp = at_zero;
+    for (int it = 0; it < options.max_iterations && (hi - lo) > tol; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        mid_tp = evaluate_at(gen, position, omega, accel_amp_ms2, store_v,
+                             r_coil, rect, mid);
+        ++pt.iterations;
+        if (mid_tp.c_target > mid)
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    const double c_e = 0.5 * (lo + hi);
+    const trial_point final_tp = evaluate_at(gen, position, omega, accel_amp_ms2,
+                                             store_v, r_coil, rect, c_e);
+    ++pt.iterations;
+    pt.mech = final_tp.mech;
+    pt.elec = final_tp.elec;
+    pt.c_electrical = c_e;
+    pt.converged = (hi - lo) <= tol;
+    return pt;
+}
+
+}  // namespace ehdse::harvester

@@ -1,0 +1,52 @@
+// Envelope (cycle-averaged) harvester solution — the "accelerated
+// simulation" technique of paper ref [9], re-derived for the rectifier-
+// coupled case.
+//
+// Instead of integrating the 60-plus-Hz mechanical oscillation for an hour
+// of simulated time, the envelope model computes the periodic steady state
+// at the current (excitation frequency, actuator position, storage voltage)
+// triple. The mechanical and electrical sides couple through the
+// equivalent electrical damping
+//     c_e = 2 P_mech / (omega^2 |Z|^2),
+// where P_mech is the cycle-averaged power the bridge extracts (see
+// power/rectifier.hpp). The bridge's presented damping T(c_e) is monotone
+// non-increasing in c_e, so the self-consistent point is the unique root of
+// T(c) - c, found by bisection — unconditionally convergent, unlike the
+// naive fixed-point iteration which cycles between the bridge's blocked and
+// saturated regimes at strong coupling.
+//
+// The result feeds the slow dynamics: the supercapacitor sees the averaged
+// charging current i_avg, and the mechanical amplitude relaxes towards the
+// new steady state with time constant 2m / c_total after each retune.
+#pragma once
+
+#include "harvester/microgenerator.hpp"
+#include "power/rectifier.hpp"
+
+namespace ehdse::harvester {
+
+/// Converged cycle-averaged operating point.
+struct envelope_point {
+    linear_response mech;                      ///< steady-state mechanics
+    power::rectifier_operating_point elec;     ///< averaged bridge quantities
+    double c_electrical = 0.0;                 ///< equivalent electrical damping
+    int iterations = 0;                        ///< fixed-point iterations used
+    bool converged = true;
+};
+
+/// Solver knobs; the bisection brackets c_e within
+/// tolerance * mech_damping in ~50 cheap evaluations.
+struct envelope_options {
+    double tolerance = 1e-6;   ///< on c_e, relative to mechanical damping
+    int max_iterations = 200;  ///< bisection step limit
+};
+
+/// Solve the coupled steady state at excitation `freq_hz` / amplitude
+/// `accel_amp_ms2`, actuator position `position`, storage voltage `store_v`.
+envelope_point solve_envelope(const microgenerator& gen, int position,
+                              double freq_hz, double accel_amp_ms2,
+                              double store_v,
+                              const power::rectifier_params& rect = {},
+                              const envelope_options& options = {});
+
+}  // namespace ehdse::harvester

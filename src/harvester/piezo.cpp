@@ -1,0 +1,114 @@
+#include "harvester/piezo.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+piezo_microgenerator::piezo_microgenerator(piezo_params params)
+    : params_(params), mech_(params.mech) {
+    if (params_.coupling_n_per_v <= 0.0)
+        throw std::invalid_argument("piezo_microgenerator: coupling must be > 0");
+    if (params_.clamped_capacitance_f <= 0.0)
+        throw std::invalid_argument("piezo_microgenerator: capacitance must be > 0");
+}
+
+double piezo_microgenerator::open_circuit_voltage(double displacement_amp_m) const {
+    return params_.coupling_n_per_v * displacement_amp_m /
+           params_.clamped_capacitance_f;
+}
+
+namespace {
+
+struct trial {
+    linear_response mech;
+    double i_avg = 0.0;
+    double p_mech = 0.0;
+    double c_target = 0.0;
+};
+
+}  // namespace
+
+piezo_point piezo_microgenerator::solve(int position, double freq_hz,
+                                        double accel_amp_ms2, double store_v,
+                                        const power::rectifier_params& rect) const {
+    if (freq_hz <= 0.0)
+        throw std::invalid_argument("piezo_microgenerator::solve: frequency must be > 0");
+    if (accel_amp_ms2 < 0.0)
+        throw std::invalid_argument("piezo_microgenerator::solve: negative acceleration");
+    if (store_v < 0.0)
+        throw std::invalid_argument("piezo_microgenerator::solve: negative voltage");
+
+    const double omega = 2.0 * std::numbers::pi * freq_hz;
+    const double u = store_v + 2.0 * rect.diode_drop_v;
+    const double theta = params_.coupling_n_per_v;
+    const double cp = params_.clamped_capacitance_f;
+
+    const auto evaluate = [&](double c_e) {
+        trial tp;
+        tp.mech = mech_.response(omega, accel_amp_ms2, position, c_e);
+        const double dq = theta * tp.mech.displacement_amp_m - cp * u;
+        if (dq > 0.0) {
+            tp.i_avg = 2.0 * omega * dq / std::numbers::pi;
+            tp.p_mech = u * tp.i_avg;
+            const double vel2 = tp.mech.velocity_amp_ms * tp.mech.velocity_amp_ms;
+            if (vel2 > 0.0) tp.c_target = 2.0 * tp.p_mech / vel2;
+        }
+        return tp;
+    };
+
+    piezo_point pt;
+    const double tol = 1e-6 * mech_.mech_damping();
+
+    trial at_zero = evaluate(0.0);
+    pt.iterations = 1;
+    double c_e = 0.0;
+    if (at_zero.c_target > tol) {
+        // Physical ceiling on the presented damping: all conduction charge
+        // at the maximum piezo force. theta^2/(C_p w) bounds it.
+        double hi = theta * theta / (cp * omega) + mech_.mech_damping();
+        trial at_hi = evaluate(hi);
+        ++pt.iterations;
+        int expand = 0;
+        while (at_hi.c_target > hi && expand < 8) {
+            hi *= 2.0;
+            at_hi = evaluate(hi);
+            ++pt.iterations;
+            ++expand;
+        }
+        double lo = 0.0;
+        for (int it = 0; it < 200 && (hi - lo) > tol; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            const trial tp = evaluate(mid);
+            ++pt.iterations;
+            if (tp.c_target > mid)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        c_e = 0.5 * (lo + hi);
+        pt.converged = (hi - lo) <= tol;
+    }
+
+    const trial final_tp = evaluate(c_e);
+    pt.mech = final_tp.mech;
+    pt.v_oc_amp_v = open_circuit_voltage(final_tp.mech.displacement_amp_m);
+    pt.i_avg_a = final_tp.i_avg;
+    pt.p_mech_w = final_tp.p_mech;
+    pt.p_store_w = store_v * final_tp.i_avg;
+    pt.p_diode_w = 2.0 * rect.diode_drop_v * final_tp.i_avg;
+    pt.conducting = final_tp.i_avg > 0.0;
+    pt.c_electrical = c_e;
+    return pt;
+}
+
+double piezo_microgenerator::optimal_sink_voltage(int position, double freq_hz,
+                                                  double accel_amp_ms2) const {
+    const double omega = 2.0 * std::numbers::pi * freq_hz;
+    const linear_response open =
+        mech_.response(omega, accel_amp_ms2, position, 0.0);
+    return open_circuit_voltage(open.displacement_amp_m) / 2.0;
+}
+
+}  // namespace ehdse::harvester

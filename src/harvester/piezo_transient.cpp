@@ -1,0 +1,66 @@
+#include "harvester/piezo_transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+piezo_transient_model::piezo_transient_model(const piezo_microgenerator& gen,
+                                             const vibration_source& vib,
+                                             const power::storage_model& storage,
+                                             const power::load_bank& loads,
+                                             power::rectifier_params rect,
+                                             double bridge_conductance_s)
+    : gen_(gen), vib_(vib), storage_(storage), loads_(loads), rect_(rect),
+      g_on_(bridge_conductance_s) {
+    if (g_on_ <= 0.0)
+        throw std::invalid_argument(
+            "piezo_transient_model: bridge conductance must be > 0");
+}
+
+void piezo_transient_model::set_position(int position) {
+    if (position < 0 || position >= microgenerator_params::k_position_count)
+        throw std::out_of_range(
+            "piezo_transient_model: actuator position outside [0,255]");
+    position_ = position;
+}
+
+double piezo_transient_model::bridge_current(double piezo_v, double store_v) const {
+    const double u = store_v + 2.0 * rect_.diode_drop_v;
+    const double over = std::abs(piezo_v) - u;
+    if (over <= 0.0) return 0.0;
+    return piezo_v >= 0.0 ? g_on_ * over : -g_on_ * over;
+}
+
+void piezo_transient_model::derivatives(double t, std::span<const double> x,
+                                        std::span<double> dxdt) const {
+    const double z = x[ix_displacement];
+    const double v = x[ix_velocity];
+    const double vp = x[ix_piezo_voltage];
+    const double vc = std::max(x[ix_voltage], 0.0);
+
+    const auto& mech = gen_.mechanics();
+    const auto& p = gen_.params();
+    const double k = mech.effective_stiffness(position_);
+    const double a = vib_.acceleration(t);
+    const double i_br = bridge_current(vp, vc);
+
+    dxdt[ix_displacement] = v;
+    dxdt[ix_velocity] =
+        (-k * z - mech.mech_damping() * v - p.coupling_n_per_v * vp) /
+            p.mech.mass_kg -
+        a;
+    dxdt[ix_piezo_voltage] =
+        (p.coupling_n_per_v * v - i_br) / p.clamped_capacitance_f;
+    const double i_store = std::abs(i_br);
+    dxdt[ix_voltage] = storage_.dv_dt(vc, i_store - loads_.total_current(vc));
+    dxdt[ix_harvested] = vc * i_store;
+}
+
+std::vector<double> piezo_transient_model::initial_state(double v0) {
+    std::vector<double> x(k_state_count, 0.0);
+    x[ix_voltage] = v0;
+    return x;
+}
+
+}  // namespace ehdse::harvester

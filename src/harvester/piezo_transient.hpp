@@ -1,0 +1,73 @@
+// Full transient model of the piezoelectric harvester chain — the ground
+// truth behind piezo_microgenerator's cycle-averaged solution (the same
+// role transient_model plays for the electromagnetic device).
+//
+// States:
+//   x[0] = z     proof-mass displacement (m)
+//   x[1] = v     velocity (m/s)
+//   x[2] = v_p   piezo element voltage (V)
+//   x[3] = V     storage voltage (V)
+//   x[4] = E_h   cumulative energy delivered into the store (J)
+//
+// Equations:
+//   m z'' = -k_eff z - c z' - theta v_p - m a(t)     (piezo back-force)
+//   C_p v_p' = theta z' - i_bridge
+//   i_bridge = g_on (|v_p| - U)+ sign(v_p),  U = V + 2 Vd
+// with g_on a stiff-but-integrable bridge conductance standing in for the
+// ideal diode clamp (the residual overshoot is ~i/g_on, kept small against
+// the storage voltage).
+#pragma once
+
+#include "harvester/piezo.hpp"
+#include "harvester/vibration.hpp"
+#include "power/load_bank.hpp"
+#include "power/storage.hpp"
+#include "sim/ode.hpp"
+
+namespace ehdse::harvester {
+
+class piezo_transient_model final : public sim::analog_system {
+public:
+    enum state_index : std::size_t {
+        ix_displacement = 0,
+        ix_velocity = 1,
+        ix_piezo_voltage = 2,
+        ix_voltage = 3,
+        ix_harvested = 4,
+        k_state_count = 5,
+    };
+
+    /// All referenced objects must outlive the model.
+    piezo_transient_model(const piezo_microgenerator& gen,
+                          const vibration_source& vib,
+                          const power::storage_model& storage,
+                          const power::load_bank& loads,
+                          power::rectifier_params rect = {},
+                          double bridge_conductance_s = 2e-3);
+
+    int position() const noexcept { return position_; }
+    void set_position(int position);
+
+    /// Instantaneous bridge current for a piezo voltage and store voltage.
+    double bridge_current(double piezo_v, double store_v) const;
+
+    std::size_t state_size() const override { return k_state_count; }
+    void derivatives(double t, std::span<const double> x,
+                     std::span<double> dxdt) const override;
+
+    /// Mass at rest, piezo discharged, store at v0.
+    static std::vector<double> initial_state(double v0);
+
+    static double suggested_max_dt(double freq_hz) { return 1.0 / (40.0 * freq_hz); }
+
+private:
+    const piezo_microgenerator& gen_;
+    const vibration_source& vib_;
+    const power::storage_model& storage_;
+    const power::load_bank& loads_;
+    power::rectifier_params rect_;
+    double g_on_;
+    int position_ = 0;
+};
+
+}  // namespace ehdse::harvester

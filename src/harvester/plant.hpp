@@ -1,0 +1,47 @@
+// Abstract view of the analogue plant as seen by the digital controllers.
+//
+// The sensor node (node/) and the microcontroller (mcu/) are written
+// against this interface, so the same digital processes run unchanged on
+// top of either the envelope fast-path system or the full transient model
+// — exactly the property the paper gets from SystemC-A's common kernel.
+#pragma once
+
+#include <string>
+
+namespace ehdse::harvester {
+
+class plant {
+public:
+    virtual ~plant() = default;
+
+    /// Present supercapacitor voltage (V).
+    virtual double storage_voltage() const = 0;
+
+    /// Instantaneously withdraw `joules` from the store, attributed to the
+    /// named energy-ledger account. Used for sub-millisecond bursts.
+    virtual void withdraw(double joules, const std::string& account) = 0;
+
+    /// Begin/adjust a sustained draw (amps) attributed to a named account;
+    /// pass 0 to stop. Used for phases lasting many milliseconds or more.
+    virtual void set_sustained_draw(const std::string& account, double amps) = 0;
+
+    /// Present 8-bit actuator position.
+    virtual int position() const = 0;
+
+    /// Command the actuator to an absolute position (clamped to [0,255]).
+    virtual void set_position(int position) = 0;
+
+    /// True instantaneous ambient vibration frequency (Hz). The controller
+    /// must NOT use this directly — it applies its own measurement model on
+    /// top (clock-dependent quantisation); exposed for that purpose and for
+    /// benchmarks.
+    virtual double vibration_frequency() const = 0;
+
+    /// Steady-state phase lag of proof-mass displacement behind base
+    /// acceleration (radians, in (0, pi)); pi/2 at perfect resonance. The
+    /// fine-tuning algorithm compares this (offset by pi/2) against its
+    /// 100 us threshold.
+    virtual double phase_lag() const = 0;
+};
+
+}  // namespace ehdse::harvester

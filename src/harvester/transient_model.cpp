@@ -1,0 +1,66 @@
+#include "harvester/transient_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+transient_model::transient_model(const microgenerator& gen,
+                                 const vibration_source& vib,
+                                 const power::storage_model& cap,
+                                 const power::load_bank& loads,
+                                 power::rectifier_params rect)
+    : gen_(gen), vib_(vib), cap_(cap), loads_(loads), rect_(rect) {
+    // Stiff enough that the excursion past the stop stays small against the
+    // travel, soft enough not to wreck the integrator step size.
+    end_stop_stiffness_ = 100.0 * gen_.base_stiffness();
+}
+
+void transient_model::set_position(int position) {
+    if (position < 0 || position >= microgenerator_params::k_position_count)
+        throw std::out_of_range("transient_model: actuator position outside [0,255]");
+    position_ = position;
+}
+
+double transient_model::coil_current(double velocity, double store_v) const {
+    const double e = gen_.params().coupling_v_per_ms * velocity;
+    const double u = store_v + 2.0 * rect_.diode_drop_v;
+    const double mag = std::abs(e);
+    if (mag <= u) return 0.0;
+    const double i = (mag - u) / gen_.params().coil_resistance_ohm;
+    return e >= 0.0 ? i : -i;
+}
+
+void transient_model::derivatives(double t, std::span<const double> x,
+                                  std::span<double> dxdt) const {
+    const double z = x[ix_displacement];
+    const double v = x[ix_velocity];
+    const double vc = std::max(x[ix_voltage], 0.0);
+
+    const auto& p = gen_.params();
+    const double k = gen_.effective_stiffness(position_);
+    const double a = vib_.acceleration(t);
+    const double i_coil = coil_current(v, vc);
+
+    double spring_force = -k * z;
+    const double limit = p.max_displacement_m;
+    if (z > limit) spring_force -= end_stop_stiffness_ * (z - limit);
+    else if (z < -limit) spring_force -= end_stop_stiffness_ * (z + limit);
+
+    dxdt[ix_displacement] = v;
+    dxdt[ix_velocity] =
+        (spring_force - gen_.mech_damping() * v - p.coupling_v_per_ms * i_coil) /
+            p.mass_kg -
+        a;
+    const double i_store = std::abs(i_coil);
+    dxdt[ix_voltage] = cap_.dv_dt(vc, i_store - loads_.total_current(vc));
+    dxdt[ix_harvested] = vc * i_store;
+}
+
+std::vector<double> transient_model::initial_state(double v0) {
+    std::vector<double> x(k_state_count, 0.0);
+    x[ix_voltage] = v0;
+    return x;
+}
+
+}  // namespace ehdse::harvester

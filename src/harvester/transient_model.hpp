@@ -1,0 +1,71 @@
+// Full nonlinear transient model of the analogue chain:
+// microgenerator mechanics -> coil -> diode bridge -> supercapacitor -> loads.
+//
+// This is the "ground truth" model used to validate the envelope fast path
+// (bench_ablation_statespace) and for short-window waveform studies. It is
+// an analog_system with four continuous states:
+//   x[0] = z      proof-mass displacement relative to the base (m)
+//   x[1] = v      relative velocity (m/s)
+//   x[2] = V      supercapacitor voltage (V)
+//   x[3] = E_h    cumulative energy delivered into the store (J)
+//
+// The coil inductance is negligible at vibration frequencies, so the coil
+// current is algebraic: the bridge conducts when |phi v| exceeds
+// V + 2 Vd, giving i = sign(e) (|e| - V - 2 Vd)/R_c. End stops are modelled
+// as a stiff one-sided spring beyond the displacement limit.
+#pragma once
+
+#include "harvester/microgenerator.hpp"
+#include "harvester/vibration.hpp"
+#include "power/load_bank.hpp"
+#include "power/rectifier.hpp"
+#include "power/storage.hpp"
+#include "sim/ode.hpp"
+
+namespace ehdse::harvester {
+
+class transient_model final : public sim::analog_system {
+public:
+    /// Indices into the state vector.
+    enum state_index : std::size_t {
+        ix_displacement = 0,
+        ix_velocity = 1,
+        ix_voltage = 2,
+        ix_harvested = 3,
+        k_state_count = 4,
+    };
+
+    /// All referenced objects must outlive the model.
+    transient_model(const microgenerator& gen, const vibration_source& vib,
+                    const power::storage_model& cap, const power::load_bank& loads,
+                    power::rectifier_params rect = {});
+
+    /// Actuator position used for k_eff; changed by the tuning controller.
+    int position() const noexcept { return position_; }
+    void set_position(int position);
+
+    /// Instantaneous coil current for a given (velocity, store voltage).
+    double coil_current(double velocity, double store_v) const;
+
+    std::size_t state_size() const override { return k_state_count; }
+    void derivatives(double t, std::span<const double> x,
+                     std::span<double> dxdt) const override;
+
+    /// Suggested initial state: mass at rest, store at `v0` volts.
+    static std::vector<double> initial_state(double v0);
+
+    /// Suggested max integrator step for excitation at `freq_hz`
+    /// (twenty points per cycle keeps the bridge switching resolved).
+    static double suggested_max_dt(double freq_hz) { return 1.0 / (20.0 * freq_hz); }
+
+private:
+    const microgenerator& gen_;
+    const vibration_source& vib_;
+    const power::storage_model& cap_;
+    const power::load_bank& loads_;
+    power::rectifier_params rect_;
+    int position_ = 0;
+    double end_stop_stiffness_;
+};
+
+}  // namespace ehdse::harvester

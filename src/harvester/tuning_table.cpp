@@ -1,0 +1,46 @@
+#include "harvester/tuning_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+tuning_table::tuning_table(const microgenerator& gen) {
+    for (int p = 0; p < k_entries; ++p)
+        freqs_[static_cast<std::size_t>(p)] = gen.resonant_frequency(p);
+    // The magnetic stiffening law is monotone in position; guard the
+    // invariant the lookup relies on.
+    if (!std::is_sorted(freqs_.begin(), freqs_.end()))
+        throw std::logic_error("tuning_table: resonant frequency not monotone in position");
+}
+
+double tuning_table::frequency_at(int position) const {
+    if (position < 0 || position >= k_entries)
+        throw std::out_of_range("tuning_table: position outside [0,255]");
+    return freqs_[static_cast<std::size_t>(position)];
+}
+
+int tuning_table::lookup(double target_hz) const {
+    const auto it = std::lower_bound(freqs_.begin(), freqs_.end(), target_hz);
+    if (it == freqs_.begin()) return 0;
+    if (it == freqs_.end()) return k_entries - 1;
+    const auto hi = static_cast<int>(it - freqs_.begin());
+    const int lo = hi - 1;
+    const double d_lo = target_hz - freqs_[static_cast<std::size_t>(lo)];
+    const double d_hi = freqs_[static_cast<std::size_t>(hi)] - target_hz;
+    return d_lo <= d_hi ? lo : hi;
+}
+
+double tuning_table::max_quantisation_error() const {
+    // Worst case is half the largest gap between adjacent entries.
+    double worst = 0.0;
+    for (int p = 1; p < k_entries; ++p) {
+        const double gap = freqs_[static_cast<std::size_t>(p)] -
+                           freqs_[static_cast<std::size_t>(p - 1)];
+        worst = std::max(worst, gap / 2.0);
+    }
+    return worst;
+}
+
+}  // namespace ehdse::harvester

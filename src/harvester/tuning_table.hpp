@@ -1,0 +1,44 @@
+// Pre-computed frequency -> actuator-position lookup table.
+//
+// Algorithm 1 (paper) retrieves "the new desired position of the tuning
+// magnet from a look-up table which has been pre-obtained and stored in the
+// microcontroller memory", with 8-bit position resolution. This class is
+// that table: built once from the microgenerator physics, then queried by
+// the digital tuning controller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "harvester/microgenerator.hpp"
+
+namespace ehdse::harvester {
+
+/// Maps a target vibration frequency to the 8-bit actuator position whose
+/// resonant frequency is closest.
+class tuning_table {
+public:
+    static constexpr int k_entries = microgenerator_params::k_position_count;
+
+    /// Sample resonant_frequency() at every discrete position.
+    explicit tuning_table(const microgenerator& gen);
+
+    /// Resonant frequency (Hz) of entry `position`.
+    double frequency_at(int position) const;
+
+    /// Best 8-bit position for the requested frequency; clamps outside the
+    /// achievable range (as the real table must).
+    int lookup(double target_hz) const;
+
+    /// Worst-case |f_r(lookup(f)) - f| over the achievable range — the
+    /// quantisation floor of coarse tuning ("accuracy is 1/2^8", paper).
+    double max_quantisation_error() const;
+
+    double min_frequency() const { return freqs_.front(); }
+    double max_frequency() const { return freqs_.back(); }
+
+private:
+    std::array<double, k_entries> freqs_{};
+};
+
+}  // namespace ehdse::harvester

@@ -1,0 +1,209 @@
+#include "harvester/vibration.hpp"
+
+#include <cmath>
+#include <istream>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace ehdse::harvester {
+
+namespace {
+constexpr double two_pi = 2.0 * std::numbers::pi;
+}
+
+vibration_source::vibration_source(double amplitude_ms2, double frequency_hz)
+    : amplitude_(amplitude_ms2) {
+    if (amplitude_ms2 < 0.0)
+        throw std::invalid_argument("vibration_source: negative amplitude");
+    if (frequency_hz <= 0.0)
+        throw std::invalid_argument("vibration_source: frequency must be > 0");
+    segments_.push_back({0.0, frequency_hz, 0.0});
+}
+
+vibration_source vibration_source::stepped(double amplitude_ms2, double start_hz,
+                                           double step_hz, double step_period_s,
+                                           std::size_t step_count) {
+    if (step_period_s <= 0.0)
+        throw std::invalid_argument("vibration_source: step period must be > 0");
+    vibration_source src(amplitude_ms2, start_hz);
+    double phase = 0.0;
+    double freq = start_hz;
+    double t = 0.0;
+    for (std::size_t i = 0; i < step_count; ++i) {
+        // Accumulate phase to the end of the current segment, then step.
+        phase += two_pi * freq * step_period_s;
+        t += step_period_s;
+        freq += step_hz;
+        if (freq <= 0.0)
+            throw std::invalid_argument("vibration_source: stepped frequency fell to <= 0");
+        src.segments_.push_back({t, freq, phase});
+        src.change_times_.push_back(t);
+    }
+    return src;
+}
+
+vibration_source vibration_source::stepped_mg(double amplitude_mg, double start_hz,
+                                              double step_hz, double step_period_s,
+                                              std::size_t step_count) {
+    return stepped(amplitude_mg * 1e-3 * k_gravity, start_hz, step_hz,
+                   step_period_s, step_count);
+}
+
+vibration_source vibration_source::from_schedule(
+    double amplitude_ms2,
+    const std::vector<std::pair<double, double>>& schedule) {
+    if (schedule.empty() || schedule.front().first != 0.0)
+        throw std::invalid_argument(
+            "vibration_source: schedule must start with an entry at t = 0");
+    vibration_source src(amplitude_ms2, schedule.front().second);
+    double phase = 0.0;
+    for (std::size_t i = 1; i < schedule.size(); ++i) {
+        const auto [t_prev, f_prev] = schedule[i - 1];
+        const auto [t, f] = schedule[i];
+        if (t <= t_prev)
+            throw std::invalid_argument(
+                "vibration_source: schedule times must be strictly increasing");
+        if (f <= 0.0)
+            throw std::invalid_argument(
+                "vibration_source: schedule frequencies must be > 0");
+        phase += two_pi * f_prev * (t - t_prev);
+        src.segments_.push_back({t, f, phase});
+        src.change_times_.push_back(t);
+    }
+    return src;
+}
+
+vibration_source vibration_source::random_walk(double amplitude_ms2,
+                                               double start_hz, double dwell_s,
+                                               double max_step_hz, double f_min,
+                                               double f_max, std::size_t changes,
+                                               std::uint64_t seed) {
+    if (dwell_s <= 0.0)
+        throw std::invalid_argument("vibration_source: dwell must be > 0");
+    if (!(f_min > 0.0) || !(f_max > f_min))
+        throw std::invalid_argument("vibration_source: need 0 < f_min < f_max");
+    if (start_hz < f_min || start_hz > f_max)
+        throw std::invalid_argument("vibration_source: start outside [f_min, f_max]");
+
+    // Small local xorshift so the harvester layer needs no numeric dep here.
+    std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+    const auto uniform = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return static_cast<double>(state >> 11) * 0x1.0p-53;
+    };
+
+    std::vector<std::pair<double, double>> schedule{{0.0, start_hz}};
+    double f = start_hz;
+    for (std::size_t i = 1; i <= changes; ++i) {
+        f += (2.0 * uniform() - 1.0) * max_step_hz;
+        // Reflect off the band edges.
+        if (f < f_min) f = 2.0 * f_min - f;
+        if (f > f_max) f = 2.0 * f_max - f;
+        if (f < f_min) f = f_min;  // pathological step sizes
+        schedule.emplace_back(static_cast<double>(i) * dwell_s, f);
+    }
+    return from_schedule(amplitude_ms2, schedule);
+}
+
+std::vector<std::pair<double, double>> vibration_source::parse_schedule_csv(
+    std::istream& in) {
+    std::vector<std::pair<double, double>> schedule;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and whitespace-only lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+        std::istringstream row(line);
+        std::string t_str, f_str;
+        if (!std::getline(row, t_str, ',') || !std::getline(row, f_str)) {
+            throw std::invalid_argument(
+                "parse_schedule_csv: line " + std::to_string(line_no) +
+                ": expected 'time,frequency'");
+        }
+        char* end = nullptr;
+        const double t = std::strtod(t_str.c_str(), &end);
+        if (end == t_str.c_str()) {
+            // Permit one non-numeric header row.
+            if (schedule.empty() && line_no <= 2) continue;
+            throw std::invalid_argument("parse_schedule_csv: line " +
+                                        std::to_string(line_no) +
+                                        ": bad time value '" + t_str + "'");
+        }
+        const double f = std::strtod(f_str.c_str(), &end);
+        if (end == f_str.c_str())
+            throw std::invalid_argument("parse_schedule_csv: line " +
+                                        std::to_string(line_no) +
+                                        ": bad frequency value '" + f_str + "'");
+        schedule.emplace_back(t, f);
+    }
+    if (schedule.empty())
+        throw std::invalid_argument("parse_schedule_csv: no data rows");
+    return schedule;
+}
+
+const vibration_source::segment& vibration_source::segment_at(double t) const {
+    // Few segments (the paper uses 3): linear scan beats binary search here.
+    for (std::size_t i = segments_.size(); i-- > 0;)
+        if (t >= segments_[i].t_start) return segments_[i];
+    return segments_.front();
+}
+
+double vibration_source::amplitude_at(double t) const {
+    if (amplitude_schedule_.empty()) return amplitude_;
+    // Few entries expected; scan from the back for the active scale.
+    for (std::size_t i = amplitude_schedule_.size(); i-- > 0;)
+        if (t >= amplitude_schedule_[i].first)
+            return amplitude_ * amplitude_schedule_[i].second;
+    return amplitude_ * amplitude_schedule_.front().second;
+}
+
+vibration_source vibration_source::with_amplitude_schedule(
+    std::vector<std::pair<double, double>> schedule) const {
+    if (schedule.empty() || schedule.front().first != 0.0)
+        throw std::invalid_argument(
+            "vibration_source: amplitude schedule must start at t = 0");
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (schedule[i].second < 0.0)
+            throw std::invalid_argument(
+                "vibration_source: amplitude scales must be >= 0");
+        if (i > 0 && schedule[i].first <= schedule[i - 1].first)
+            throw std::invalid_argument(
+                "vibration_source: amplitude schedule times must increase");
+    }
+    vibration_source out = *this;
+    out.amplitude_schedule_ = std::move(schedule);
+    return out;
+}
+
+vibration_source vibration_source::with_duty_cycle(double on_s, double off_s,
+                                                   std::size_t cycles) const {
+    if (on_s <= 0.0 || off_s <= 0.0)
+        throw std::invalid_argument("vibration_source: duty phases must be > 0");
+    std::vector<std::pair<double, double>> schedule;
+    double t = 0.0;
+    for (std::size_t c = 0; c < cycles; ++c) {
+        schedule.emplace_back(t, 1.0);
+        schedule.emplace_back(t + on_s, 0.0);
+        t += on_s + off_s;
+    }
+    return with_amplitude_schedule(std::move(schedule));
+}
+
+double vibration_source::frequency_at(double t) const {
+    return segment_at(t).freq_hz;
+}
+
+double vibration_source::acceleration(double t) const {
+    const segment& s = segment_at(t);
+    const double phase = s.phase + two_pi * s.freq_hz * (t - s.t_start);
+    return amplitude_at(t) * std::sin(phase);
+}
+
+}  // namespace ehdse::harvester

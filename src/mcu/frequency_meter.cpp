@@ -1,0 +1,30 @@
+#include "mcu/frequency_meter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ehdse::mcu {
+
+double frequency_meter::frequency_sigma(double true_hz) const {
+    if (true_hz <= 0.0)
+        throw std::invalid_argument("frequency_meter: true frequency must be > 0");
+    return params_.capture_loop_cycles * true_hz * true_hz /
+           (params_.measured_signal_cycles * params_.clock_hz);
+}
+
+double frequency_meter::measure_frequency(double true_hz, numeric::rng& rng) const {
+    const double f = rng.normal(true_hz, frequency_sigma(true_hz));
+    // A real counter cannot report a non-positive frequency.
+    return std::max(f, 0.1 * true_hz);
+}
+
+double frequency_meter::phase_sigma() const {
+    return params_.capture_loop_cycles / params_.clock_hz;
+}
+
+double frequency_meter::measure_phase_offset(double true_offset_s,
+                                             numeric::rng& rng) const {
+    return rng.normal(true_offset_s, phase_sigma());
+}
+
+}  // namespace ehdse::mcu

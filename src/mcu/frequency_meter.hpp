@@ -1,0 +1,46 @@
+// Clock-dependent measurement model (paper section III, parameter 1).
+//
+// The PIC16F884 measures the vibration period by polling the comparator
+// output in a software loop and counting Timer1 ticks across 8 signal
+// periods. Each edge capture is therefore quantised to one capture-loop
+// iteration, L clock cycles long. Propagating that timing error through
+// f = N / T gives a frequency standard error
+//     sigma_f ~= L * f^2 / (N * f_clk),
+// so halving the clock doubles the measurement error — the trade-off that
+// makes the clock frequency worth optimising: fast clocks measure well but
+// burn power for the whole (fixed, signal-defined) measurement window.
+//
+// The same loop quantisation limits the fine-tuning phase comparison:
+// a phase offset measured between two polled edges carries an error of
+// about L / f_clk seconds, to be compared against Algorithm 3's 100 us
+// convergence threshold.
+#pragma once
+
+#include "mcu/power_model.hpp"
+#include "numeric/rng.hpp"
+
+namespace ehdse::mcu {
+
+class frequency_meter {
+public:
+    explicit frequency_meter(mcu_params params) : params_(params) {}
+
+    const mcu_params& params() const noexcept { return params_; }
+
+    /// Standard error of a frequency measurement at a true frequency f.
+    double frequency_sigma(double true_hz) const;
+
+    /// One noisy frequency measurement (gaussian error, clamped positive).
+    double measure_frequency(double true_hz, numeric::rng& rng) const;
+
+    /// Standard error of a phase-offset (time) measurement in seconds.
+    double phase_sigma() const;
+
+    /// One noisy phase-offset measurement (true offset in seconds).
+    double measure_phase_offset(double true_offset_s, numeric::rng& rng) const;
+
+private:
+    mcu_params params_;
+};
+
+}  // namespace ehdse::mcu

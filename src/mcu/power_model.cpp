@@ -1,0 +1,46 @@
+#include "mcu/power_model.hpp"
+
+namespace ehdse::mcu {
+
+double mcu_active_power(const mcu_params& p) {
+    if (p.clock_hz <= 0.0)
+        throw std::invalid_argument("mcu_active_power: clock must be > 0");
+    return p.static_power_w + p.energy_per_cycle_j * p.clock_hz;
+}
+
+double measurement_duration(const mcu_params& p, double signal_hz) {
+    if (signal_hz <= 0.0)
+        throw std::invalid_argument("measurement_duration: signal frequency must be > 0");
+    return p.measured_signal_cycles / signal_hz;
+}
+
+double coarse_energy(const mcu_params& p, double signal_hz) {
+    const double t_meas = measurement_duration(p, signal_hz);
+    const double t_calc = p.coarse_calc_cycles / p.clock_hz;
+    return mcu_active_power(p) * (t_meas + t_calc);
+}
+
+double fine_measurement_duration(const mcu_params& p, double signal_hz) {
+    // Both the accelerometer and the microgenerator signal are captured.
+    return 2.0 * p.measured_signal_cycles / signal_hz;
+}
+
+double fine_energy(const mcu_params& p, double signal_hz) {
+    const double t_meas = fine_measurement_duration(p, signal_hz);
+    const double t_calc = p.fine_calc_cycles / p.clock_hz;
+    return mcu_active_power(p) * (t_meas + t_calc);
+}
+
+double actuator_move_time(const actuator_params& p, int steps) {
+    if (steps < 0) throw std::invalid_argument("actuator_move_time: negative steps");
+    return p.step_time_s * steps;
+}
+
+double actuator_move_energy(const actuator_params& p, int steps) {
+    if (steps < 0) throw std::invalid_argument("actuator_move_energy: negative steps");
+    if (steps == 0) return 0.0;
+    if (steps == 1) return p.single_step_energy_j;
+    return p.multi_step_energy_j * steps;
+}
+
+}  // namespace ehdse::mcu

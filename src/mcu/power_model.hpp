@@ -1,0 +1,80 @@
+// Power/energy models of the tuning subsystem components (paper Table IV
+// and section IV-C).
+//
+// The microcontroller's active power follows the standard CMOS split into a
+// static floor plus an energy-per-cycle term,
+//     P_active(f_clk) = P_static + E_cycle * f_clk,
+// calibrated so that at the original design's 4 MHz clock the coarse-tuning
+// power matches the published 5.0 mW. The actuator and accelerometer use
+// the published per-operation figures directly.
+#pragma once
+
+#include <stdexcept>
+
+namespace ehdse::mcu {
+
+/// PIC16F884 electrical model. `clock_hz` is the x1 optimisation parameter.
+struct mcu_params {
+    double clock_hz = 4.0e6;           ///< x1: 125 kHz .. 8 MHz
+    double static_power_w = 0.5e-3;    ///< leakage + analogue periphery
+    double energy_per_cycle_j = 1.125e-9;  ///< dynamic energy per clock cycle
+    double sleep_current_a = 1.0e-6;   ///< sleep + watchdog oscillator
+    double supply_v = 2.8;             ///< nominal rail for current conversion
+
+    double wake_check_cycles = 500.0;  ///< voltage check on each watchdog wake
+    double coarse_calc_cycles = 2000.0;   ///< LUT lookup + command assembly
+    double fine_calc_cycles = 20000.0;    ///< phase computation per iteration
+
+    /// Cycles of the input signal counted per frequency measurement
+    /// (Algorithm 1 measures 8 periods).
+    double measured_signal_cycles = 8.0;
+
+    /// Software capture-loop length in clock cycles; sets the measurement
+    /// quantisation (see frequency_meter). A tight polling loop on the PIC
+    /// is ~30 instruction cycles per iteration.
+    double capture_loop_cycles = 30.0;
+};
+
+/// Active-mode power at the configured clock.
+double mcu_active_power(const mcu_params& p);
+
+/// Duration of one frequency measurement: counting `measured_signal_cycles`
+/// periods of a `signal_hz` input (the counter loop runs for a fixed signal
+/// time regardless of clock — the paper's reason high clocks cost energy).
+double measurement_duration(const mcu_params& p, double signal_hz);
+
+/// Energy of one frequency measurement followed by the coarse calculation.
+double coarse_energy(const mcu_params& p, double signal_hz);
+
+/// Duration of one fine-tuning phase measurement (both signals captured).
+double fine_measurement_duration(const mcu_params& p, double signal_hz);
+
+/// MCU energy of one fine-tuning iteration (excludes accelerometer/actuator).
+double fine_energy(const mcu_params& p, double signal_hz);
+
+/// Haydon 21000-series linear actuator (paper Table IV):
+/// a single step costs 4.06 mJ in 5 ms; sustained multi-step moves average
+/// 2.03 mJ per step (the 100-step row: 203 mJ in 500 ms).
+struct actuator_params {
+    double step_time_s = 5.0e-3;
+    double single_step_energy_j = 4.06e-3;
+    double multi_step_energy_j = 2.03e-3;  ///< per step when steps > 1
+    double min_drive_voltage_v = 2.6;      ///< Algorithm 1's energy gate
+};
+
+/// Time to move `steps` actuator steps (steps >= 0).
+double actuator_move_time(const actuator_params& p, int steps);
+
+/// Energy to move `steps` actuator steps (steps >= 0).
+double actuator_move_energy(const actuator_params& p, int steps);
+
+/// LIS3L06AL accelerometer (paper Table IV): 153 ms on-time per fine-tuning
+/// measurement at 5.1 mA / 13.2 mW => 2.02 mJ.
+struct accelerometer_params {
+    double on_time_s = 0.153;
+    double current_a = 5.1e-3;
+    double power_w = 13.2e-3;
+    double energy_per_use_j = 2.02e-3;
+};
+
+}  // namespace ehdse::mcu

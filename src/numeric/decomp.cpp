@@ -1,0 +1,254 @@
+#include "numeric/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ehdse::numeric {
+
+namespace {
+constexpr double k_pivot_eps = 1e-13;
+}
+
+lu_decomposition::lu_decomposition(const matrix& a) : lu_(a), piv_(a.rows()) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("lu_decomposition requires a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivoting: find the largest |entry| in column k at/below row k.
+        std::size_t p = k;
+        double best = std::abs(lu_.at_unchecked(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu_.at_unchecked(i, k));
+            if (v > best) { best = v; p = i; }
+        }
+        if (p != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu_.at_unchecked(p, c), lu_.at_unchecked(k, c));
+            std::swap(piv_[p], piv_[k]);
+            pivot_sign_ = -pivot_sign_;
+        }
+        const double pivot = lu_.at_unchecked(k, k);
+        if (std::abs(pivot) < k_pivot_eps) {
+            singular_ = true;
+            continue;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double m = lu_.at_unchecked(i, k) / pivot;
+            lu_.at_unchecked(i, k) = m;
+            if (m == 0.0) continue;
+            for (std::size_t c = k + 1; c < n; ++c)
+                lu_.at_unchecked(i, c) -= m * lu_.at_unchecked(k, c);
+        }
+    }
+}
+
+double lu_decomposition::determinant() const {
+    if (singular_) return 0.0;
+    double det = pivot_sign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_.at_unchecked(i, i);
+    return det;
+}
+
+std::pair<double, int> lu_decomposition::log_abs_determinant() const {
+    if (singular_) return {-std::numeric_limits<double>::infinity(), 0};
+    double log_abs = 0.0;
+    int sign = pivot_sign_;
+    for (std::size_t i = 0; i < lu_.rows(); ++i) {
+        const double d = lu_.at_unchecked(i, i);
+        log_abs += std::log(std::abs(d));
+        if (d < 0.0) sign = -sign;
+    }
+    return {log_abs, sign};
+}
+
+vec lu_decomposition::solve(const vec& b) const {
+    if (singular_) throw std::domain_error("lu_decomposition::solve: singular matrix");
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) throw std::invalid_argument("lu solve: rhs size mismatch");
+    vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+    // Forward substitution (L has unit diagonal).
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = x[i];
+        for (std::size_t j = 0; j < i; ++j) acc -= lu_.at_unchecked(i, j) * x[j];
+        x[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_.at_unchecked(ii, j) * x[j];
+        x[ii] = acc / lu_.at_unchecked(ii, ii);
+    }
+    return x;
+}
+
+matrix lu_decomposition::solve(const matrix& b) const {
+    if (b.rows() != lu_.rows())
+        throw std::invalid_argument("lu solve: rhs row count mismatch");
+    matrix x(b.rows(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        const vec xc = solve(b.col(c));
+        for (std::size_t r = 0; r < b.rows(); ++r) x.at_unchecked(r, c) = xc[r];
+    }
+    return x;
+}
+
+matrix lu_decomposition::inverse() const {
+    return solve(matrix::identity(lu_.rows()));
+}
+
+qr_decomposition::qr_decomposition(const matrix& a)
+    : qr_(a), r_diag_(a.cols(), 0.0) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m < n)
+        throw std::invalid_argument("qr_decomposition requires rows >= cols");
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Householder reflection zeroing column k below the diagonal.
+        double nrm = 0.0;
+        for (std::size_t i = k; i < m; ++i) {
+            const double v = qr_.at_unchecked(i, k);
+            nrm = std::hypot(nrm, v);
+        }
+        if (nrm == 0.0) {
+            r_diag_[k] = 0.0;
+            rank_deficient_ = true;
+            continue;
+        }
+        if (qr_.at_unchecked(k, k) < 0.0) nrm = -nrm;
+        for (std::size_t i = k; i < m; ++i) qr_.at_unchecked(i, k) /= nrm;
+        qr_.at_unchecked(k, k) += 1.0;
+
+        for (std::size_t j = k + 1; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                s += qr_.at_unchecked(i, k) * qr_.at_unchecked(i, j);
+            s = -s / qr_.at_unchecked(k, k);
+            for (std::size_t i = k; i < m; ++i)
+                qr_.at_unchecked(i, j) += s * qr_.at_unchecked(i, k);
+        }
+        r_diag_[k] = -nrm;
+    }
+    for (double d : r_diag_)
+        if (std::abs(d) < k_pivot_eps) rank_deficient_ = true;
+}
+
+vec qr_decomposition::solve(const vec& b) const {
+    const std::size_t m = qr_.rows();
+    const std::size_t n = qr_.cols();
+    if (b.size() != m) throw std::invalid_argument("qr solve: rhs size mismatch");
+    if (rank_deficient_)
+        throw std::domain_error("qr_decomposition::solve: rank-deficient system");
+
+    vec y = b;
+    // Apply Q' to b.
+    for (std::size_t k = 0; k < n; ++k) {
+        double s = 0.0;
+        for (std::size_t i = k; i < m; ++i) s += qr_.at_unchecked(i, k) * y[i];
+        s = -s / qr_.at_unchecked(k, k);
+        for (std::size_t i = k; i < m; ++i) y[i] += s * qr_.at_unchecked(i, k);
+    }
+    // Back-substitute R x = y[0..n).
+    vec x(n);
+    for (std::size_t kk = n; kk-- > 0;) {
+        double acc = y[kk];
+        for (std::size_t j = kk + 1; j < n; ++j) acc -= qr_.at_unchecked(kk, j) * x[j];
+        x[kk] = acc / r_diag_[kk];
+    }
+    return x;
+}
+
+matrix qr_decomposition::r() const {
+    const std::size_t n = qr_.cols();
+    matrix r(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        r.at_unchecked(i, i) = r_diag_[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            r.at_unchecked(i, j) = qr_.at_unchecked(i, j);
+    }
+    return r;
+}
+
+double qr_decomposition::abs_det_r() const {
+    double d = 1.0;
+    for (double x : r_diag_) d *= std::abs(x);
+    return d;
+}
+
+cholesky_decomposition::cholesky_decomposition(const matrix& a)
+    : l_(a.rows(), a.cols(), 0.0) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("cholesky_decomposition requires a square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t j = 0; j < n && spd_; ++j) {
+        double diag = a.at_unchecked(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l_.at_unchecked(j, k) * l_.at_unchecked(j, k);
+        if (diag <= 0.0) {
+            spd_ = false;
+            break;
+        }
+        const double ljj = std::sqrt(diag);
+        l_.at_unchecked(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a.at_unchecked(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l_.at_unchecked(i, k) * l_.at_unchecked(j, k);
+            l_.at_unchecked(i, j) = acc / ljj;
+        }
+    }
+}
+
+vec cholesky_decomposition::solve(const vec& b) const {
+    if (!spd_)
+        throw std::domain_error("cholesky_decomposition::solve: matrix not SPD");
+    const std::size_t n = l_.rows();
+    if (b.size() != n)
+        throw std::invalid_argument("cholesky solve: rhs size mismatch");
+    vec y(n);
+    // Forward: L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l_.at_unchecked(i, k) * y[k];
+        y[i] = acc / l_.at_unchecked(i, i);
+    }
+    // Backward: L' x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            acc -= l_.at_unchecked(k, ii) * y[k];
+        y[ii] = acc / l_.at_unchecked(ii, ii);
+    }
+    return y;
+}
+
+double cholesky_decomposition::log_determinant() const {
+    if (!spd_)
+        throw std::domain_error("cholesky_decomposition: matrix not SPD");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+        acc += std::log(l_.at_unchecked(i, i));
+    return 2.0 * acc;
+}
+
+vec solve_linear(const matrix& a, const vec& b) {
+    return lu_decomposition(a).solve(b);
+}
+
+double determinant(const matrix& a) {
+    return lu_decomposition(a).determinant();
+}
+
+matrix inverse(const matrix& a) {
+    return lu_decomposition(a).inverse();
+}
+
+vec solve_least_squares(const matrix& a, const vec& b) {
+    return qr_decomposition(a).solve(b);
+}
+
+}  // namespace ehdse::numeric

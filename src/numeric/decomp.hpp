@@ -1,0 +1,119 @@
+// Matrix decompositions: LU with partial pivoting and Householder QR.
+//
+// These back three distinct consumers:
+//   * linear solves inside the simulation kernel (implicit integrator steps),
+//   * determinant evaluation for the D-optimality criterion det(X'X),
+//   * least-squares fitting of the response-surface polynomial.
+#pragma once
+
+#include <optional>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::numeric {
+
+/// LU factorisation with partial (row) pivoting: P*A = L*U.
+///
+/// `singular()` reports whether a zero (or numerically negligible) pivot
+/// was met; solves against a singular factorisation throw.
+class lu_decomposition {
+public:
+    /// Factorise a square matrix. Throws std::invalid_argument if not square.
+    explicit lu_decomposition(const matrix& a);
+
+    bool singular() const noexcept { return singular_; }
+
+    /// Determinant of A (0 when singular).
+    double determinant() const;
+
+    /// log|det(A)| and its sign; more robust for large/ill-scaled matrices.
+    /// Returns {log_abs_det, sign} where sign in {-1, 0, +1}.
+    std::pair<double, int> log_abs_determinant() const;
+
+    /// Solve A x = b. Throws std::domain_error when singular.
+    vec solve(const vec& b) const;
+
+    /// Solve A X = B column-by-column.
+    matrix solve(const matrix& b) const;
+
+    /// Inverse of A. Throws std::domain_error when singular.
+    matrix inverse() const;
+
+private:
+    matrix lu_;                    // packed L (unit diagonal, below) and U (on/above)
+    std::vector<std::size_t> piv_; // row permutation
+    int pivot_sign_ = 1;
+    bool singular_ = false;
+};
+
+/// Householder QR factorisation A = Q*R for rows >= cols.
+///
+/// Used for least squares: min ||A x - b|| is solved by R x = (Q' b)[0..p).
+class qr_decomposition {
+public:
+    /// Factorise. Throws std::invalid_argument when rows < cols.
+    explicit qr_decomposition(const matrix& a);
+
+    /// True when R has a (numerically) zero diagonal entry, i.e. A is
+    /// rank-deficient and the least-squares solution is not unique.
+    bool rank_deficient() const noexcept { return rank_deficient_; }
+
+    /// Least-squares solution of A x ≈ b. Throws std::domain_error when
+    /// rank-deficient, std::invalid_argument when b.size() != rows.
+    vec solve(const vec& b) const;
+
+    /// Upper-triangular factor R (cols x cols).
+    matrix r() const;
+
+    /// |det(R)| = sqrt(det(A'A)); useful for D-optimality without forming
+    /// the Gram matrix explicitly.
+    double abs_det_r() const;
+
+private:
+    matrix qr_;        // Householder vectors below diagonal, R on/above
+    vec r_diag_;       // diagonal of R
+    bool rank_deficient_ = false;
+};
+
+/// Cholesky factorisation A = L L' of a symmetric positive-definite matrix.
+///
+/// Backs the Gaussian-process surrogate (kernel matrices) and any other
+/// SPD solve; roughly twice as fast as LU and fails loudly on non-SPD
+/// input, which doubles as a positive-definiteness check.
+class cholesky_decomposition {
+public:
+    /// Factorise. Only the lower triangle of `a` is read.
+    /// Throws std::invalid_argument when not square.
+    explicit cholesky_decomposition(const matrix& a);
+
+    /// False when a non-positive pivot was met (matrix not SPD); solves
+    /// against a failed factorisation throw std::domain_error.
+    bool positive_definite() const noexcept { return spd_; }
+
+    /// Solve A x = b.
+    vec solve(const vec& b) const;
+
+    /// log det(A) = 2 sum log L_ii.
+    double log_determinant() const;
+
+    /// The lower-triangular factor L.
+    const matrix& l() const noexcept { return l_; }
+
+private:
+    matrix l_;
+    bool spd_ = true;
+};
+
+/// Solve the square system A x = b via LU. Convenience wrapper.
+vec solve_linear(const matrix& a, const vec& b);
+
+/// Determinant via LU. Convenience wrapper.
+double determinant(const matrix& a);
+
+/// Inverse via LU. Convenience wrapper; throws std::domain_error if singular.
+matrix inverse(const matrix& a);
+
+/// Least-squares solution of (possibly overdetermined) A x ≈ b via QR.
+vec solve_least_squares(const matrix& a, const vec& b);
+
+}  // namespace ehdse::numeric

@@ -1,0 +1,243 @@
+#include "numeric/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ehdse::numeric {
+
+matrix::matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : init) {
+        if (r.size() != cols_)
+            throw std::invalid_argument("matrix initializer rows have unequal lengths");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+matrix matrix::identity(std::size_t n) {
+    matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) m.at_unchecked(i, i) = 1.0;
+    return m;
+}
+
+matrix matrix::diagonal(const vec& d) {
+    matrix m(d.size(), d.size(), 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) m.at_unchecked(i, i) = d[i];
+    return m;
+}
+
+matrix matrix::from_rows(const std::vector<vec>& rows) {
+    matrix m;
+    for (const auto& r : rows) m.append_row(r);
+    return m;
+}
+
+std::span<double> matrix::row(std::size_t r) {
+    if (r >= rows_) throw std::out_of_range("matrix::row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> matrix::row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("matrix::row out of range");
+    return {data_.data() + r * cols_, cols_};
+}
+
+vec matrix::col(std::size_t c) const {
+    if (c >= cols_) throw std::out_of_range("matrix::col out of range");
+    vec out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = at_unchecked(r, c);
+    return out;
+}
+
+void matrix::set_row(std::size_t r, std::span<const double> values) {
+    if (r >= rows_) throw std::out_of_range("matrix::set_row out of range");
+    if (values.size() != cols_)
+        throw std::invalid_argument("matrix::set_row size mismatch");
+    std::copy(values.begin(), values.end(), data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void matrix::append_row(std::span<const double> values) {
+    if (empty() && rows_ == 0) {
+        if (cols_ == 0) cols_ = values.size();
+    }
+    if (values.size() != cols_)
+        throw std::invalid_argument("matrix::append_row size mismatch");
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+}
+
+void matrix::remove_row(std::size_t r) {
+    if (r >= rows_) throw std::out_of_range("matrix::remove_row out of range");
+    const auto first = data_.begin() + static_cast<std::ptrdiff_t>(r * cols_);
+    data_.erase(first, first + static_cast<std::ptrdiff_t>(cols_));
+    --rows_;
+}
+
+matrix matrix::transposed() const {
+    matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t.at_unchecked(c, r) = at_unchecked(r, c);
+    return t;
+}
+
+matrix matrix::operator*(const matrix& other) const {
+    if (cols_ != other.rows_)
+        throw std::invalid_argument("matrix product dimension mismatch: " +
+                                    std::to_string(cols_) + " vs " + std::to_string(other.rows_));
+    matrix out(rows_, other.cols_, 0.0);
+    // ikj ordering keeps the inner loop contiguous over both operands.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = at_unchecked(i, k);
+            if (a == 0.0) continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out.at_unchecked(i, j) += a * other.at_unchecked(k, j);
+        }
+    }
+    return out;
+}
+
+vec matrix::operator*(const vec& v) const {
+    if (v.size() != cols_)
+        throw std::invalid_argument("matrix-vector product dimension mismatch");
+    vec out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* rp = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) acc += rp[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+void matrix::check_same_shape(const matrix& other) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        throw std::invalid_argument("matrix shape mismatch");
+}
+
+matrix matrix::operator+(const matrix& other) const {
+    matrix out = *this;
+    out += other;
+    return out;
+}
+
+matrix matrix::operator-(const matrix& other) const {
+    matrix out = *this;
+    out -= other;
+    return out;
+}
+
+matrix& matrix::operator+=(const matrix& other) {
+    check_same_shape(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+matrix& matrix::operator-=(const matrix& other) {
+    check_same_shape(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+matrix matrix::operator*(double s) const {
+    matrix out = *this;
+    out *= s;
+    return out;
+}
+
+matrix& matrix::operator*=(double s) {
+    for (double& x : data_) x *= s;
+    return *this;
+}
+
+matrix matrix::gram() const {
+    matrix g(cols_, cols_, 0.0);
+    // Accumulate rank-1 updates row by row; symmetric fill afterwards.
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double* rp = data_.data() + r * cols_;
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double a = rp[i];
+            if (a == 0.0) continue;
+            for (std::size_t j = i; j < cols_; ++j)
+                g.at_unchecked(i, j) += a * rp[j];
+        }
+    }
+    for (std::size_t i = 0; i < cols_; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            g.at_unchecked(i, j) = g.at_unchecked(j, i);
+    return g;
+}
+
+double matrix::frobenius_norm() const {
+    double acc = 0.0;
+    for (double x : data_) acc += x * x;
+    return std::sqrt(acc);
+}
+
+double matrix::max_abs_diff(const matrix& other) const {
+    check_same_shape(other);
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+std::string matrix::to_string(int precision) const {
+    std::ostringstream os;
+    os.precision(precision);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << (r == 0 ? "[" : " ");
+        for (std::size_t c = 0; c < cols_; ++c)
+            os << at_unchecked(r, c) << (c + 1 < cols_ ? ", " : "");
+        os << (r + 1 < rows_ ? ";\n" : "]");
+    }
+    return os.str();
+}
+
+double dot(const vec& a, const vec& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double norm(const vec& v) { return std::sqrt(dot(v, v)); }
+
+vec add(const vec& a, const vec& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("add: size mismatch");
+    vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+}
+
+vec sub(const vec& a, const vec& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("sub: size mismatch");
+    vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+    return out;
+}
+
+vec scale(const vec& v, double s) {
+    vec out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+    return out;
+}
+
+vec axpy(const vec& a, double s, const vec& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
+    vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+    return out;
+}
+
+double max_abs(const vec& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, std::abs(x));
+    return m;
+}
+
+}  // namespace ehdse::numeric

@@ -1,0 +1,150 @@
+// Dense row-major matrix and vector primitives used throughout ehdse.
+//
+// The numeric substrate is deliberately dependency-free: the RSM fit,
+// D-optimal exchange and the simulation kernel all need small dense
+// linear algebra (tens of rows/columns), so a simple, well-tested,
+// cache-friendly row-major implementation is preferable to pulling in a
+// large external library.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ehdse::numeric {
+
+/// Dense dynamically-sized vector of doubles.
+using vec = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// Supports the operations needed by the regression / DOE / simulation
+/// code: element access, slicing of rows, products, transpose and
+/// elementwise arithmetic. Sizes are validated; mismatches throw
+/// std::invalid_argument so model-building bugs fail loudly.
+class matrix {
+public:
+    matrix() = default;
+
+    /// Create a rows x cols matrix initialised to `fill`.
+    matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    /// Create from a nested initializer list; all rows must have equal length.
+    matrix(std::initializer_list<std::initializer_list<double>> init);
+
+    /// Identity matrix of size n.
+    static matrix identity(std::size_t n);
+
+    /// Matrix with the given vector on the diagonal.
+    static matrix diagonal(const vec& d);
+
+    /// Build from rows (each inner vector is one row; all equal length).
+    static matrix from_rows(const std::vector<vec>& rows);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return data_.empty(); }
+
+    double& operator()(std::size_t r, std::size_t c) {
+        check_index(r, c);
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const {
+        check_index(r, c);
+        return data_[r * cols_ + c];
+    }
+
+    /// Unchecked access for hot loops.
+    double& at_unchecked(std::size_t r, std::size_t c) noexcept {
+        return data_[r * cols_ + c];
+    }
+    double at_unchecked(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    /// View of row r as a contiguous span.
+    std::span<double> row(std::size_t r);
+    std::span<const double> row(std::size_t r) const;
+
+    /// Copy of column c.
+    vec col(std::size_t c) const;
+
+    /// Replace row r with the contents of `values` (size must equal cols()).
+    void set_row(std::size_t r, std::span<const double> values);
+
+    /// Append a row (matrix must be empty or have cols()==values.size()).
+    void append_row(std::span<const double> values);
+
+    /// Remove row r, shifting later rows up.
+    void remove_row(std::size_t r);
+
+    matrix transposed() const;
+
+    /// this * other  (dimensions must agree).
+    matrix operator*(const matrix& other) const;
+
+    /// this * v  (v.size() must equal cols()).
+    vec operator*(const vec& v) const;
+
+    matrix operator+(const matrix& other) const;
+    matrix operator-(const matrix& other) const;
+    matrix& operator+=(const matrix& other);
+    matrix& operator-=(const matrix& other);
+    matrix operator*(double s) const;
+    matrix& operator*=(double s);
+
+    /// Gram matrix X' * X — the "information matrix" of D-optimal design.
+    matrix gram() const;
+
+    /// Frobenius norm.
+    double frobenius_norm() const;
+
+    /// Maximum absolute element difference against `other` (sizes must match).
+    double max_abs_diff(const matrix& other) const;
+
+    /// Raw storage (row-major), useful for serialisation and tests.
+    const std::vector<double>& data() const noexcept { return data_; }
+
+    /// Human-readable rendering, mainly for diagnostics and test failure text.
+    std::string to_string(int precision = 6) const;
+
+private:
+    void check_index(std::size_t r, std::size_t c) const {
+        if (r >= rows_ || c >= cols_)
+            throw std::out_of_range("matrix index (" + std::to_string(r) + "," +
+                                    std::to_string(c) + ") out of range for " +
+                                    std::to_string(rows_) + "x" + std::to_string(cols_));
+    }
+    void check_same_shape(const matrix& other) const;
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Dot product; sizes must agree.
+double dot(const vec& a, const vec& b);
+
+/// Euclidean norm.
+double norm(const vec& v);
+
+/// a + b elementwise.
+vec add(const vec& a, const vec& b);
+
+/// a - b elementwise.
+vec sub(const vec& a, const vec& b);
+
+/// s * v.
+vec scale(const vec& v, double s);
+
+/// a + s*b (axpy); sizes must agree.
+vec axpy(const vec& a, double s, const vec& b);
+
+/// Maximum absolute element.
+double max_abs(const vec& v);
+
+}  // namespace ehdse::numeric

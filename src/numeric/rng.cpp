@@ -1,0 +1,111 @@
+#include "numeric/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ehdse::numeric {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+    // zero outputs from any seed, but guard anyway.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t rng::next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+void rng::jump() noexcept {
+    // long_jump polynomial of xoshiro256++ (advance 2^192 steps).
+    static constexpr std::uint64_t jump_poly[] = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t poly : jump_poly) {
+        for (int b = 0; b < 64; ++b) {
+            if (poly & (std::uint64_t{1} << b))
+                for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+            next();
+        }
+    }
+    s_ = acc;
+}
+
+rng rng::split() noexcept {
+    rng child = *this;
+    jump();  // advance this stream past the child's future outputs
+    return child;
+}
+
+double rng::uniform() noexcept {
+    // 53 top bits -> double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t rng::uniform_index(std::size_t n) noexcept {
+    // Rejection-free multiply-shift is fine for our n << 2^64.
+    return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+double rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+bool rng::bernoulli(double p) noexcept {
+    return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+std::vector<std::size_t> rng::permutation(std::size_t n) {
+    std::vector<std::size_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    for (std::size_t i = n; i-- > 1;)
+        std::swap(out[i], out[uniform_index(i + 1)]);
+    return out;
+}
+
+}  // namespace ehdse::numeric

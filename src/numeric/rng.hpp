@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for the stochastic parts of
+// ehdse (D-optimal start designs, simulated annealing, genetic algorithm,
+// property-test sweeps).
+//
+// A self-contained xoshiro256++ engine is used instead of std::mt19937 so
+// that (a) streams are cheap to split per-component and (b) results are
+// reproducible across standard-library implementations — important because
+// EXPERIMENTS.md records concrete seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ehdse::numeric {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seed via splitmix64 expansion of a single 64-bit value.
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+
+    std::uint64_t next() noexcept;
+
+    /// Derive an independent stream (equivalent to 2^128 calls of next()).
+    rng split() noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in [0, n); n must be > 0.
+    std::size_t uniform_index(std::size_t n) noexcept;
+
+    /// Standard normal variate (Box–Muller, cached pair).
+    double normal() noexcept;
+
+    /// Normal variate with the given mean and standard deviation.
+    double normal(double mean, double stddev) noexcept;
+
+    /// True with probability p (clamped to [0,1]).
+    bool bernoulli(double p) noexcept;
+
+    /// Random permutation of {0, 1, ..., n-1} (Fisher–Yates).
+    std::vector<std::size_t> permutation(std::size_t n);
+
+private:
+    void jump() noexcept;
+
+    std::array<std::uint64_t, 4> s_{};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace ehdse::numeric

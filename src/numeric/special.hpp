@@ -1,0 +1,26 @@
+// Special functions backing the regression statistics: regularised
+// incomplete beta, and the Student-t / Fisher F distribution functions
+// built on it. Implementations follow the classic Lentz continued-fraction
+// evaluation (Numerical Recipes style), accurate to ~1e-12 over the ranges
+// regression diagnostics use.
+#pragma once
+
+namespace ehdse::numeric {
+
+/// Regularised incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with nu > 0 degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+/// Two-sided p-value for a t statistic with nu degrees of freedom:
+/// P(|T| >= |t|).
+double student_t_two_sided_p(double t, double nu);
+
+/// CDF of the F distribution with (d1, d2) degrees of freedom, f >= 0.
+double f_cdf(double f, double d1, double d2);
+
+/// Upper tail P(F >= f) — the ANOVA p-value.
+double f_upper_p(double f, double d1, double d2);
+
+}  // namespace ehdse::numeric

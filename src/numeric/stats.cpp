@@ -1,0 +1,130 @@
+#include "numeric/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ehdse::numeric {
+
+namespace {
+void check_same_size(std::span<const double> a, std::span<const double> b,
+                     const char* what) {
+    if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) {
+    return std::sqrt(sample_variance(xs));
+}
+
+double total_sum_squares(std::span<const double> xs) {
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc;
+}
+
+double residual_sum_squares(std::span<const double> observed,
+                            std::span<const double> fitted) {
+    check_same_size(observed, fitted, "residual_sum_squares");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double e = observed[i] - fitted[i];
+        acc += e * e;
+    }
+    return acc;
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> fitted) {
+    const double sst = total_sum_squares(observed);
+    const double sse = residual_sum_squares(observed, fitted);
+    if (sst == 0.0) return sse == 0.0 ? 1.0 : 0.0;
+    return 1.0 - sse / sst;
+}
+
+double adjusted_r_squared(std::span<const double> observed,
+                          std::span<const double> fitted,
+                          std::size_t coefficient_count) {
+    const auto n = static_cast<double>(observed.size());
+    const auto p = static_cast<double>(coefficient_count);
+    if (n - p <= 0.0) return r_squared(observed, fitted);
+    const double r2 = r_squared(observed, fitted);
+    return 1.0 - (1.0 - r2) * (n - 1.0) / (n - p);
+}
+
+double rmse(std::span<const double> observed, std::span<const double> fitted) {
+    if (observed.empty()) return 0.0;
+    return std::sqrt(residual_sum_squares(observed, fitted) /
+                     static_cast<double>(observed.size()));
+}
+
+double max_abs_error(std::span<const double> observed,
+                     std::span<const double> fitted) {
+    check_same_size(observed, fitted, "max_abs_error");
+    double m = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i)
+        m = std::max(m, std::abs(observed[i] - fitted[i]));
+    return m;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    check_same_size(xs, ys, "pearson");
+    if (xs.size() < 2) return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double quantile(std::span<const double> xs, double q) {
+    if (xs.empty()) throw std::invalid_argument("quantile: empty range");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::pair<double, double> min_max(std::span<const double> xs) {
+    if (xs.empty()) throw std::invalid_argument("min_max: empty range");
+    auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    return {*lo, *hi};
+}
+
+}  // namespace ehdse::numeric

@@ -1,0 +1,57 @@
+// Descriptive statistics helpers shared by the RSM diagnostics
+// (R², adjusted R², PRESS) and the benchmark reporting code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::numeric {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by n); returns 0 for fewer than 1 element.
+double variance(std::span<const double> xs);
+
+/// Sample variance (divides by n-1); returns 0 for fewer than 2 elements.
+double sample_variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double sample_stddev(std::span<const double> xs);
+
+/// Total sum of squares about the mean: sum (x - mean)^2.
+double total_sum_squares(std::span<const double> xs);
+
+/// Residual sum of squares between observed and fitted values.
+double residual_sum_squares(std::span<const double> observed,
+                            std::span<const double> fitted);
+
+/// Coefficient of determination R^2 = 1 - SSE / SST.
+/// Returns 1 when SST == 0 and SSE == 0, otherwise 0 when SST == 0.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> fitted);
+
+/// Adjusted R^2 for a model with p coefficients over n observations.
+double adjusted_r_squared(std::span<const double> observed,
+                          std::span<const double> fitted,
+                          std::size_t coefficient_count);
+
+/// Root-mean-square error between observed and fitted.
+double rmse(std::span<const double> observed, std::span<const double> fitted);
+
+/// Maximum absolute error between observed and fitted.
+double max_abs_error(std::span<const double> observed,
+                     std::span<const double> fitted);
+
+/// Pearson correlation coefficient; returns 0 when either variance is 0.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// q-quantile (0 <= q <= 1) via linear interpolation of sorted copy.
+double quantile(std::span<const double> xs, double q);
+
+/// Min and max of a non-empty range.
+std::pair<double, double> min_max(std::span<const double> xs);
+
+}  // namespace ehdse::numeric

@@ -1,0 +1,39 @@
+// Real-coded genetic algorithm — the second global optimiser the paper
+// applies to the fitted response surface.
+//
+// Standard machinery: tournament selection, blend (BLX-alpha) crossover,
+// per-gene gaussian mutation with box clamping, elitism, and early stop on
+// a stagnating best value.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdse::opt {
+
+struct ga_options {
+    std::size_t population = 60;
+    std::size_t generations = 200;
+    std::size_t tournament_size = 3;
+    double crossover_prob = 0.9;
+    double blx_alpha = 0.35;          ///< blend crossover expansion factor
+    double mutation_prob = 0.15;      ///< per gene
+    double mutation_sigma_fraction = 0.1;  ///< of box width
+    std::size_t elite_count = 2;
+    std::size_t stall_generations = 40;    ///< early stop window
+    double stall_tolerance = 1e-10;
+};
+
+class genetic_algorithm final : public optimizer {
+public:
+    explicit genetic_algorithm(ga_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "genetic-algorithm"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    ga_options opt_;
+};
+
+}  // namespace ehdse::opt

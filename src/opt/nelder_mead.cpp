@@ -1,0 +1,103 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ehdse::opt {
+
+namespace {
+
+struct vertex {
+    numeric::vec x;
+    double value = 0.0;
+};
+
+}  // namespace
+
+opt_result nelder_mead::maximize(const objective_fn& f, const box_bounds& bounds,
+                                 numeric::rng& rng) const {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+
+    opt_result out;
+    out.algorithm = name();
+    out.best_value = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t restart = 0; restart < opt_.restarts; ++restart) {
+        // Initial simplex: random anchor plus one offset vertex per axis.
+        std::vector<vertex> simplex(k + 1);
+        simplex[0].x = bounds.random_point(rng);
+        for (std::size_t i = 0; i < k; ++i) {
+            simplex[i + 1].x = simplex[0].x;
+            const double edge = opt_.initial_scale * bounds.width(i);
+            // Flip direction if the offset would leave the box.
+            double& xi = simplex[i + 1].x[i];
+            xi = (xi + edge <= bounds.hi[i]) ? xi + edge : xi - edge;
+        }
+        for (auto& v : simplex) {
+            v.x = bounds.clamp(std::move(v.x));
+            v.value = f(v.x);
+            ++out.evaluations;
+        }
+
+        for (std::size_t it = 0; it < opt_.max_iterations; ++it) {
+            ++out.iterations;
+            // Best value first (we maximise).
+            std::sort(simplex.begin(), simplex.end(),
+                      [](const vertex& a, const vertex& b) { return a.value > b.value; });
+            if (simplex.front().value - simplex.back().value < opt_.tolerance) {
+                out.converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            numeric::vec centroid(k, 0.0);
+            for (std::size_t v = 0; v < k; ++v)
+                centroid = numeric::add(centroid, simplex[v].x);
+            centroid = numeric::scale(centroid, 1.0 / static_cast<double>(k));
+            vertex& worst = simplex.back();
+
+            auto probe = [&](double coeff) {
+                vertex cand;
+                cand.x = bounds.clamp(
+                    numeric::axpy(centroid, coeff, numeric::sub(centroid, worst.x)));
+                cand.value = f(cand.x);
+                ++out.evaluations;
+                return cand;
+            };
+
+            const vertex reflected = probe(opt_.reflection);
+            if (reflected.value > simplex.front().value) {
+                const vertex expanded = probe(opt_.expansion);
+                worst = expanded.value > reflected.value ? expanded : reflected;
+            } else if (reflected.value > simplex[k - 1].value) {
+                worst = reflected;
+            } else {
+                const vertex contracted = probe(-opt_.contraction);
+                if (contracted.value > worst.value) {
+                    worst = contracted;
+                } else {
+                    // Shrink towards the best vertex.
+                    for (std::size_t v = 1; v <= k; ++v) {
+                        simplex[v].x = bounds.clamp(numeric::axpy(
+                            simplex[0].x, opt_.shrink,
+                            numeric::sub(simplex[v].x, simplex[0].x)));
+                        simplex[v].value = f(simplex[v].x);
+                        ++out.evaluations;
+                    }
+                }
+            }
+        }
+
+        std::sort(simplex.begin(), simplex.end(),
+                  [](const vertex& a, const vertex& b) { return a.value > b.value; });
+        if (simplex.front().value > out.best_value) {
+            out.best_value = simplex.front().value;
+            out.best_x = simplex.front().x;
+        }
+    }
+    return out;
+}
+
+}  // namespace ehdse::opt

@@ -1,0 +1,34 @@
+// Nelder–Mead downhill simplex (maximising variant) with box clamping and
+// random multistart — a derivative-free local baseline for the optimiser
+// ablation bench.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdse::opt {
+
+struct nm_options {
+    std::size_t restarts = 8;         ///< random multistart count
+    std::size_t max_iterations = 500; ///< per start
+    double initial_scale = 0.25;      ///< initial simplex edge, fraction of box
+    double tolerance = 1e-10;         ///< simplex value-spread stop
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+};
+
+class nelder_mead final : public optimizer {
+public:
+    explicit nelder_mead(nm_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "nelder-mead"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    nm_options opt_;
+};
+
+}  // namespace ehdse::opt

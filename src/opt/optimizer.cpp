@@ -1,0 +1,41 @@
+#include "opt/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ehdse::opt {
+
+box_bounds box_bounds::unit(std::size_t k) {
+    return {numeric::vec(k, -1.0), numeric::vec(k, 1.0)};
+}
+
+void box_bounds::validate() const {
+    if (lo.size() != hi.size() || lo.empty())
+        throw std::invalid_argument("box_bounds: malformed bounds");
+    for (std::size_t i = 0; i < lo.size(); ++i)
+        if (!(lo[i] < hi[i]))
+            throw std::invalid_argument("box_bounds: lo must be < hi on every axis");
+}
+
+numeric::vec box_bounds::clamp(numeric::vec x) const {
+    if (x.size() != lo.size())
+        throw std::invalid_argument("box_bounds::clamp: dimension mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::clamp(x[i], lo[i], hi[i]);
+    return x;
+}
+
+bool box_bounds::contains(const numeric::vec& x, double tol) const {
+    if (x.size() != lo.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        if (x[i] < lo[i] - tol || x[i] > hi[i] + tol) return false;
+    return true;
+}
+
+numeric::vec box_bounds::random_point(numeric::rng& rng) const {
+    numeric::vec x(lo.size());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(lo[i], hi[i]);
+    return x;
+}
+
+}  // namespace ehdse::opt

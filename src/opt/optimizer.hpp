@@ -1,0 +1,67 @@
+// Common optimiser interface (paper section V uses MATLAB's Simulated
+// Annealing and Genetic Algorithm; we implement both, plus deterministic
+// baselines, against one box-constrained maximisation interface).
+//
+// All optimisers MAXIMISE the objective over an axis-aligned box — the
+// coded [-1,1]^k design space in the paper's flow, but any box works.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "numeric/matrix.hpp"
+#include "numeric/rng.hpp"
+
+namespace ehdse::opt {
+
+/// Objective to maximise.
+using objective_fn = std::function<double(const numeric::vec&)>;
+
+/// Axis-aligned search box.
+struct box_bounds {
+    numeric::vec lo;
+    numeric::vec hi;
+
+    /// The coded RSM box [-1,1]^k.
+    static box_bounds unit(std::size_t k);
+
+    std::size_t dimension() const noexcept { return lo.size(); }
+
+    /// Throws std::invalid_argument unless lo < hi elementwise.
+    void validate() const;
+
+    /// Clamp a point into the box (in place, returns the point).
+    numeric::vec clamp(numeric::vec x) const;
+
+    bool contains(const numeric::vec& x, double tol = 1e-12) const;
+
+    /// Uniform random point inside the box.
+    numeric::vec random_point(numeric::rng& rng) const;
+
+    /// Box edge length along axis i.
+    double width(std::size_t i) const { return hi.at(i) - lo.at(i); }
+};
+
+/// Outcome of one optimisation run.
+struct opt_result {
+    numeric::vec best_x;
+    double best_value = 0.0;
+    std::size_t evaluations = 0;
+    std::size_t iterations = 0;
+    bool converged = false;      ///< stopping rule was met (vs budget exhausted)
+    std::string algorithm;
+};
+
+/// Abstract optimiser. Implementations are deterministic given the rng.
+class optimizer {
+public:
+    virtual ~optimizer() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Maximise `f` over `bounds` using randomness from `rng`.
+    virtual opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                                numeric::rng& rng) const = 0;
+};
+
+}  // namespace ehdse::opt

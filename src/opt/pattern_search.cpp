@@ -1,0 +1,80 @@
+#include "opt/pattern_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ehdse::opt {
+
+opt_result pattern_search::maximize(const objective_fn& f,
+                                    const box_bounds& bounds,
+                                    numeric::rng& rng) const {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+
+    opt_result out;
+    out.algorithm = name();
+    out.best_value = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t restart = 0; restart < opt_.restarts; ++restart) {
+        numeric::vec x = bounds.random_point(rng);
+        double fx = f(x);
+        ++out.evaluations;
+        double step = opt_.initial_step_fraction;
+
+        for (std::size_t it = 0; it < opt_.max_iterations; ++it) {
+            ++out.iterations;
+            bool improved = false;
+            // Poll +- step along every axis, accepting the first improvement.
+            for (std::size_t i = 0; i < k && !improved; ++i) {
+                for (const double dir : {1.0, -1.0}) {
+                    numeric::vec y = x;
+                    y[i] = std::clamp(y[i] + dir * step * bounds.width(i),
+                                      bounds.lo[i], bounds.hi[i]);
+                    if (y[i] == x[i]) continue;
+                    const double fy = f(y);
+                    ++out.evaluations;
+                    if (fy > fx) {
+                        x = std::move(y);
+                        fx = fy;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if (!improved) {
+                step *= opt_.contraction;
+                if (step < opt_.min_step_fraction) {
+                    out.converged = true;
+                    break;
+                }
+            }
+        }
+        if (fx > out.best_value) {
+            out.best_value = fx;
+            out.best_x = x;
+        }
+    }
+    return out;
+}
+
+opt_result random_search::maximize(const objective_fn& f, const box_bounds& bounds,
+                                   numeric::rng& rng) const {
+    bounds.validate();
+    opt_result out;
+    out.algorithm = name();
+    out.best_value = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < opt_.evaluations; ++i) {
+        numeric::vec x = bounds.random_point(rng);
+        const double fx = f(x);
+        ++out.evaluations;
+        ++out.iterations;
+        if (fx > out.best_value) {
+            out.best_value = fx;
+            out.best_x = std::move(x);
+        }
+    }
+    out.converged = true;
+    return out;
+}
+
+}  // namespace ehdse::opt

@@ -1,0 +1,49 @@
+// Hooke–Jeeves pattern search with multistart — a deterministic polling
+// baseline for the optimiser ablation bench.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdse::opt {
+
+struct ps_options {
+    std::size_t restarts = 8;
+    std::size_t max_iterations = 2000;  ///< polls per start
+    double initial_step_fraction = 0.25;
+    double min_step_fraction = 1e-6;
+    double contraction = 0.5;
+};
+
+class pattern_search final : public optimizer {
+public:
+    explicit pattern_search(ps_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "pattern-search"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    ps_options opt_;
+};
+
+/// Pure random sampling — the weakest baseline, bounding what "no strategy"
+/// achieves with the same evaluation budget.
+struct rs_options {
+    std::size_t evaluations = 5000;
+};
+
+class random_search final : public optimizer {
+public:
+    explicit random_search(rs_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "random-search"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    rs_options opt_;
+};
+
+}  // namespace ehdse::opt

@@ -1,0 +1,78 @@
+#include "opt/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ehdse::opt {
+
+opt_result simulated_annealing::maximize(const objective_fn& f,
+                                         const box_bounds& bounds,
+                                         numeric::rng& rng) const {
+    bounds.validate();
+    const std::size_t k = bounds.dimension();
+
+    opt_result out;
+    out.algorithm = name();
+
+    // Calibrate the temperature scale from the objective's sampled spread so
+    // sa_options::initial_temperature is dimensionless across problems.
+    double spread = 0.0;
+    {
+        double lo = 0.0, hi = 0.0;
+        for (std::size_t s = 0; s < opt_.calibration_samples; ++s) {
+            const double v = f(bounds.random_point(rng));
+            ++out.evaluations;
+            if (s == 0) lo = hi = v;
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        spread = hi - lo;
+    }
+    if (spread <= 0.0) spread = 1.0;
+
+    numeric::vec x = bounds.random_point(rng);
+    double fx = f(x);
+    ++out.evaluations;
+    out.best_x = x;
+    out.best_value = fx;
+
+    double temperature = opt_.initial_temperature * spread;
+    const double t_floor = opt_.min_temperature * spread;
+    double step_fraction = opt_.initial_step_fraction;
+
+    for (std::size_t epoch = 0; epoch < opt_.max_epochs; ++epoch) {
+        ++out.iterations;
+        std::size_t accepted = 0;
+        for (std::size_t s = 0; s < opt_.steps_per_epoch; ++s) {
+            numeric::vec y = x;
+            for (std::size_t i = 0; i < k; ++i)
+                y[i] += rng.normal(0.0, step_fraction * bounds.width(i));
+            y = bounds.clamp(std::move(y));
+            const double fy = f(y);
+            ++out.evaluations;
+            const double delta = fy - fx;  // maximisation: improvement is positive
+            if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
+                x = std::move(y);
+                fx = fy;
+                ++accepted;
+                if (fx > out.best_value) {
+                    out.best_value = fx;
+                    out.best_x = x;
+                }
+            }
+        }
+        temperature *= opt_.cooling_rate;
+        // Shrink the neighbourhood as acceptance falls; keeps late epochs local.
+        const double accept_rate =
+            static_cast<double>(accepted) / static_cast<double>(opt_.steps_per_epoch);
+        step_fraction = std::max(opt_.min_step_fraction,
+                                 step_fraction * (accept_rate > 0.4 ? 1.05 : 0.90));
+        if (temperature < t_floor) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace ehdse::opt

@@ -1,0 +1,40 @@
+// Simulated annealing with geometric cooling and adaptive step scaling —
+// one of the two global optimisers the paper runs on the fitted RSM.
+//
+// Neighbourhood: gaussian perturbation of every coordinate, scaled by the
+// box width and the current temperature fraction, clamped into the box.
+// Acceptance: Metropolis on the (maximised) objective. Reheat-free; the
+// best-ever point is tracked separately from the current state.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdse::opt {
+
+struct sa_options {
+    double initial_temperature = 1.0;   ///< in units of typical objective spread
+    double cooling_rate = 0.95;         ///< geometric factor per epoch
+    double min_temperature = 1e-6;      ///< stop when T falls below
+    std::size_t steps_per_epoch = 50;
+    std::size_t max_epochs = 400;
+    double initial_step_fraction = 0.5; ///< of box width, shrinks with T
+    double min_step_fraction = 1e-3;
+    /// Calibrate T0 by multiplying with the sampled objective spread so the
+    /// first epoch accepts most moves (temperature in objective units).
+    std::size_t calibration_samples = 32;
+};
+
+class simulated_annealing final : public optimizer {
+public:
+    explicit simulated_annealing(sa_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "simulated-annealing"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    sa_options opt_;
+};
+
+}  // namespace ehdse::opt

@@ -1,0 +1,145 @@
+#include "opt/swarm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ehdse::opt {
+
+opt_result particle_swarm::maximize(const objective_fn& f,
+                                    const box_bounds& bounds,
+                                    numeric::rng& rng) const {
+    bounds.validate();
+    if (opt_.particles < 2)
+        throw std::invalid_argument("particle_swarm: need at least 2 particles");
+    const std::size_t k = bounds.dimension();
+
+    opt_result out;
+    out.algorithm = name();
+
+    struct particle {
+        numeric::vec x, v, best_x;
+        double best_value;
+    };
+    std::vector<particle> swarm(opt_.particles);
+    out.best_value = -std::numeric_limits<double>::infinity();
+
+    std::vector<double> v_max(k);
+    for (std::size_t i = 0; i < k; ++i)
+        v_max[i] = opt_.max_velocity_fraction * bounds.width(i);
+
+    for (auto& p : swarm) {
+        p.x = bounds.random_point(rng);
+        p.v.resize(k);
+        for (std::size_t i = 0; i < k; ++i)
+            p.v[i] = rng.uniform(-v_max[i], v_max[i]);
+        p.best_x = p.x;
+        p.best_value = f(p.x);
+        ++out.evaluations;
+        if (p.best_value > out.best_value) {
+            out.best_value = p.best_value;
+            out.best_x = p.x;
+        }
+    }
+
+    std::size_t stall = 0;
+    for (std::size_t it = 0; it < opt_.iterations; ++it) {
+        ++out.iterations;
+        const double before = out.best_value;
+        for (auto& p : swarm) {
+            for (std::size_t i = 0; i < k; ++i) {
+                p.v[i] = opt_.inertia * p.v[i] +
+                         opt_.cognitive * rng.uniform() * (p.best_x[i] - p.x[i]) +
+                         opt_.social * rng.uniform() * (out.best_x[i] - p.x[i]);
+                p.v[i] = std::clamp(p.v[i], -v_max[i], v_max[i]);
+                p.x[i] = std::clamp(p.x[i] + p.v[i], bounds.lo[i], bounds.hi[i]);
+            }
+            const double value = f(p.x);
+            ++out.evaluations;
+            if (value > p.best_value) {
+                p.best_value = value;
+                p.best_x = p.x;
+                if (value > out.best_value) {
+                    out.best_value = value;
+                    out.best_x = p.x;
+                }
+            }
+        }
+        if (out.best_value > before + opt_.stall_tolerance) {
+            stall = 0;
+        } else if (++stall >= opt_.stall_iterations) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+opt_result differential_evolution::maximize(const objective_fn& f,
+                                            const box_bounds& bounds,
+                                            numeric::rng& rng) const {
+    bounds.validate();
+    if (opt_.population < 4)
+        throw std::invalid_argument("differential_evolution: need population >= 4");
+    const std::size_t k = bounds.dimension();
+    const std::size_t np = opt_.population;
+
+    opt_result out;
+    out.algorithm = name();
+    out.best_value = -std::numeric_limits<double>::infinity();
+
+    std::vector<numeric::vec> pop(np);
+    std::vector<double> value(np);
+    for (std::size_t i = 0; i < np; ++i) {
+        pop[i] = bounds.random_point(rng);
+        value[i] = f(pop[i]);
+        ++out.evaluations;
+        if (value[i] > out.best_value) {
+            out.best_value = value[i];
+            out.best_x = pop[i];
+        }
+    }
+
+    std::size_t stall = 0;
+    for (std::size_t gen = 0; gen < opt_.generations; ++gen) {
+        ++out.iterations;
+        const double before = out.best_value;
+        for (std::size_t i = 0; i < np; ++i) {
+            // DE/rand/1: three distinct donors, none equal to i.
+            std::size_t a, b, c;
+            do { a = rng.uniform_index(np); } while (a == i);
+            do { b = rng.uniform_index(np); } while (b == i || b == a);
+            do { c = rng.uniform_index(np); } while (c == i || c == a || c == b);
+
+            numeric::vec trial = pop[i];
+            const std::size_t forced = rng.uniform_index(k);
+            for (std::size_t d = 0; d < k; ++d) {
+                if (d == forced || rng.uniform() < opt_.crossover_prob) {
+                    const double mutant =
+                        pop[a][d] +
+                        opt_.differential_weight * (pop[b][d] - pop[c][d]);
+                    trial[d] = std::clamp(mutant, bounds.lo[d], bounds.hi[d]);
+                }
+            }
+            const double trial_value = f(trial);
+            ++out.evaluations;
+            if (trial_value >= value[i]) {
+                pop[i] = std::move(trial);
+                value[i] = trial_value;
+                if (trial_value > out.best_value) {
+                    out.best_value = trial_value;
+                    out.best_x = pop[i];
+                }
+            }
+        }
+        if (out.best_value > before + opt_.stall_tolerance) {
+            stall = 0;
+        } else if (++stall >= opt_.stall_generations) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace ehdse::opt

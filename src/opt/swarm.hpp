@@ -1,0 +1,57 @@
+// Population optimisers beyond the paper's pair: particle swarm (global
+// best topology, constriction form) and differential evolution
+// (DE/rand/1/bin). Both widen the optimiser-ablation study and give users
+// alternatives when the response surface is rougher than a quadratic.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace ehdse::opt {
+
+struct pso_options {
+    std::size_t particles = 40;
+    std::size_t iterations = 300;
+    double inertia = 0.729;          ///< Clerc constriction values
+    double cognitive = 1.49445;
+    double social = 1.49445;
+    double max_velocity_fraction = 0.25;  ///< of box width per axis
+    std::size_t stall_iterations = 60;
+    double stall_tolerance = 1e-10;
+};
+
+class particle_swarm final : public optimizer {
+public:
+    explicit particle_swarm(pso_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "particle-swarm"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    pso_options opt_;
+};
+
+struct de_options {
+    std::size_t population = 40;
+    std::size_t generations = 300;
+    double differential_weight = 0.7;  ///< F
+    double crossover_prob = 0.9;       ///< CR
+    std::size_t stall_generations = 60;
+    double stall_tolerance = 1e-10;
+};
+
+class differential_evolution final : public optimizer {
+public:
+    explicit differential_evolution(de_options options = {}) : opt_(options) {}
+
+    std::string name() const override { return "differential-evolution"; }
+
+    opt_result maximize(const objective_fn& f, const box_bounds& bounds,
+                        numeric::rng& rng) const override;
+
+private:
+    de_options opt_;
+};
+
+}  // namespace ehdse::opt

@@ -1,0 +1,39 @@
+#include "power/energy_ledger.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace ehdse::power {
+
+void energy_ledger::record(const std::string& account, double joules) {
+    if (joules < 0.0)
+        throw std::invalid_argument("energy_ledger: negative energy for '" + account + "'");
+    accounts_[account] += joules;
+}
+
+double energy_ledger::total(const std::string& account) const {
+    const auto it = accounts_.find(account);
+    return it == accounts_.end() ? 0.0 : it->second;
+}
+
+double energy_ledger::grand_total() const {
+    double acc = 0.0;
+    for (const auto& [name, joules] : accounts_) acc += joules;
+    return acc;
+}
+
+void energy_ledger::write_report(std::ostream& os) const {
+    const double total_j = grand_total();
+    os << std::left << std::setw(28) << "account" << std::right << std::setw(12)
+       << "energy/mJ" << std::setw(10) << "share/%" << '\n';
+    for (const auto& [name, joules] : accounts_) {
+        const double share = total_j > 0.0 ? 100.0 * joules / total_j : 0.0;
+        os << std::left << std::setw(28) << name << std::right << std::setw(12)
+           << std::fixed << std::setprecision(3) << joules * 1e3 << std::setw(10)
+           << std::setprecision(1) << share << '\n';
+    }
+    os << std::left << std::setw(28) << "total" << std::right << std::setw(12)
+       << std::setprecision(3) << total_j * 1e3 << '\n';
+}
+
+}  // namespace ehdse::power

@@ -1,0 +1,40 @@
+// Per-component energy accounting.
+//
+// The optimisation story of the paper is an energy budget: every joule the
+// harvester banks is spent by some component. The ledger attributes
+// consumed (and harvested) energy to named accounts so benchmarks and
+// examples can print the breakdown behind a transmission count.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ehdse::power {
+
+class energy_ledger {
+public:
+    /// Add `joules` (>= 0) to the named account.
+    void record(const std::string& account, double joules);
+
+    /// Total recorded for one account (0 when absent).
+    double total(const std::string& account) const;
+
+    /// Sum over all accounts.
+    double grand_total() const;
+
+    /// Number of accounts touched.
+    std::size_t account_count() const noexcept { return accounts_.size(); }
+
+    const std::map<std::string, double>& accounts() const noexcept { return accounts_; }
+
+    void clear() { accounts_.clear(); }
+
+    /// Pretty table: account, millijoules, share of the grand total.
+    void write_report(std::ostream& os) const;
+
+private:
+    std::map<std::string, double> accounts_;
+};
+
+}  // namespace ehdse::power

@@ -1,0 +1,53 @@
+#include "power/load_bank.hpp"
+
+#include <stdexcept>
+
+namespace ehdse::power {
+
+load_id load_bank::add_load(std::string name) {
+    loads_.push_back(slot{std::move(name)});
+    return loads_.size() - 1;
+}
+
+const load_bank::slot& load_bank::at(load_id id) const {
+    if (id >= loads_.size()) throw std::out_of_range("load_bank: bad load id");
+    return loads_[id];
+}
+
+load_bank::slot& load_bank::at(load_id id) {
+    if (id >= loads_.size()) throw std::out_of_range("load_bank: bad load id");
+    return loads_[id];
+}
+
+const std::string& load_bank::name_of(load_id id) const { return at(id).name; }
+
+void load_bank::set_current(load_id id, double amps) {
+    if (amps < 0.0) throw std::invalid_argument("load_bank: negative current");
+    at(id).current_a = amps;
+}
+
+void load_bank::set_resistance(load_id id, double ohms) {
+    if (ohms <= 0.0) throw std::invalid_argument("load_bank: resistance must be > 0");
+    at(id).conductance_s = 1.0 / ohms;
+}
+
+void load_bank::clear_resistance(load_id id) { at(id).conductance_s = 0.0; }
+
+void load_bank::turn_off(load_id id) {
+    slot& s = at(id);
+    s.current_a = 0.0;
+    s.conductance_s = 0.0;
+}
+
+double load_bank::current_of(load_id id, double v) const {
+    const slot& s = at(id);
+    return s.current_a + s.conductance_s * v;
+}
+
+double load_bank::total_current(double v) const {
+    double acc = 0.0;
+    for (const slot& s : loads_) acc += s.current_a + s.conductance_s * v;
+    return acc;
+}
+
+}  // namespace ehdse::power

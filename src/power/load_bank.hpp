@@ -1,0 +1,59 @@
+// Aggregation of the electrical loads hanging off the supercapacitor rail.
+//
+// Each system component (sensor node, microcontroller, accelerometer,
+// actuator) registers a load slot. A slot draws a constant current and/or a
+// resistive (conductance * V) current; digital processes flip these values
+// as the component changes state — e.g. the sensor node's equivalent
+// resistance is 167 ohm while transmitting and 5.8 Mohm asleep (paper
+// eq. 8). The analogue right-hand side queries total_current(V) each step.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ehdse::power {
+
+/// Handle identifying a registered load slot.
+using load_id = std::size_t;
+
+class load_bank {
+public:
+    /// Register a named load; starts with zero draw.
+    load_id add_load(std::string name);
+
+    std::size_t load_count() const noexcept { return loads_.size(); }
+    const std::string& name_of(load_id id) const;
+
+    /// Set the constant-current component (amps) of a slot.
+    void set_current(load_id id, double amps);
+
+    /// Set the resistive component as a resistance in ohms
+    /// (infinity or <=0-guarded: use clear_resistance for "disconnected").
+    void set_resistance(load_id id, double ohms);
+
+    /// Remove the resistive component of a slot.
+    void clear_resistance(load_id id);
+
+    /// Zero the slot entirely (component off).
+    void turn_off(load_id id);
+
+    double current_of(load_id id, double v) const;
+
+    /// Total current drawn from the rail at rail voltage v.
+    double total_current(double v) const;
+
+private:
+    struct slot {
+        std::string name;
+        double current_a = 0.0;
+        double conductance_s = 0.0;
+    };
+
+    const slot& at(load_id id) const;
+    slot& at(load_id id);
+
+    std::vector<slot> loads_;
+};
+
+}  // namespace ehdse::power

@@ -1,0 +1,45 @@
+// Diode-bridge rectifier, cycle-averaged model.
+//
+// The microgenerator's sinusoidal emf e(t) = E sin(wt) drives the storage
+// capacitor (held at voltage V over one vibration cycle) through a full
+// bridge with per-diode drop Vd and the coil's series resistance R. The
+// bridge conducts while |e| exceeds the sink voltage U = V + 2 Vd, i.e. for
+// theta in (theta1, pi - theta1) each half cycle with theta1 = asin(U/E).
+//
+// Closed-form cycle averages (used by the envelope simulator and verified
+// against the full transient model in tests):
+//   I_avg  = (1/(pi R)) [ 2 E cos(theta1) - U (pi - 2 theta1) ]
+//   P_elec = (1/(pi R)) [ E^2 ((pi - 2 theta1)/2 + sin(2 theta1)/2)
+//                         - 2 U E cos(theta1) ]
+// with the power split P_elec = P_coil + (V + 2 Vd) I_avg, of which
+// P_store = V I_avg reaches the supercapacitor and P_diode = 2 Vd I_avg is
+// lost in the bridge.
+#pragma once
+
+namespace ehdse::power {
+
+/// Bridge parameters. Defaults model a Schottky bridge as used on
+/// energy-harvesting power conditioning boards.
+struct rectifier_params {
+    double diode_drop_v = 0.30;  ///< forward drop per diode (two in series conduct)
+};
+
+/// Cycle-averaged operating point of the bridge at one (E, V) pair.
+struct rectifier_operating_point {
+    bool conducting = false;       ///< E > V + 2 Vd
+    double conduction_angle = 0.0; ///< pi - 2*theta1 per half cycle (radians)
+    double i_avg_a = 0.0;          ///< average current delivered into the store
+    double p_mech_w = 0.0;         ///< average power drawn from the mechanics (= P_elec)
+    double p_store_w = 0.0;        ///< average power into the supercapacitor
+    double p_diode_w = 0.0;        ///< average power dissipated in the bridge
+    double p_coil_w = 0.0;         ///< average power dissipated in the coil
+};
+
+/// Evaluate the averaged bridge at emf amplitude `emf_amp_v`, storage
+/// voltage `store_v` and series (coil) resistance `series_r_ohm`.
+/// All inputs must be finite; store_v >= 0, series_r_ohm > 0.
+rectifier_operating_point bridge_average(double emf_amp_v, double store_v,
+                                         double series_r_ohm,
+                                         const rectifier_params& params = {});
+
+}  // namespace ehdse::power

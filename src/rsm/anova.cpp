@@ -1,0 +1,171 @@
+#include "rsm/anova.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "numeric/decomp.hpp"
+#include "numeric/special.hpp"
+#include "numeric/stats.hpp"
+
+namespace ehdse::rsm {
+
+anova_result analyse_fit(const std::vector<numeric::vec>& points,
+                         const numeric::vec& y, const fit_result& fit) {
+    const std::size_t n = points.size();
+    if (n != y.size())
+        throw std::invalid_argument("analyse_fit: observation count mismatch");
+    const std::size_t p = fit.model.coefficients().size();
+    if (fit.fitted.size() != n)
+        throw std::invalid_argument("analyse_fit: fit does not match the data");
+    if (n <= p)
+        throw std::invalid_argument(
+            "analyse_fit: saturated design (n <= p) has no residual degrees "
+            "of freedom — add runs (e.g. doe_runs > 10) to assess the model");
+
+    anova_result a;
+    a.ss_total = numeric::total_sum_squares(y);
+    a.ss_residual = fit.sse;
+    a.ss_regression = a.ss_total - a.ss_residual;
+    a.df_regression = p - 1;
+    a.df_residual = n - p;
+    a.ms_regression = a.ss_regression / static_cast<double>(a.df_regression);
+    a.ms_residual = a.ss_residual / static_cast<double>(a.df_residual);
+    a.sigma = std::sqrt(a.ms_residual);
+    a.r_squared = fit.r_squared;
+    a.adj_r_squared = fit.adj_r_squared;
+
+    if (a.ms_residual > 0.0) {
+        a.f_statistic = a.ms_regression / a.ms_residual;
+        a.f_p_value = numeric::f_upper_p(a.f_statistic,
+                                         static_cast<double>(a.df_regression),
+                                         static_cast<double>(a.df_residual));
+    } else {
+        // Perfect fit with residual dof: infinitely significant.
+        a.f_statistic = std::numeric_limits<double>::infinity();
+        a.f_p_value = 0.0;
+    }
+
+    // Coefficient covariance: sigma^2 (X'X)^-1.
+    const numeric::matrix x = build_design_matrix(points);
+    const numeric::matrix info_inv = numeric::inverse(x.gram());
+    const std::size_t k = points.front().size();
+    const auto nu = static_cast<double>(a.df_residual);
+    for (std::size_t t = 0; t < p; ++t) {
+        coefficient_stat cs;
+        cs.term = quadratic_term_name(k, t);
+        cs.estimate = fit.model.coefficients()[t];
+        cs.std_error = a.sigma * std::sqrt(info_inv.at_unchecked(t, t));
+        if (cs.std_error > 0.0) {
+            cs.t_value = cs.estimate / cs.std_error;
+            cs.p_value = numeric::student_t_two_sided_p(cs.t_value, nu);
+        } else {
+            cs.t_value = std::numeric_limits<double>::infinity();
+            cs.p_value = 0.0;
+        }
+        cs.significant_05 = cs.p_value < 0.05;
+        a.coefficients.push_back(std::move(cs));
+    }
+    return a;
+}
+
+double prediction_std_error(const std::vector<numeric::vec>& points,
+                            const anova_result& anova, const numeric::vec& x) {
+    const numeric::matrix design = build_design_matrix(points);
+    const numeric::matrix info_inv = numeric::inverse(design.gram());
+    const numeric::vec b = quadratic_basis(x);
+    if (b.size() != info_inv.rows())
+        throw std::invalid_argument("prediction_std_error: dimension mismatch");
+    const double quad = numeric::dot(b, info_inv * b);
+    return anova.sigma * std::sqrt(std::max(quad, 0.0));
+}
+
+lack_of_fit_result lack_of_fit(const std::vector<numeric::vec>& points,
+                               const numeric::vec& y, const fit_result& fit,
+                               double tol) {
+    const std::size_t n = points.size();
+    if (n != y.size() || fit.fitted.size() != n)
+        throw std::invalid_argument("lack_of_fit: input sizes do not match");
+
+    // Group replicated design points (quadratic in the group count is fine
+    // at DOE scales).
+    std::vector<int> group(n, -1);
+    std::size_t group_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (group[i] >= 0) continue;
+        group[i] = static_cast<int>(group_count);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (group[j] >= 0) continue;
+            bool same = points[i].size() == points[j].size();
+            for (std::size_t d = 0; same && d < points[i].size(); ++d)
+                same = std::abs(points[i][d] - points[j][d]) <= tol;
+            if (same) group[j] = static_cast<int>(group_count);
+        }
+        ++group_count;
+    }
+
+    // Pure error: within-group deviation from the group mean.
+    std::vector<double> group_sum(group_count, 0.0);
+    std::vector<std::size_t> group_n(group_count, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        group_sum[group[i]] += y[i];
+        ++group_n[group[i]];
+    }
+    lack_of_fit_result r;
+    r.replicate_groups = group_count;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double mean_i = group_sum[group[i]] / static_cast<double>(group_n[group[i]]);
+        r.ss_pure_error += (y[i] - mean_i) * (y[i] - mean_i);
+    }
+    r.df_pure_error = n - group_count;
+
+    const double sse = fit.sse;
+    r.ss_lack_of_fit = std::max(sse - r.ss_pure_error, 0.0);
+    const std::size_t p = fit.model.coefficients().size();
+    r.df_lack_of_fit = group_count > p ? group_count - p : 0;
+
+    r.testable = r.df_pure_error > 0 && r.df_lack_of_fit > 0;
+    if (r.testable) {
+        const double ms_lof = r.ss_lack_of_fit / static_cast<double>(r.df_lack_of_fit);
+        const double ms_pe = r.ss_pure_error / static_cast<double>(r.df_pure_error);
+        if (ms_pe > 0.0) {
+            r.f_statistic = ms_lof / ms_pe;
+            r.p_value = numeric::f_upper_p(r.f_statistic,
+                                           static_cast<double>(r.df_lack_of_fit),
+                                           static_cast<double>(r.df_pure_error));
+        } else {
+            r.f_statistic = std::numeric_limits<double>::infinity();
+            r.p_value = 0.0;
+        }
+    }
+    return r;
+}
+
+std::string format_anova(const anova_result& a) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << "ANOVA\n";
+    os << "  source       df          SS          MS           F      p\n";
+    os << "  regression " << std::setw(4) << a.df_regression << std::setw(12)
+       << a.ss_regression << std::setw(12) << a.ms_regression << std::setw(12)
+       << a.f_statistic << std::setw(9) << std::setprecision(4) << a.f_p_value
+       << std::setprecision(3) << "\n";
+    os << "  residual   " << std::setw(4) << a.df_residual << std::setw(12)
+       << a.ss_residual << std::setw(12) << a.ms_residual << "\n";
+    os << "  total      " << std::setw(4) << (a.df_regression + a.df_residual)
+       << std::setw(12) << a.ss_total << "\n";
+    os << "  sigma = " << a.sigma << ", R^2 = " << std::setprecision(4)
+       << a.r_squared << ", adj R^2 = " << a.adj_r_squared << "\n\n";
+    os << "coefficients\n";
+    os << "  term        estimate   std.err    t-value    p-value\n";
+    for (const auto& c : a.coefficients) {
+        os << "  " << std::left << std::setw(9) << c.term << std::right
+           << std::setprecision(3) << std::setw(11) << c.estimate << std::setw(10)
+           << c.std_error << std::setw(11) << c.t_value << std::setprecision(4)
+           << std::setw(11) << c.p_value << (c.significant_05 ? "  *" : "") << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,85 @@
+// Statistical assessment of a fitted response surface — the analysis the
+// paper's section II explicitly omits "due to space limitations":
+// regression ANOVA (F-test of overall significance), per-coefficient
+// standard errors and t-tests, and prediction standard errors.
+//
+// Only meaningful for over-determined designs (n > p); a saturated design
+// (the paper's 10-run case) has zero residual degrees of freedom and is
+// rejected with a clear error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsm/quadratic_model.hpp"
+
+namespace ehdse::rsm {
+
+/// One fitted coefficient with its inference statistics.
+struct coefficient_stat {
+    std::string term;       ///< "1", "x1", "x1^2", "x1*x2", ...
+    double estimate = 0.0;
+    double std_error = 0.0;
+    double t_value = 0.0;
+    double p_value = 0.0;    ///< two-sided, H0: coefficient = 0
+    bool significant_05 = false;  ///< p < 0.05
+};
+
+/// Regression analysis of variance and related diagnostics.
+struct anova_result {
+    // Sums of squares and degrees of freedom.
+    double ss_total = 0.0;       ///< about the mean
+    double ss_regression = 0.0;
+    double ss_residual = 0.0;    ///< the paper's SSE (eq. 6)
+    std::size_t df_regression = 0;  ///< p - 1
+    std::size_t df_residual = 0;    ///< n - p
+
+    double ms_regression = 0.0;
+    double ms_residual = 0.0;    ///< sigma^2 estimate
+    double f_statistic = 0.0;
+    double f_p_value = 0.0;      ///< H0: all non-intercept coefficients = 0
+
+    double sigma = 0.0;          ///< residual standard error
+    double r_squared = 0.0;
+    double adj_r_squared = 0.0;
+
+    std::vector<coefficient_stat> coefficients;
+};
+
+/// Analyse a fit produced by fit_quadratic over the same points/observations.
+/// Requires points.size() > term count (residual dof >= 1); throws
+/// std::invalid_argument for saturated or mismatched inputs.
+anova_result analyse_fit(const std::vector<numeric::vec>& points,
+                         const numeric::vec& y, const fit_result& fit);
+
+/// Standard error of the mean prediction y_hat(x) at a coded point,
+/// sigma * sqrt(x_b' (X'X)^-1 x_b) with x_b the basis expansion.
+double prediction_std_error(const std::vector<numeric::vec>& points,
+                            const anova_result& anova, const numeric::vec& x);
+
+/// Lack-of-fit test. When the design contains replicated points (e.g.
+/// centre replicates run with different noise seeds), the residual sum of
+/// squares splits into pure error (within replicate groups) and
+/// lack-of-fit (between the group means and the model); their ratio tests
+/// whether the quadratic form itself is inadequate.
+struct lack_of_fit_result {
+    double ss_lack_of_fit = 0.0;
+    double ss_pure_error = 0.0;
+    std::size_t df_lack_of_fit = 0;
+    std::size_t df_pure_error = 0;
+    double f_statistic = 0.0;
+    double p_value = 1.0;          ///< small p => the quadratic is inadequate
+    std::size_t replicate_groups = 0;  ///< distinct design points
+    bool testable = false;  ///< needs replicates AND dof on both sides
+};
+
+/// Compute the lack-of-fit decomposition. Points closer than `tol` on
+/// every coordinate count as replicates of one design point.
+lack_of_fit_result lack_of_fit(const std::vector<numeric::vec>& points,
+                               const numeric::vec& y, const fit_result& fit,
+                               double tol = 1e-9);
+
+/// Render the classic ANOVA table plus the coefficient table.
+std::string format_anova(const anova_result& a);
+
+}  // namespace ehdse::rsm

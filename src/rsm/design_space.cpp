@@ -1,0 +1,80 @@
+#include "rsm/design_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ehdse::rsm {
+
+design_space::design_space(std::vector<parameter_range> params)
+    : params_(std::move(params)) {
+    for (const auto& p : params_) {
+        if (!(p.max > p.min))
+            throw std::invalid_argument("design_space: parameter '" + p.name +
+                                        "' has max <= min");
+        if (p.scale == axis_scale::logarithmic && p.min <= 0.0)
+            throw std::invalid_argument("design_space: log-scaled parameter '" +
+                                        p.name + "' needs min > 0");
+    }
+}
+
+const parameter_range& design_space::parameter(std::size_t i) const {
+    if (i >= params_.size()) throw std::out_of_range("design_space: bad parameter index");
+    return params_[i];
+}
+
+double design_space::code(std::size_t i, double natural) const {
+    const parameter_range& p = parameter(i);
+    if (p.scale == axis_scale::logarithmic) {
+        const double lo = std::log(p.min);
+        const double hi = std::log(p.max);
+        return (std::log(natural) - (hi + lo) / 2.0) / ((hi - lo) / 2.0);
+    }
+    const double center = (p.max + p.min) / 2.0;
+    const double half_range = (p.max - p.min) / 2.0;
+    return (natural - center) / half_range;
+}
+
+double design_space::decode(std::size_t i, double coded) const {
+    const parameter_range& p = parameter(i);
+    if (p.scale == axis_scale::logarithmic) {
+        const double lo = std::log(p.min);
+        const double hi = std::log(p.max);
+        return std::exp((hi + lo) / 2.0 + coded * (hi - lo) / 2.0);
+    }
+    const double center = (p.max + p.min) / 2.0;
+    const double half_range = (p.max - p.min) / 2.0;
+    return center + coded * half_range;
+}
+
+numeric::vec design_space::code(const numeric::vec& natural) const {
+    if (natural.size() != params_.size())
+        throw std::invalid_argument("design_space::code: dimension mismatch");
+    numeric::vec out(natural.size());
+    for (std::size_t i = 0; i < natural.size(); ++i) out[i] = code(i, natural[i]);
+    return out;
+}
+
+numeric::vec design_space::decode(const numeric::vec& coded) const {
+    if (coded.size() != params_.size())
+        throw std::invalid_argument("design_space::decode: dimension mismatch");
+    numeric::vec out(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) out[i] = decode(i, coded[i]);
+    return out;
+}
+
+numeric::vec design_space::clamp(numeric::vec coded) const {
+    if (coded.size() != params_.size())
+        throw std::invalid_argument("design_space::clamp: dimension mismatch");
+    for (double& x : coded) x = std::clamp(x, -1.0, 1.0);
+    return coded;
+}
+
+bool design_space::contains(const numeric::vec& coded, double tol) const {
+    if (coded.size() != params_.size()) return false;
+    return std::all_of(coded.begin(), coded.end(), [tol](double x) {
+        return x >= -1.0 - tol && x <= 1.0 + tol;
+    });
+}
+
+}  // namespace ehdse::rsm

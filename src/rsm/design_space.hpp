@@ -1,0 +1,65 @@
+// Design-parameter space and the natural <-> coded transformation
+// (paper section II-A, eq. 3).
+//
+// Each design parameter a_i in physical units is mapped to a dimensionless
+// coded variable
+//     x_i = (a_i - (a_max + a_min)/2) / ((a_max - a_min)/2)
+// so that the search box becomes [-1, 1]^k. (The paper's eq. 3 prints the
+// denominator as (a_max + a_min)/2; with that reading the original design's
+// coded point would not be the origin — we use the standard RSM half-range
+// denominator, which also reproduces the paper's coded design points.)
+//
+// A parameter can optionally be coded on a log axis, useful when a range
+// spans orders of magnitude (the clock frequency covers 125 kHz – 8 MHz);
+// the paper codes linearly, which stays the default.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::rsm {
+
+/// Axis scaling of one parameter.
+enum class axis_scale { linear, logarithmic };
+
+/// One design parameter with its physical range.
+struct parameter_range {
+    std::string name;
+    double min = 0.0;
+    double max = 1.0;
+    axis_scale scale = axis_scale::linear;
+};
+
+/// An ordered set of design parameters with coding transforms.
+class design_space {
+public:
+    design_space() = default;
+    explicit design_space(std::vector<parameter_range> params);
+
+    std::size_t dimension() const noexcept { return params_.size(); }
+    const std::vector<parameter_range>& parameters() const noexcept { return params_; }
+    const parameter_range& parameter(std::size_t i) const;
+
+    /// Natural value -> coded value in [-1, 1] for parameter i.
+    double code(std::size_t i, double natural) const;
+
+    /// Coded value -> natural value for parameter i.
+    double decode(std::size_t i, double coded) const;
+
+    /// Vector forms of code/decode (sizes must equal dimension()).
+    numeric::vec code(const numeric::vec& natural) const;
+    numeric::vec decode(const numeric::vec& coded) const;
+
+    /// Clamp a coded vector into the [-1, 1] box.
+    numeric::vec clamp(numeric::vec coded) const;
+
+    /// True when every component of the coded vector is within [-1-tol, 1+tol].
+    bool contains(const numeric::vec& coded, double tol = 1e-9) const;
+
+private:
+    std::vector<parameter_range> params_;
+};
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,126 @@
+#include "rsm/kriging.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/decomp.hpp"
+#include "numeric/stats.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace ehdse::rsm {
+
+double gp_model::kernel(const numeric::vec& a, const numeric::vec& b) const {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return params_.signal_variance *
+           std::exp(-d2 / (2.0 * params_.length_scale * params_.length_scale));
+}
+
+gp_model::gp_model(std::vector<numeric::vec> points, const numeric::vec& y,
+                   gp_params params)
+    : points_(std::move(points)), params_(params) {
+    const std::size_t n = points_.size();
+    if (n == 0) throw std::invalid_argument("gp_model: empty training set");
+    if (y.size() != n)
+        throw std::invalid_argument("gp_model: observation count mismatch");
+    if (params_.length_scale <= 0.0 || params_.signal_variance <= 0.0 ||
+        params_.noise_variance < 0.0)
+        throw std::invalid_argument("gp_model: invalid hyperparameters");
+    for (const auto& p : points_)
+        if (p.size() != points_.front().size())
+            throw std::invalid_argument("gp_model: inconsistent point dimensions");
+
+    mean_ = numeric::mean(y);
+    numeric::vec centred(n);
+    for (std::size_t i = 0; i < n; ++i) centred[i] = y[i] - mean_;
+
+    numeric::matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = kernel(points_[i], points_[j]);
+            k.at_unchecked(i, j) = v;
+            k.at_unchecked(j, i) = v;
+        }
+        k.at_unchecked(i, i) += params_.noise_variance;
+    }
+
+    const numeric::cholesky_decomposition chol(k);
+    if (!chol.positive_definite())
+        throw std::domain_error("gp_model: kernel matrix not positive-definite "
+                                "(increase the noise nugget)");
+    alpha_ = chol.solve(centred);
+
+    // Explicit inverse for the predictive variance (n is DOE-sized).
+    kinv_ = numeric::matrix(n, n);
+    numeric::vec e(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+        e[c] = 1.0;
+        const numeric::vec col = chol.solve(e);
+        e[c] = 0.0;
+        for (std::size_t r = 0; r < n; ++r) kinv_.at_unchecked(r, c) = col[r];
+    }
+
+    lml_ = -0.5 * numeric::dot(centred, alpha_) - 0.5 * chol.log_determinant() -
+           0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+double gp_model::predict(const numeric::vec& x) const {
+    if (points_.empty()) throw std::logic_error("gp_model: not fitted");
+    if (x.size() != points_.front().size())
+        throw std::invalid_argument("gp_model::predict: dimension mismatch");
+    double acc = mean_;
+    for (std::size_t i = 0; i < points_.size(); ++i)
+        acc += kernel(x, points_[i]) * alpha_[i];
+    return acc;
+}
+
+double gp_model::predict_variance(const numeric::vec& x) const {
+    if (points_.empty()) throw std::logic_error("gp_model: not fitted");
+    if (x.size() != points_.front().size())
+        throw std::invalid_argument("gp_model::predict_variance: dimension mismatch");
+    const std::size_t n = points_.size();
+    numeric::vec kstar(n);
+    for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(x, points_[i]);
+    const double reduction = numeric::dot(kstar, kinv_ * kstar);
+    return std::max(params_.signal_variance + params_.noise_variance - reduction, 0.0);
+}
+
+gp_model fit_gp_auto(const std::vector<numeric::vec>& points,
+                     const numeric::vec& y, double noise_variance,
+                     std::uint64_t seed) {
+    if (points.size() < 2)
+        throw std::invalid_argument("fit_gp_auto: need at least 2 points");
+
+    const double y_var = std::max(numeric::sample_variance(y), 1e-12);
+
+    // Maximise the LML over (log l, log s2) in a generous box.
+    const opt::objective_fn objective = [&](const numeric::vec& t) {
+        gp_params p;
+        p.length_scale = std::exp(t[0]);
+        p.signal_variance = std::exp(t[1]);
+        p.noise_variance = noise_variance;
+        try {
+            return gp_model(points, y, p).log_marginal_likelihood();
+        } catch (const std::domain_error&) {
+            return -1e18;  // non-SPD corner of hyperparameter space
+        }
+    };
+    opt::box_bounds bounds{{std::log(0.05), std::log(1e-3 * y_var)},
+                           {std::log(10.0), std::log(1e3 * y_var)}};
+    opt::nm_options nm;
+    nm.restarts = 6;
+    numeric::rng rng(seed);
+    const auto best = opt::nelder_mead(nm).maximize(objective, bounds, rng);
+
+    gp_params p;
+    p.length_scale = std::exp(best.best_x[0]);
+    p.signal_variance = std::exp(best.best_x[1]);
+    p.noise_variance = noise_variance;
+    return gp_model(points, y, p);
+}
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,68 @@
+// Gaussian-process (kriging) surrogate — the classic alternative to
+// polynomial response surfaces in design-space exploration. Provided so
+// the methodology layer can be compared like-for-like against the paper's
+// quadratic RSM (bench_ext_surrogates): same DOE budget, which surrogate
+// predicts unseen configurations better?
+//
+// Model: zero-mean GP on centred observations with a squared-exponential
+// kernel k(a,b) = s^2 exp(-|a-b|^2 / (2 l^2)) plus a noise nugget. The
+// posterior mean/variance use one Cholesky factorisation of the kernel
+// matrix; hyperparameters can be chosen by maximising the log marginal
+// likelihood with the library's own Nelder-Mead optimiser.
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::rsm {
+
+struct gp_params {
+    double length_scale = 1.0;      ///< l, in coded units
+    double signal_variance = 1.0;   ///< s^2
+    double noise_variance = 1e-6;   ///< nugget (also stabilises the solve)
+};
+
+/// A fitted Gaussian-process surrogate.
+class gp_model {
+public:
+    gp_model() = default;
+
+    /// Fit to coded points and observations with fixed hyperparameters.
+    /// Throws std::invalid_argument on size mismatches or an empty set,
+    /// std::domain_error if the kernel matrix is not positive-definite.
+    gp_model(std::vector<numeric::vec> points, const numeric::vec& y,
+             gp_params params);
+
+    const gp_params& params() const noexcept { return params_; }
+    std::size_t training_size() const noexcept { return points_.size(); }
+
+    /// Posterior mean at a coded point.
+    double predict(const numeric::vec& x) const;
+
+    /// Posterior variance at a coded point (>= 0; ~nugget at training points).
+    double predict_variance(const numeric::vec& x) const;
+
+    /// Log marginal likelihood of the training data under the
+    /// hyperparameters — the model-selection objective.
+    double log_marginal_likelihood() const noexcept { return lml_; }
+
+private:
+    double kernel(const numeric::vec& a, const numeric::vec& b) const;
+
+    std::vector<numeric::vec> points_;
+    gp_params params_{};
+    double mean_ = 0.0;
+    numeric::vec alpha_;    ///< K^-1 (y - mean)
+    numeric::matrix kinv_;  ///< kernel-matrix inverse (for the variance)
+    double lml_ = 0.0;
+};
+
+/// Fit with hyperparameters chosen by maximising the log marginal
+/// likelihood over (log length_scale, log signal_variance) via multistart
+/// Nelder-Mead; the nugget is kept at `noise_variance`.
+gp_model fit_gp_auto(const std::vector<numeric::vec>& points,
+                     const numeric::vec& y, double noise_variance = 1e-6,
+                     std::uint64_t seed = 0x6b5);
+
+}  // namespace ehdse::rsm

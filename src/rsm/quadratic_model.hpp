@@ -1,0 +1,83 @@
+// Quadratic response-surface model (paper section II-A, eqs. 4-7).
+//
+//   y_hat = b0 + sum_i b_i x_i + sum_i b_ii x_i^2 + sum_{i<j} b_ij x_i x_j
+//
+// Coefficients are estimated by least squares on the design matrix X whose
+// rows are the basis expansion of each coded design point — solved through
+// Householder QR rather than forming the normal equations (better
+// conditioned; identical result to the paper's LSM in exact arithmetic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::rsm {
+
+/// Basis expansion of one coded point for a full quadratic in k variables:
+/// [1, x1..xk, x1^2..xk^2, x1x2, x1x3, ..., x_{k-1}x_k].
+/// Term count p = 1 + 2k + k(k-1)/2.
+numeric::vec quadratic_basis(const numeric::vec& x);
+
+/// Number of quadratic model terms for dimension k.
+std::size_t quadratic_term_count(std::size_t k);
+
+/// Human-readable name of term index t for dimension k ("1", "x1", "x1^2",
+/// "x1*x2", ...), matching the layout of quadratic_basis.
+std::string quadratic_term_name(std::size_t k, std::size_t t);
+
+/// Build the n x p design matrix from n coded design points.
+numeric::matrix build_design_matrix(const std::vector<numeric::vec>& points);
+
+/// A fitted quadratic polynomial in coded variables.
+class quadratic_model {
+public:
+    quadratic_model() = default;
+
+    /// Construct from dimension + coefficient vector (layout of
+    /// quadratic_basis). Throws on size mismatch.
+    quadratic_model(std::size_t dimension, numeric::vec coefficients);
+
+    std::size_t dimension() const noexcept { return k_; }
+    const numeric::vec& coefficients() const noexcept { return beta_; }
+
+    /// Evaluate y_hat at a coded point.
+    double predict(const numeric::vec& x) const;
+
+    /// Gradient of y_hat at a coded point (size k).
+    numeric::vec gradient(const numeric::vec& x) const;
+
+    /// Coefficient accessors by role.
+    double intercept() const;
+    double linear(std::size_t i) const;
+    double quadratic(std::size_t i) const;
+    double interaction(std::size_t i, std::size_t j) const;
+
+    /// Render as "b0 + b1*x1 + ..." for reports.
+    std::string to_string(int precision = 4) const;
+
+private:
+    std::size_t k_ = 0;
+    numeric::vec beta_;
+};
+
+/// Fit outcome with the statistical diagnostics the methodology section
+/// mentions (goodness of fit / model reliability).
+struct fit_result {
+    quadratic_model model;
+    numeric::vec fitted;      ///< y_hat at each design point
+    numeric::vec residuals;   ///< y - y_hat
+    double sse = 0.0;         ///< paper eq. 6
+    double r_squared = 0.0;
+    double adj_r_squared = 0.0;
+    double press = 0.0;       ///< leave-one-out PRESS statistic
+    double press_rmse = 0.0;  ///< sqrt(PRESS / n)
+};
+
+/// Fit a quadratic RSM to observations y at coded design points.
+/// Requires points.size() >= term count and a full-rank design.
+fit_result fit_quadratic(const std::vector<numeric::vec>& points,
+                         const numeric::vec& y);
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,56 @@
+#include "rsm/sensitivity.hpp"
+
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+
+namespace ehdse::rsm {
+
+sensitivity_result sobol_indices(const quadratic_model& model) {
+    const std::size_t k = model.dimension();
+    sensitivity_result out;
+    out.main_effect_variance.assign(k, 0.0);
+    out.interaction_variance = numeric::matrix(k, k, 0.0);
+    out.first_order.assign(k, 0.0);
+    out.total_order.assign(k, 0.0);
+
+    // Moments of U(-1,1): Var(x) = 1/3, Var(x^2) = 4/45, Var(x_i x_j) = 1/9.
+    for (std::size_t i = 0; i < k; ++i) {
+        const double bi = model.linear(i);
+        const double bii = model.quadratic(i);
+        out.main_effect_variance[i] = bi * bi / 3.0 + bii * bii * 4.0 / 45.0;
+        out.total_variance += out.main_effect_variance[i];
+    }
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = i + 1; j < k; ++j) {
+            const double bij = model.interaction(i, j);
+            const double vij = bij * bij / 9.0;
+            out.interaction_variance(i, j) = vij;
+            out.interaction_variance(j, i) = vij;
+            out.total_variance += vij;
+        }
+
+    if (out.total_variance <= 0.0) return out;  // constant model
+    for (std::size_t i = 0; i < k; ++i) {
+        out.first_order[i] = out.main_effect_variance[i] / out.total_variance;
+        double total = out.main_effect_variance[i];
+        for (std::size_t j = 0; j < k; ++j)
+            if (j != i) total += out.interaction_variance(i, j);
+        out.total_order[i] = total / out.total_variance;
+    }
+    return out;
+}
+
+double monte_carlo_variance(const quadratic_model& model, std::size_t n,
+                            std::uint64_t seed) {
+    numeric::rng rng(seed);
+    std::vector<double> ys;
+    ys.reserve(n);
+    numeric::vec x(model.dimension());
+    for (std::size_t s = 0; s < n; ++s) {
+        for (double& xi : x) xi = rng.uniform(-1.0, 1.0);
+        ys.push_back(model.predict(x));
+    }
+    return numeric::sample_variance(ys);
+}
+
+}  // namespace ehdse::rsm

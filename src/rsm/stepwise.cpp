@@ -1,0 +1,136 @@
+#include "rsm/stepwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "numeric/decomp.hpp"
+#include "numeric/special.hpp"
+#include "numeric/stats.hpp"
+
+namespace ehdse::rsm {
+
+reduced_model::reduced_model(std::size_t dimension,
+                             std::vector<std::size_t> active_terms,
+                             numeric::vec coefficients)
+    : k_(dimension), terms_(std::move(active_terms)), beta_(std::move(coefficients)) {
+    if (terms_.size() != beta_.size())
+        throw std::invalid_argument("reduced_model: term/coefficient count mismatch");
+    const std::size_t p_full = quadratic_term_count(k_);
+    for (std::size_t t : terms_)
+        if (t >= p_full)
+            throw std::out_of_range("reduced_model: term index outside quadratic basis");
+}
+
+double reduced_model::predict(const numeric::vec& x) const {
+    const numeric::vec full = quadratic_basis(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < terms_.size(); ++i) acc += beta_[i] * full[terms_[i]];
+    return acc;
+}
+
+std::string reduced_model::to_string(int precision) const {
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed;
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        const double b = beta_[i];
+        const std::string name = quadratic_term_name(k_, terms_[i]);
+        if (i == 0) {
+            os << b;
+            if (name != "1") os << "*" << name;
+            continue;
+        }
+        os << (b >= 0.0 ? " + " : " - ") << std::abs(b);
+        if (name != "1") os << "*" << name;
+    }
+    return os.str();
+}
+
+namespace {
+
+struct subset_fit {
+    numeric::vec beta;
+    numeric::vec fitted;
+    double sse = 0.0;
+    numeric::matrix info_inv;
+};
+
+subset_fit fit_subset(const std::vector<numeric::vec>& points,
+                      const numeric::vec& y,
+                      const std::vector<std::size_t>& terms) {
+    numeric::matrix x;
+    for (const auto& p : points) {
+        const numeric::vec full = quadratic_basis(p);
+        numeric::vec row(terms.size());
+        for (std::size_t i = 0; i < terms.size(); ++i) row[i] = full[terms[i]];
+        x.append_row(row);
+    }
+    const numeric::qr_decomposition qr(x);
+    if (qr.rank_deficient())
+        throw std::domain_error("backward_eliminate: rank-deficient subset fit");
+    subset_fit out;
+    out.beta = qr.solve(y);
+    out.fitted = x * out.beta;
+    out.sse = numeric::residual_sum_squares(y, out.fitted);
+    out.info_inv = numeric::inverse(x.gram());
+    return out;
+}
+
+}  // namespace
+
+stepwise_result backward_eliminate(const std::vector<numeric::vec>& points,
+                                   const numeric::vec& y, double alpha) {
+    if (points.empty() || points.size() != y.size())
+        throw std::invalid_argument("backward_eliminate: malformed inputs");
+    if (alpha <= 0.0 || alpha >= 1.0)
+        throw std::invalid_argument("backward_eliminate: alpha outside (0,1)");
+    const std::size_t k = points.front().size();
+    const std::size_t p_full = quadratic_term_count(k);
+    if (points.size() <= p_full)
+        throw std::invalid_argument(
+            "backward_eliminate: need an over-determined design (n > " +
+            std::to_string(p_full) + ")");
+
+    std::vector<std::size_t> terms(p_full);
+    for (std::size_t i = 0; i < p_full; ++i) terms[i] = i;
+
+    stepwise_result out;
+    while (true) {
+        const subset_fit fit = fit_subset(points, y, terms);
+        ++out.refits;
+        const std::size_t n = points.size();
+        const auto df = static_cast<double>(n - terms.size());
+        const double sigma2 = fit.sse / df;
+
+        // Least significant non-intercept term.
+        double worst_p = -1.0;
+        std::size_t worst_index = 0;
+        for (std::size_t i = 0; i < terms.size(); ++i) {
+            if (terms[i] == 0) continue;  // keep the intercept
+            const double se = std::sqrt(sigma2 * fit.info_inv.at_unchecked(i, i));
+            const double pv = se > 0.0
+                                  ? numeric::student_t_two_sided_p(fit.beta[i] / se, df)
+                                  : 0.0;
+            if (pv > worst_p) {
+                worst_p = pv;
+                worst_index = i;
+            }
+        }
+
+        const bool only_intercept_left =
+            terms.size() == 1 || worst_p < 0.0;
+        if (only_intercept_left || worst_p <= alpha) {
+            out.model = reduced_model(k, terms, fit.beta);
+            out.r_squared = numeric::r_squared(y, fit.fitted);
+            out.adj_r_squared =
+                numeric::adjusted_r_squared(y, fit.fitted, terms.size());
+            return out;
+        }
+        out.dropped.push_back(quadratic_term_name(k, terms[worst_index]));
+        terms.erase(terms.begin() + static_cast<std::ptrdiff_t>(worst_index));
+    }
+}
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,55 @@
+// Backward-elimination model reduction for quadratic response surfaces.
+//
+// A full quadratic in k variables carries 1 + 2k + k(k-1)/2 terms; on a
+// modest DOE most of them are noise (the ANOVA of our 16-run design keeps
+// only the x3 family). Backward elimination repeatedly refits without the
+// least-significant term until every remaining term clears the p-value
+// threshold, yielding a sparser, better-conditioned surface. The intercept
+// is never dropped.
+#pragma once
+
+#include <vector>
+
+#include "rsm/anova.hpp"
+
+namespace ehdse::rsm {
+
+/// A reduced model: the surviving term indices (into the full quadratic
+/// basis layout) and their coefficients. Predictions expand the point into
+/// the full basis and use only the active terms.
+class reduced_model {
+public:
+    reduced_model() = default;
+    reduced_model(std::size_t dimension, std::vector<std::size_t> active_terms,
+                  numeric::vec coefficients);
+
+    std::size_t dimension() const noexcept { return k_; }
+    const std::vector<std::size_t>& active_terms() const noexcept { return terms_; }
+    const numeric::vec& coefficients() const noexcept { return beta_; }
+
+    double predict(const numeric::vec& x) const;
+
+    /// Render as "b0 + c*x3 + ..." using the quadratic term names.
+    std::string to_string(int precision = 4) const;
+
+private:
+    std::size_t k_ = 0;
+    std::vector<std::size_t> terms_;
+    numeric::vec beta_;
+};
+
+struct stepwise_result {
+    reduced_model model;
+    std::vector<std::string> dropped;  ///< term names in elimination order
+    double r_squared = 0.0;
+    double adj_r_squared = 0.0;
+    std::size_t refits = 0;
+};
+
+/// Backward elimination at significance level `alpha`. Requires an
+/// over-determined design throughout (n > active term count), which holds
+/// whenever the full fit is analysable.
+stepwise_result backward_eliminate(const std::vector<numeric::vec>& points,
+                                   const numeric::vec& y, double alpha = 0.05);
+
+}  // namespace ehdse::rsm

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace ehdse::sim {
+
+event_id event_queue::schedule(double t, std::function<void()> action) {
+    const event_id id = next_id_++;
+    heap_.push(entry{t, next_seq_++, id, std::move(action)});
+    pending_.insert(id);
+    ++live_count_;
+    return id;
+}
+
+bool event_queue::cancel(event_id id) {
+    if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+    --live_count_;
+    return true;
+}
+
+void event_queue::drop_cancelled() const {
+    // Entries whose id is no longer pending were cancelled; discard them so
+    // top() always refers to a live event.
+    while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+double event_queue::next_time() const {
+    drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("event_queue::next_time on empty queue");
+    return heap_.top().time;
+}
+
+double event_queue::pop_and_run() {
+    drop_cancelled();
+    if (heap_.empty()) throw std::logic_error("event_queue::pop_and_run on empty queue");
+    // Move the action out before popping; running it may schedule new events.
+    entry e = std::move(const_cast<entry&>(heap_.top()));
+    heap_.pop();
+    pending_.erase(e.id);
+    --live_count_;
+    ++executed_;
+    if (e.action) e.action();
+    return e.time;
+}
+
+}  // namespace ehdse::sim

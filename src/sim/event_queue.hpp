@@ -1,0 +1,71 @@
+// Discrete-event side of the mixed-signal kernel.
+//
+// A priority queue of timestamped actions with deterministic tie-breaking:
+// events at equal times fire in scheduling order (FIFO), mirroring the
+// delta-cycle determinism digital designers expect from an HDL kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ehdse::sim {
+
+/// Handle used to cancel a scheduled event.
+using event_id = std::uint64_t;
+
+/// Time-ordered queue of callbacks. Not thread-safe (the kernel is
+/// single-threaded by design, as in SystemC's evaluate/update model).
+class event_queue {
+public:
+    /// Schedule `action` at absolute time `t`. Returns a cancellation handle.
+    event_id schedule(double t, std::function<void()> action);
+
+    /// Cancel a pending event. Returns false when the id already fired,
+    /// was cancelled before, or never existed.
+    bool cancel(event_id id);
+
+    /// True when no live events remain.
+    bool empty() const noexcept { return live_count_ == 0; }
+
+    /// Number of live (not-yet-fired, not-cancelled) events.
+    std::size_t size() const noexcept { return live_count_; }
+
+    /// Time of the earliest live event. Throws std::logic_error when empty.
+    double next_time() const;
+
+    /// Pop and run the earliest live event; returns its time.
+    /// Throws std::logic_error when empty.
+    double pop_and_run();
+
+    /// Total number of events executed so far (diagnostics).
+    std::uint64_t executed_count() const noexcept { return executed_; }
+
+private:
+    struct entry {
+        double time;
+        std::uint64_t seq;  // FIFO tie-break at equal times
+        event_id id;
+        std::function<void()> action;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const noexcept {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Remove cancelled entries from the heap top so top() is live.
+    void drop_cancelled() const;
+
+    mutable std::priority_queue<entry, std::vector<entry>, later> heap_;
+    std::unordered_set<event_id> pending_;  // ids scheduled and not yet fired/cancelled
+    std::uint64_t next_seq_ = 0;
+    event_id next_id_ = 1;
+    std::size_t live_count_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace ehdse::sim

@@ -1,0 +1,94 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace ehdse::sim {
+
+simulator::simulator(analog_system& sys, std::vector<double> initial_state,
+                     ode_options options)
+    : sys_(sys), state_(std::move(initial_state)), integrator_(options) {
+    if (state_.size() != sys_.state_size())
+        throw std::invalid_argument("simulator: initial state size mismatch");
+}
+
+event_id simulator::at(double t, std::function<void()> action) {
+    if (t < now_)
+        throw std::invalid_argument("simulator::at: cannot schedule in the past");
+    return queue_.schedule(t, std::move(action));
+}
+
+event_id simulator::after(double delay, std::function<void()> action) {
+    if (delay < 0.0)
+        throw std::invalid_argument("simulator::after: negative delay");
+    return queue_.schedule(now_ + delay, std::move(action));
+}
+
+void simulator::add_step_observer(
+    std::function<void(double, std::span<const double>)> obs) {
+    observers_.push_back(std::move(obs));
+}
+
+void simulator::notify_observers(double t) {
+    for (auto& obs : observers_) obs(t, state_);
+}
+
+bool simulator::integrate_to(double t_target) {
+    if (t_target <= now_) return true;
+    auto observer = observers_.empty()
+                        ? std::function<void(double, std::span<const double>)>{}
+                        : [this](double t, std::span<const double> x) {
+                              for (auto& obs : observers_) obs(t, x);
+                          };
+    last_status_ = integrator_.integrate(sys_, now_, t_target, state_, observer);
+    total_steps_ += last_status_.steps_taken;
+    now_ = t_target;
+    return last_status_.ok;
+}
+
+bool simulator::run_until(double t_end) {
+    if (t_end < now_)
+        throw std::invalid_argument("simulator::run_until: horizon in the past");
+
+    while (!queue_.empty() && queue_.next_time() <= t_end) {
+        const double te = queue_.next_time();
+        if (!integrate_to(te)) return false;
+        // Fire every event due at te (new same-time events fire too: FIFO).
+        while (!queue_.empty() && queue_.next_time() <= now_) queue_.pop_and_run();
+        notify_observers(now_);
+    }
+    if (!integrate_to(t_end)) return false;
+    notify_observers(now_);
+    return true;
+}
+
+process::~process() {
+    // The simulator may already be gone at destruction time in user code;
+    // within ehdse all processes are destroyed before their simulator, so
+    // cancelling here is safe and prevents dangling callbacks.
+    cancel_wake();
+}
+
+void process::wake_after(double delay) {
+    cancel_wake();
+    pending_ = sim_.after(delay, [this] {
+        pending_ = 0;
+        activate();
+    });
+}
+
+void process::wake_at(double t) {
+    cancel_wake();
+    pending_ = sim_.at(t, [this] {
+        pending_ = 0;
+        activate();
+    });
+}
+
+void process::cancel_wake() {
+    if (pending_ != 0) {
+        sim_.cancel(pending_);
+        pending_ = 0;
+    }
+}
+
+}  // namespace ehdse::sim

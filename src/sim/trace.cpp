@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ehdse::sim {
+
+void trace::record(double t, double value) {
+    if (!times_.empty()) {
+        const double last_t = times_.back();
+        if (t == last_t) {
+            values_.back() = value;  // same-time update replaces
+            return;
+        }
+        if (t < last_t)
+            throw std::invalid_argument("trace::record: time went backwards in '" +
+                                        name_ + "'");
+        if (t - last_t < min_interval_) return;
+    }
+    times_.push_back(t);
+    values_.push_back(value);
+}
+
+double trace::sample(double t) const {
+    if (times_.empty()) throw std::logic_error("trace::sample on empty trace");
+    if (t <= times_.front()) return values_.front();
+    if (t >= times_.back()) return values_.back();
+    const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+    const auto hi = static_cast<std::size_t>(it - times_.begin());
+    const std::size_t lo = hi - 1;
+    const double span_t = times_[hi] - times_[lo];
+    const double frac = span_t > 0.0 ? (t - times_[lo]) / span_t : 0.0;
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double trace::min_value() const {
+    if (values_.empty()) throw std::logic_error("trace::min_value on empty trace");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double trace::max_value() const {
+    if (values_.empty()) throw std::logic_error("trace::max_value on empty trace");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+double trace::last_value() const {
+    if (values_.empty()) throw std::logic_error("trace::last_value on empty trace");
+    return values_.back();
+}
+
+void trace::clear() {
+    times_.clear();
+    values_.clear();
+}
+
+void trace::write_csv(std::ostream& os) const {
+    os << "time," << name_ << '\n';
+    for (std::size_t i = 0; i < times_.size(); ++i)
+        os << times_[i] << ',' << values_[i] << '\n';
+}
+
+}  // namespace ehdse::sim

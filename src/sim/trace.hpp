@@ -1,0 +1,58 @@
+// Waveform tracing — the equivalent of an HDL simulator's signal trace.
+//
+// A trace records (time, value) samples for one named quantity. To keep
+// hour-long simulations affordable, a minimum inter-sample interval can be
+// set; samples arriving faster than that are dropped (the last one at a
+// given time wins so event-driven updates stay visible).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ehdse::sim {
+
+/// Single-signal waveform recorder.
+class trace {
+public:
+    /// `min_interval` = 0 records every sample.
+    explicit trace(std::string name, double min_interval = 0.0)
+        : name_(std::move(name)), min_interval_(min_interval) {}
+
+    const std::string& name() const noexcept { return name_; }
+
+    /// Record a sample; honours the minimum interval except that a sample at
+    /// exactly the last recorded time replaces it (event updates win).
+    void record(double t, double value);
+
+    std::size_t size() const noexcept { return times_.size(); }
+    bool empty() const noexcept { return times_.empty(); }
+
+    const std::vector<double>& times() const noexcept { return times_; }
+    const std::vector<double>& values() const noexcept { return values_; }
+
+    /// Linear interpolation at time t (clamped to the recorded range).
+    /// Throws std::logic_error when empty.
+    double sample(double t) const;
+
+    /// Extremes of the recorded values. Throws std::logic_error when empty.
+    double min_value() const;
+    double max_value() const;
+
+    /// Last recorded value. Throws std::logic_error when empty.
+    double last_value() const;
+
+    void clear();
+
+    /// Write "time,value" CSV rows (with a header) to the stream.
+    void write_csv(std::ostream& os) const;
+
+private:
+    std::string name_;
+    double min_interval_;
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+}  // namespace ehdse::sim

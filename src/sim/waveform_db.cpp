@@ -1,0 +1,102 @@
+#include "sim/waveform_db.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace ehdse::sim {
+
+waveform_db::waveform_db(double timescale_s) : timescale_s_(timescale_s) {
+    if (timescale_s_ <= 0.0)
+        throw std::invalid_argument("waveform_db: timescale must be > 0");
+}
+
+std::size_t waveform_db::add_signal(const std::string& name, double min_interval) {
+    if (name.empty())
+        throw std::invalid_argument("waveform_db: empty signal name");
+    // One printable-ASCII identifier code per signal ('!' .. 'z').
+    if (traces_.size() >= 90)
+        throw std::length_error("waveform_db: at most 90 signals supported");
+    for (const trace& t : traces_)
+        if (t.name() == name)
+            throw std::invalid_argument("waveform_db: duplicate signal '" + name + "'");
+    traces_.emplace_back(name, min_interval);
+    return traces_.size() - 1;
+}
+
+void waveform_db::record(std::size_t index, double t, double value) {
+    if (index >= traces_.size())
+        throw std::out_of_range("waveform_db: bad signal index");
+    traces_[index].record(t, value);
+}
+
+const trace& waveform_db::signal(std::size_t index) const {
+    if (index >= traces_.size())
+        throw std::out_of_range("waveform_db: bad signal index");
+    return traces_[index];
+}
+
+void waveform_db::write_vcd(std::ostream& os, const std::string& module_name) const {
+    // Header. VCD identifiers: printable ASCII, one short code per signal.
+    os << "$date ehdse waveform export $end\n";
+    os << "$version ehdse::sim::waveform_db $end\n";
+    if (timescale_s_ >= 1.0)
+        os << "$timescale " << static_cast<long long>(timescale_s_) << " s $end\n";
+    else if (timescale_s_ >= 1e-3)
+        os << "$timescale " << static_cast<long long>(timescale_s_ * 1e3) << " ms $end\n";
+    else if (timescale_s_ >= 1e-6)
+        os << "$timescale " << static_cast<long long>(timescale_s_ * 1e6) << " us $end\n";
+    else
+        os << "$timescale " << static_cast<long long>(timescale_s_ * 1e9) << " ns $end\n";
+
+    os << "$scope module " << module_name << " $end\n";
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+        const char code = static_cast<char>('!' + i);  // '!', '"', '#', ...
+        os << "$var real 64 " << code << ' ' << traces_[i].name() << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    // Merge all samples into one time-ordered stream.
+    std::multimap<long long, std::pair<char, double>> events;
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+        const char code = static_cast<char>('!' + i);
+        const auto& t = traces_[i];
+        for (std::size_t s = 0; s < t.size(); ++s) {
+            const auto stamp =
+                static_cast<long long>(std::llround(t.times()[s] / timescale_s_));
+            events.emplace(stamp, std::make_pair(code, t.values()[s]));
+        }
+    }
+
+    long long current = -1;
+    for (const auto& [stamp, ev] : events) {
+        if (stamp != current) {
+            os << '#' << stamp << '\n';
+            current = stamp;
+        }
+        os << 'r' << ev.second << ' ' << ev.first << '\n';
+    }
+}
+
+void waveform_db::write_csv(std::ostream& os) const {
+    os << "time";
+    for (const trace& t : traces_) os << ',' << t.name();
+    os << '\n';
+
+    // Union of all timestamps.
+    std::vector<double> stamps;
+    for (const trace& t : traces_)
+        stamps.insert(stamps.end(), t.times().begin(), t.times().end());
+    std::sort(stamps.begin(), stamps.end());
+    stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+
+    for (double t : stamps) {
+        os << t;
+        for (const trace& tr : traces_)
+            os << ',' << (tr.empty() ? 0.0 : tr.sample(t));
+        os << '\n';
+    }
+}
+
+}  // namespace ehdse::sim

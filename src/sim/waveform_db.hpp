@@ -1,0 +1,47 @@
+// Multi-signal waveform database with VCD export.
+//
+// Collects several traces (analogue values and digital/position signals)
+// recorded against one simulation and writes them as a Value Change Dump
+// file, viewable in GTKWave and friends — the artefact a mixed-signal
+// designer expects from an HDL-style simulator. Real-valued signals are
+// emitted as VCD `real` variables; time is quantised to a configurable
+// timescale (default 1 us).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ehdse::sim {
+
+class waveform_db {
+public:
+    /// `timescale_s` sets the VCD timescale unit (must divide into
+    /// whole-number timestamps; 1e-6 = microseconds).
+    explicit waveform_db(double timescale_s = 1e-6);
+
+    /// Add a named real-valued signal; returns its index. Names must be
+    /// unique and non-empty.
+    std::size_t add_signal(const std::string& name, double min_interval = 0.0);
+
+    /// Record a sample on signal `index`.
+    void record(std::size_t index, double t, double value);
+
+    std::size_t signal_count() const noexcept { return traces_.size(); }
+    const trace& signal(std::size_t index) const;
+
+    /// Write every signal as a VCD file. `module_name` labels the scope.
+    void write_vcd(std::ostream& os, const std::string& module_name = "ehdse") const;
+
+    /// Write all signals as one merged CSV (time plus one column per
+    /// signal, sampled at the union of all timestamps via interpolation).
+    void write_csv(std::ostream& os) const;
+
+private:
+    double timescale_s_;
+    std::vector<trace> traces_;
+};
+
+}  // namespace ehdse::sim

@@ -1,0 +1,114 @@
+// Latin hypercube sampling and the A-/I-optimality metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "doe/sampling.hpp"
+#include "rsm/quadratic_model.hpp"
+
+namespace ed = ehdse::doe;
+namespace en = ehdse::numeric;
+
+namespace {
+en::vec quad_basis(const en::vec& x) { return ehdse::rsm::quadratic_basis(x); }
+}  // namespace
+
+TEST(LatinHypercube, PointsInBoxAndStratified) {
+    en::rng rng(5);
+    const std::size_t n = 16;
+    const auto pts = ed::latin_hypercube(3, n, rng);
+    ASSERT_EQ(pts.size(), n);
+    for (const auto& p : pts)
+        for (double v : p) {
+            ASSERT_GE(v, -1.0);
+            ASSERT_LE(v, 1.0);
+        }
+    // Stratification: along each axis, every stratum of width 2/n holds
+    // exactly one point.
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        std::vector<int> counts(n, 0);
+        for (const auto& p : pts) {
+            const double u = (p[axis] + 1.0) / 2.0;
+            auto stratum = std::min(static_cast<std::size_t>(u * n), n - 1);
+            ++counts[stratum];
+        }
+        for (int c : counts) ASSERT_EQ(c, 1);
+    }
+}
+
+TEST(LatinHypercube, Validation) {
+    en::rng rng(1);
+    EXPECT_THROW(ed::latin_hypercube(0, 5, rng), std::invalid_argument);
+    EXPECT_THROW(ed::latin_hypercube(2, 0, rng), std::invalid_argument);
+    EXPECT_THROW(ed::maximin_latin_hypercube(2, 5, rng, 0), std::invalid_argument);
+}
+
+TEST(LatinHypercube, MaximinImprovesSpread) {
+    en::rng rng_a(9), rng_b(9);
+    const auto plain = ed::latin_hypercube(2, 12, rng_a);
+    const auto maximin = ed::maximin_latin_hypercube(2, 12, rng_b, 64);
+    EXPECT_GE(ed::min_pairwise_distance(maximin),
+              ed::min_pairwise_distance(plain));
+}
+
+TEST(MinPairwiseDistance, KnownValues) {
+    EXPECT_DOUBLE_EQ(ed::min_pairwise_distance({}), 0.0);
+    EXPECT_DOUBLE_EQ(ed::min_pairwise_distance({{0.0, 0.0}}), 0.0);
+    const std::vector<en::vec> pts{{0.0, 0.0}, {3.0, 4.0}, {0.0, 1.0}};
+    EXPECT_DOUBLE_EQ(ed::min_pairwise_distance(pts), 1.0);
+}
+
+TEST(OptimalityMetrics, FactorialBeatsPoorDesignOnAandI) {
+    const auto candidates = ed::full_factorial(2, 3);
+    const auto full = ehdse::rsm::build_design_matrix(candidates);
+
+    // A deliberately lopsided (but non-singular) 9-point design.
+    std::vector<en::vec> lopsided;
+    en::rng rng(3);
+    for (int i = 0; i < 9; ++i) {
+        en::vec p{rng.uniform(0.4, 1.0), rng.uniform(0.4, 1.0)};
+        lopsided.push_back(p);
+    }
+    const auto bad = ehdse::rsm::build_design_matrix(lopsided);
+
+    EXPECT_LT(ed::a_criterion(full), ed::a_criterion(bad));
+    EXPECT_LT(ed::i_criterion(full, candidates, quad_basis),
+              ed::i_criterion(bad, candidates, quad_basis));
+}
+
+TEST(OptimalityMetrics, SingularDesignRejected) {
+    const std::vector<en::vec> degenerate(6, en::vec{0.5, 0.5});
+    const auto x = ehdse::rsm::build_design_matrix(degenerate);
+    EXPECT_THROW(ed::a_criterion(x), std::domain_error);
+    EXPECT_THROW(ed::i_criterion(x, degenerate, quad_basis), std::domain_error);
+    EXPECT_THROW(ed::i_criterion(x, {}, quad_basis), std::invalid_argument);
+}
+
+TEST(OptimalityMetrics, DOptimalTenIsCompetitiveOnI) {
+    // The D-optimal 10-run design should also have a reasonable average
+    // prediction variance relative to the factorial (they optimise
+    // different criteria, but good designs correlate).
+    const auto candidates = ed::full_factorial(3, 3);
+    const auto dopt = ed::d_optimal_design(candidates, quad_basis, 10);
+    std::vector<en::vec> pts;
+    for (std::size_t idx : dopt.selected) pts.push_back(candidates[idx]);
+    const double i_dopt = ed::i_criterion(ehdse::rsm::build_design_matrix(pts),
+                                          candidates, quad_basis);
+    const double i_full = ed::i_criterion(
+        ehdse::rsm::build_design_matrix(candidates), candidates, quad_basis);
+    // Per-run-adjusted: 10-run design within ~2x of factorial's average
+    // variance scaled by run ratio.
+    EXPECT_LT(i_dopt, 2.0 * i_full * 27.0 / 10.0);
+}
+
+TEST(LatinHypercube, SupportsQuadraticFitAtModestN) {
+    en::rng rng(77);
+    const auto pts = ed::maximin_latin_hypercube(3, 14, rng);
+    en::vec y;
+    for (const auto& p : pts) y.push_back(1.0 + p[0] - 2.0 * p[2] + p[1] * p[1]);
+    const auto fit = ehdse::rsm::fit_quadratic(pts, y);
+    EXPECT_GT(fit.r_squared, 0.999);
+}

@@ -1,0 +1,198 @@
+// Designs of experiments: classical constructions and D-optimal selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "numeric/rng.hpp"
+#include "rsm/quadratic_model.hpp"
+
+namespace ed = ehdse::doe;
+namespace en = ehdse::numeric;
+
+namespace {
+en::vec quad_basis(const en::vec& x) { return ehdse::rsm::quadratic_basis(x); }
+}  // namespace
+
+TEST(Designs, FullFactorialCountsAndLevels) {
+    const auto pts = ed::full_factorial(3, 3);
+    EXPECT_EQ(pts.size(), 27u);  // the paper's 3^3 candidate set
+    std::set<double> levels;
+    for (const auto& p : pts)
+        for (double v : p) levels.insert(v);
+    EXPECT_EQ(levels, (std::set<double>{-1.0, 0.0, 1.0}));
+
+    // All points distinct.
+    std::set<std::vector<double>> uniq(pts.begin(), pts.end());
+    EXPECT_EQ(uniq.size(), 27u);
+}
+
+TEST(Designs, FullFactorialValidation) {
+    EXPECT_THROW(ed::full_factorial(0, 3), std::invalid_argument);
+    EXPECT_THROW(ed::full_factorial(3, 1), std::invalid_argument);
+    EXPECT_THROW(ed::full_factorial(30, 3), std::invalid_argument);  // too large
+}
+
+TEST(Designs, FactorialCornersAreCubeVertices) {
+    const auto pts = ed::factorial_corners(3);
+    EXPECT_EQ(pts.size(), 8u);
+    for (const auto& p : pts)
+        for (double v : p) EXPECT_EQ(std::abs(v), 1.0);
+}
+
+TEST(Designs, CentralCompositeStructure) {
+    const auto pts = ed::central_composite(3, 1.0, 2);
+    // 8 corners + 6 axial + 2 centre.
+    EXPECT_EQ(pts.size(), 16u);
+    const auto axial_count = std::count_if(pts.begin(), pts.end(), [](const en::vec& p) {
+        int nonzero = 0;
+        for (double v : p)
+            if (v != 0.0) ++nonzero;
+        return nonzero == 1;
+    });
+    EXPECT_EQ(axial_count, 6);
+    EXPECT_THROW(ed::central_composite(3, 0.0), std::invalid_argument);
+}
+
+TEST(Designs, BoxBehnkenStructure) {
+    const auto pts = ed::box_behnken(3, 3);
+    // 3 pairs * 4 sign combos + 3 centre = 15.
+    EXPECT_EQ(pts.size(), 15u);
+    for (std::size_t i = 0; i + 3 < pts.size(); ++i) {
+        int nonzero = 0;
+        for (double v : pts[i])
+            if (v != 0.0) ++nonzero;
+        EXPECT_EQ(nonzero, 2);  // edge midpoints
+    }
+    EXPECT_THROW(ed::box_behnken(2), std::invalid_argument);
+}
+
+TEST(DOptimal, PaperSelectionTenOfTwentySeven) {
+    const auto candidates = ed::full_factorial(3, 3);
+    const auto result = ed::d_optimal_design(candidates, quad_basis, 10);
+    EXPECT_EQ(result.selected.size(), 10u);
+    EXPECT_TRUE(std::isfinite(result.log_det));
+    // Indices are valid and unique.
+    std::set<std::size_t> uniq(result.selected.begin(), result.selected.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (std::size_t idx : result.selected) EXPECT_LT(idx, 27u);
+}
+
+TEST(DOptimal, BeatsRandomSelections) {
+    const auto candidates = ed::full_factorial(3, 3);
+    const auto result = ed::d_optimal_design(candidates, quad_basis, 10);
+
+    en::rng rng(21);
+    int beaten = 0;
+    constexpr int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        const auto perm = rng.permutation(candidates.size());
+        const std::vector<std::size_t> sel(perm.begin(), perm.begin() + 10);
+        const double ld = ed::selection_log_det(candidates, quad_basis, sel);
+        if (result.log_det >= ld - 1e-9) ++beaten;
+    }
+    // The exchange optimum must dominate essentially every random subset.
+    EXPECT_GE(beaten, trials - 1);
+}
+
+TEST(DOptimal, SelectionSupportsQuadraticFit) {
+    const auto candidates = ed::full_factorial(3, 3);
+    const auto result = ed::d_optimal_design(candidates, quad_basis, 10);
+    std::vector<en::vec> pts;
+    for (std::size_t idx : result.selected) pts.push_back(candidates[idx]);
+    en::vec y(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        y[i] = 1.0 + pts[i][0] - 2.0 * pts[i][2];
+    EXPECT_NO_THROW(ehdse::rsm::fit_quadratic(pts, y));
+}
+
+TEST(DOptimal, DeterministicForFixedSeed) {
+    const auto candidates = ed::full_factorial(3, 3);
+    ed::d_optimal_options opt;
+    opt.seed = 555;
+    const auto a = ed::d_optimal_design(candidates, quad_basis, 10, opt);
+    const auto b = ed::d_optimal_design(candidates, quad_basis, 10, opt);
+    EXPECT_EQ(a.selected, b.selected);
+    EXPECT_DOUBLE_EQ(a.log_det, b.log_det);
+}
+
+TEST(DOptimal, MoreRunsNeverHurtPerModelInformation) {
+    const auto candidates = ed::full_factorial(2, 3);
+    const auto small = ed::d_optimal_design(candidates, quad_basis, 6);
+    const auto large = ed::d_optimal_design(candidates, quad_basis, 9);
+    // Adding rows can only grow det(X'X).
+    EXPECT_GE(large.log_det, small.log_det - 1e-9);
+}
+
+TEST(DOptimal, Validation) {
+    const auto candidates = ed::full_factorial(2, 3);
+    EXPECT_THROW(ed::d_optimal_design({}, quad_basis, 3), std::invalid_argument);
+    EXPECT_THROW(ed::d_optimal_design(candidates, quad_basis, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(ed::d_optimal_design(candidates, quad_basis, 5),
+                 std::invalid_argument);  // below term count 6
+    EXPECT_THROW(
+        ed::selection_log_det(candidates, quad_basis, std::vector<std::size_t>{99}),
+        std::out_of_range);
+}
+
+TEST(DOptimal, RelativeEfficiencyIdentities) {
+    // A design compared with itself has efficiency 1.
+    EXPECT_NEAR(ed::relative_d_efficiency(5.0, 10, 5.0, 10, 10), 1.0, 1e-12);
+    // Doubling det at equal run counts: eff = 2^(1/p).
+    EXPECT_NEAR(ed::relative_d_efficiency(std::log(2.0), 10, 0.0, 10, 10),
+                std::pow(2.0, 0.1), 1e-12);
+    EXPECT_THROW(ed::relative_d_efficiency(1.0, 10, 1.0, 10, 0),
+                 std::invalid_argument);
+}
+
+TEST(DOptimal, FullFactorialSelectionMatchesItsOwnLogDet) {
+    const auto candidates = ed::full_factorial(3, 3);
+    std::vector<std::size_t> all(candidates.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const double ld = ed::selection_log_det(candidates, quad_basis, all);
+    EXPECT_TRUE(std::isfinite(ld));
+    // 27 runs must carry more total information than the best 10-run subset.
+    const auto best10 = ed::d_optimal_design(candidates, quad_basis, 10);
+    EXPECT_GT(ld, best10.log_det);
+}
+
+TEST(DOptimal, DegenerateCandidateSetUsesGreedyFallback) {
+    // A candidate set dominated by replicates of a single point: random
+    // 6-subsets are nearly always singular for the 6-term quadratic, so the
+    // exchange must fall back to greedy construction — and still succeed,
+    // because exactly six linearly independent points exist.
+    std::vector<en::vec> candidates(40, en::vec{0.5, 0.5});
+    const std::vector<en::vec> support{{-1, -1}, {1, -1}, {-1, 1},
+                                       {1, 1},   {0, -1}, {1, 0}};
+    candidates.insert(candidates.end(), support.begin(), support.end());
+
+    const auto result = ed::d_optimal_design(candidates, quad_basis, 6);
+    EXPECT_TRUE(std::isfinite(result.log_det));
+    // Every support point must be selected (they are the only full-rank set).
+    std::set<std::size_t> sel(result.selected.begin(), result.selected.end());
+    for (std::size_t i = 40; i < 46; ++i) EXPECT_TRUE(sel.count(i)) << i;
+}
+
+TEST(DOptimal, ImpossibleModelThrows) {
+    // All candidates identical: no design of any size supports the model.
+    const std::vector<en::vec> candidates(20, en::vec{0.3, -0.3});
+    EXPECT_THROW(ed::d_optimal_design(candidates, quad_basis, 6),
+                 std::domain_error);
+}
+
+// Sweep: D-optimal selections of growing size are all fit-capable.
+class DOptimalSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DOptimalSizes, SelectionNonSingular) {
+    const auto candidates = ed::full_factorial(3, 3);
+    const auto result = ed::d_optimal_design(
+        candidates, quad_basis, static_cast<std::size_t>(GetParam()));
+    EXPECT_TRUE(std::isfinite(result.log_det));
+}
+
+INSTANTIATE_TEST_SUITE_P(RunCounts, DOptimalSizes,
+                         ::testing::Values(10, 12, 14, 18, 22, 27));

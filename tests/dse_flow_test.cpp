@@ -1,0 +1,132 @@
+// End-to-end RSM flow (DOE -> simulate -> fit -> optimise -> validate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/rsm_flow.hpp"
+#include "rsm/anova.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace ed = ehdse::dse;
+
+namespace {
+/// The flow on a shortened scenario so the whole file stays fast.
+ed::scenario flow_scenario() {
+    ed::scenario s;
+    s.duration_s = 1200.0;
+    s.step_period_s = 500.0;
+    s.step_count = 2;
+    return s;
+}
+
+const ed::flow_result& shared_flow() {
+    static const ed::flow_result result = [] {
+        ed::system_evaluator ev(flow_scenario());
+        return ed::run_rsm_flow(ev, {});
+    }();
+    return result;
+}
+}  // namespace
+
+TEST(Flow, DoeSelectsRequestedRunCount) {
+    const auto& r = shared_flow();
+    EXPECT_EQ(r.candidates.size(), 27u);
+    EXPECT_EQ(r.selection.selected.size(), 10u);
+    EXPECT_EQ(r.design_coded.size(), 10u);
+    EXPECT_EQ(r.design_configs.size(), 10u);
+    EXPECT_EQ(r.responses.size(), 10u);
+}
+
+TEST(Flow, DesignConfigsDecodeSelectedPoints) {
+    const auto& r = shared_flow();
+    for (std::size_t i = 0; i < r.design_coded.size(); ++i) {
+        const auto expected = ed::config_from_coded(r.space, r.design_coded[i]);
+        EXPECT_DOUBLE_EQ(r.design_configs[i].mcu_clock_hz, expected.mcu_clock_hz);
+        EXPECT_DOUBLE_EQ(r.design_configs[i].tx_interval_s, expected.tx_interval_s);
+    }
+}
+
+TEST(Flow, FitInterpolatesSaturatedDesign) {
+    const auto& r = shared_flow();
+    // n = 10 runs, 10 coefficients: residuals are numerically zero.
+    EXPECT_NEAR(r.fit.r_squared, 1.0, 1e-9);
+    for (double e : r.fit.residuals) EXPECT_NEAR(e, 0.0, 1e-6);
+}
+
+TEST(Flow, DefaultOptimizersAreThePapersPair) {
+    const auto& r = shared_flow();
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_EQ(r.outcomes[0].name, "simulated-annealing");
+    EXPECT_EQ(r.outcomes[1].name, "genetic-algorithm");
+}
+
+TEST(Flow, OptimaInsideBoxAndValidated) {
+    const auto& r = shared_flow();
+    for (const auto& oc : r.outcomes) {
+        EXPECT_TRUE(r.space.contains(oc.coded, 1e-9)) << oc.name;
+        EXPECT_GT(oc.evaluations, 0u);
+        EXPECT_TRUE(oc.validated.sim_ok);
+        // The surface optimum should not be predicted below the best
+        // observed design point.
+        double best_observed = 0.0;
+        for (double y : r.responses) best_observed = std::max(best_observed, y);
+        EXPECT_GE(oc.predicted, best_observed - 1e-6) << oc.name;
+    }
+}
+
+TEST(Flow, OptimisedBeatsOriginal) {
+    const auto& r = shared_flow();
+    for (const auto& oc : r.outcomes) {
+        EXPECT_GT(oc.validated.transmissions,
+                  r.original_eval.transmissions)
+            << oc.name << " failed to beat the baseline";
+    }
+}
+
+TEST(Flow, CustomOptimizerListHonoured) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options opts;
+    opts.optimizers = {std::make_shared<ehdse::opt::nelder_mead>()};
+    const auto r = ed::run_rsm_flow(ev, opts);
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].name, "nelder-mead");
+}
+
+TEST(Flow, ReplicatedRunsEnableLackOfFit) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options opts;
+    opts.doe_runs = 12;
+    opts.replicates = 2;
+    const auto r = ed::run_rsm_flow(ev, opts);
+    EXPECT_EQ(r.design_coded.size(), 24u);
+    EXPECT_EQ(r.responses.size(), 24u);
+    // Each consecutive pair shares a design point (replicate layout).
+    for (std::size_t i = 0; i + 1 < r.design_coded.size(); i += 2)
+        EXPECT_EQ(r.design_coded[i], r.design_coded[i + 1]);
+    const auto lof = ehdse::rsm::lack_of_fit(r.design_coded, r.responses, r.fit);
+    EXPECT_TRUE(lof.testable);
+    EXPECT_EQ(lof.replicate_groups, 12u);
+}
+
+TEST(Flow, ParallelMatchesSequential) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options seq, par;
+    par.parallel = true;
+    const auto a = ed::run_rsm_flow(ev, seq);
+    const auto b = ed::run_rsm_flow(ev, par);
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (std::size_t i = 0; i < a.responses.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.responses[i], b.responses[i]);
+    EXPECT_EQ(a.outcomes[0].validated.transmissions,
+              b.outcomes[0].validated.transmissions);
+}
+
+TEST(Flow, ReducedDoeRunsStillWork) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options opts;
+    opts.doe_runs = 14;
+    const auto r = ed::run_rsm_flow(ev, opts);
+    EXPECT_EQ(r.design_coded.size(), 14u);
+    // Over-determined fit: R^2 well-defined and PRESS finite.
+    EXPECT_TRUE(std::isfinite(r.fit.press_rmse));
+}

@@ -1,0 +1,68 @@
+// Robustness-study plumbing (statistics and variant enumeration).
+#include <gtest/gtest.h>
+
+#include "dse/robustness.hpp"
+
+namespace ed = ehdse::dse;
+
+namespace {
+ed::scenario quick() {
+    ed::scenario s;
+    s.duration_s = 300.0;
+    s.step_period_s = 120.0;
+    s.step_count = 1;
+    return s;
+}
+}  // namespace
+
+TEST(Robustness, VariantCountAndOrdering) {
+    ed::robustness_options opts;
+    opts.seeds = {1, 2};
+    opts.accel_levels_mg = {60.0};
+    opts.step_sizes_hz = {5.0, 8.0};
+    const auto s = ed::run_robustness_study(quick(), ed::system_config::original(),
+                                            "orig", opts);
+    EXPECT_EQ(s.samples.size(), 5u);  // 2 seeds + 1 accel + 2 steps
+    EXPECT_EQ(s.label, "orig");
+}
+
+TEST(Robustness, StatisticsConsistent) {
+    ed::robustness_options opts;
+    opts.seeds = {1, 2, 3};
+    opts.accel_levels_mg = {40.0, 80.0};
+    opts.step_sizes_hz = {};
+    const auto s = ed::run_robustness_study(quick(), ed::system_config::original(),
+                                            "orig", opts);
+    ASSERT_EQ(s.samples.size(), 5u);
+    EXPECT_LE(s.min_tx, s.mean_tx);
+    EXPECT_GE(s.max_tx, s.mean_tx);
+    EXPECT_GE(s.stddev_tx, 0.0);
+    for (double v : s.samples) {
+        EXPECT_GE(v, s.min_tx);
+        EXPECT_LE(v, s.max_tx);
+    }
+}
+
+TEST(Robustness, HigherAccelerationNeverHurts) {
+    ed::robustness_options opts;
+    opts.seeds = {};
+    opts.accel_levels_mg = {30.0, 60.0, 120.0};
+    opts.step_sizes_hz = {};
+    ed::system_config greedy = ed::system_config::original();
+    greedy.tx_interval_s = 0.05;  // energy-limited: tx tracks harvest
+    const auto s = ed::run_robustness_study(quick(), greedy, "greedy", opts);
+    ASSERT_EQ(s.samples.size(), 3u);
+    EXPECT_LE(s.samples[0], s.samples[1]);
+    EXPECT_LE(s.samples[1], s.samples[2]);
+}
+
+TEST(Robustness, EmptyAxesGiveEmptySummary) {
+    ed::robustness_options opts;
+    opts.seeds = {};
+    opts.accel_levels_mg = {};
+    opts.step_sizes_hz = {};
+    const auto s = ed::run_robustness_study(quick(), ed::system_config::original(),
+                                            "none", opts);
+    EXPECT_TRUE(s.samples.empty());
+    EXPECT_DOUBLE_EQ(s.mean_tx, 0.0);
+}

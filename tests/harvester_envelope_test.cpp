@@ -1,0 +1,120 @@
+// Envelope solver: convergence, self-consistency, energy bounds,
+// and physical monotonicities across the operating space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "harvester/envelope.hpp"
+#include "harvester/vibration.hpp"
+#include "harvester/tuning_table.hpp"
+
+namespace eh = ehdse::harvester;
+
+namespace {
+constexpr double k_accel_60mg = 0.060 * eh::k_gravity;
+
+const eh::microgenerator& gen() {
+    static eh::microgenerator g;
+    return g;
+}
+}  // namespace
+
+TEST(Envelope, ConvergesAtResonance) {
+    eh::tuning_table table(gen());
+    const int pos = table.lookup(69.0);
+    const auto pt = eh::solve_envelope(gen(), pos, 69.0, k_accel_60mg, 2.8);
+    EXPECT_TRUE(pt.converged);
+    EXPECT_GT(pt.elec.p_store_w, 0.0);
+    EXPECT_GT(pt.c_electrical, 0.0);
+}
+
+TEST(Envelope, SelfConsistentDamping) {
+    eh::tuning_table table(gen());
+    const int pos = table.lookup(69.0);
+    const auto pt = eh::solve_envelope(gen(), pos, 69.0, k_accel_60mg, 2.8);
+    // c_e must equal 2 P_mech / (omega^2 Z^2) at the reported point.
+    const double vel2 = pt.mech.velocity_amp_ms * pt.mech.velocity_amp_ms;
+    const double c_implied = 2.0 * pt.elec.p_mech_w / vel2;
+    EXPECT_NEAR(pt.c_electrical, c_implied, 1e-3 * gen().mech_damping());
+}
+
+TEST(Envelope, MechanicalPowerBoundedByTheory) {
+    // P_mech can never exceed (mA)^2 / (8 c_m) — the regression guard for
+    // the fixed-point bug this solver replaced.
+    eh::tuning_table table(gen());
+    const double p_max = std::pow(gen().params().mass_kg * k_accel_60mg, 2) /
+                         (8.0 * gen().mech_damping());
+    for (double f : {64.0, 66.0, 69.0, 74.0, 80.0, 87.0}) {
+        const int pos = table.lookup(f);
+        const auto pt = eh::solve_envelope(gen(), pos, f, k_accel_60mg, 2.8);
+        ASSERT_LE(pt.elec.p_mech_w, p_max * (1.0 + 1e-6)) << "at f=" << f;
+    }
+}
+
+TEST(Envelope, BlockedWhenStoreVoltageTooHigh) {
+    eh::tuning_table table(gen());
+    const int pos = table.lookup(69.0);
+    // Open-circuit emf at resonance is a few volts; a 50 V store blocks.
+    const auto pt = eh::solve_envelope(gen(), pos, 69.0, k_accel_60mg, 50.0);
+    EXPECT_TRUE(pt.converged);
+    EXPECT_FALSE(pt.elec.conducting);
+    EXPECT_DOUBLE_EQ(pt.elec.p_store_w, 0.0);
+    EXPECT_DOUBLE_EQ(pt.c_electrical, 0.0);
+}
+
+TEST(Envelope, ZeroAccelerationGivesZeroOutput) {
+    const auto pt = eh::solve_envelope(gen(), 128, 70.0, 0.0, 2.8);
+    EXPECT_DOUBLE_EQ(pt.mech.displacement_amp_m, 0.0);
+    EXPECT_DOUBLE_EQ(pt.elec.p_store_w, 0.0);
+}
+
+TEST(Envelope, DetuningCollapsesOutput) {
+    eh::tuning_table table(gen());
+    const int pos = table.lookup(69.0);
+    const auto tuned = eh::solve_envelope(gen(), pos, 69.0, k_accel_60mg, 2.8);
+    const auto detuned = eh::solve_envelope(gen(), pos, 74.0, k_accel_60mg, 2.8);
+    // 5 Hz off resonance with a high-Q device: output essentially gone.
+    EXPECT_LT(detuned.elec.p_store_w, 0.05 * tuned.elec.p_store_w);
+}
+
+TEST(Envelope, InvalidInputsThrow) {
+    EXPECT_THROW(eh::solve_envelope(gen(), 0, 0.0, 1.0, 2.8), std::invalid_argument);
+    EXPECT_THROW(eh::solve_envelope(gen(), 0, 70.0, -1.0, 2.8), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity sweeps across the storage-voltage axis at several detunings.
+
+class EnvelopeVoltageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnvelopeVoltageSweep, ChargingCurrentDecreasesWithStoreVoltage) {
+    const double detune_hz = GetParam();
+    eh::tuning_table table(gen());
+    const double f = 69.0 + detune_hz;
+    const int pos = table.lookup(69.0);
+    double last_i = 1e9;
+    for (double v = 2.0; v <= 3.2; v += 0.2) {
+        const auto pt = eh::solve_envelope(gen(), pos, f, k_accel_60mg, v);
+        ASSERT_TRUE(pt.converged);
+        ASSERT_LE(pt.elec.i_avg_a, last_i + 1e-12)
+            << "detune=" << detune_hz << " v=" << v;
+        last_i = pt.elec.i_avg_a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Detunings, EnvelopeVoltageSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 1.0));
+
+// Output power must fall monotonically as |detuning| grows.
+TEST(Envelope, PowerFallsWithDetuneMagnitude) {
+    eh::tuning_table table(gen());
+    const int pos = table.lookup(72.0);
+    const double f0 = gen().resonant_frequency(pos);
+    double last = 1e9;
+    for (double d = 0.0; d <= 2.0; d += 0.25) {
+        const auto pt = eh::solve_envelope(gen(), pos, f0 + d, k_accel_60mg, 2.8);
+        ASSERT_LE(pt.elec.p_store_w, last * (1.0 + 1e-9)) << "detune " << d;
+        last = pt.elec.p_store_w;
+    }
+}

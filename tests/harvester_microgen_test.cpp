@@ -1,0 +1,148 @@
+// Microgenerator physics: tuning law, resonance, linear response.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "harvester/microgenerator.hpp"
+
+namespace eh = ehdse::harvester;
+
+namespace {
+constexpr double two_pi = 2.0 * std::numbers::pi;
+}
+
+TEST(Microgenerator, DerivedConstants) {
+    eh::microgenerator gen;
+    const auto& p = gen.params();
+    const double w0 = two_pi * p.f_nominal_hz;
+    EXPECT_NEAR(gen.base_stiffness(), p.mass_kg * w0 * w0, 1e-9);
+    EXPECT_NEAR(gen.mech_damping(),
+                2.0 * p.damping_ratio * std::sqrt(gen.base_stiffness() * p.mass_kg),
+                1e-12);
+}
+
+TEST(Microgenerator, InvalidParamsThrow) {
+    eh::microgenerator_params p;
+    p.mass_kg = 0.0;
+    EXPECT_THROW(eh::microgenerator{p}, std::invalid_argument);
+    p = {};
+    p.gap_min_m = 0.01;
+    p.gap_max_m = 0.005;
+    EXPECT_THROW(eh::microgenerator{p}, std::invalid_argument);
+    p = {};
+    p.damping_ratio = 0.0;
+    EXPECT_THROW(eh::microgenerator{p}, std::invalid_argument);
+}
+
+TEST(Microgenerator, GapMonotoneDecreasingInPosition) {
+    eh::microgenerator gen;
+    double last = gen.gap_at(0);
+    EXPECT_DOUBLE_EQ(last, gen.params().gap_max_m);
+    for (int p = 1; p < 256; ++p) {
+        const double g = gen.gap_at(p);
+        EXPECT_LT(g, last);
+        last = g;
+    }
+    EXPECT_DOUBLE_EQ(last, gen.params().gap_min_m);
+    EXPECT_THROW(gen.gap_at(-1), std::out_of_range);
+    EXPECT_THROW(gen.gap_at(256), std::out_of_range);
+}
+
+TEST(Microgenerator, MagneticForceInverseFourthPower) {
+    eh::microgenerator gen;
+    const double f1 = gen.magnetic_force(0.005);
+    const double f2 = gen.magnetic_force(0.010);
+    EXPECT_NEAR(f1 / f2, 16.0, 1e-9);
+    EXPECT_THROW(gen.magnetic_force(0.0), std::invalid_argument);
+}
+
+TEST(Microgenerator, CalibratedTuningRange) {
+    eh::microgenerator gen;
+    // DESIGN.md calibration: ~64 Hz at position 0, ~88 Hz at position 255.
+    EXPECT_NEAR(gen.min_frequency(), 64.0, 0.2);
+    EXPECT_NEAR(gen.max_frequency(), 88.0, 0.2);
+}
+
+TEST(Microgenerator, ResonantFrequencyMonotoneInPosition) {
+    eh::microgenerator gen;
+    double last = gen.resonant_frequency(0);
+    for (int p = 1; p < 256; ++p) {
+        const double f = gen.resonant_frequency(p);
+        EXPECT_GT(f, last);
+        last = f;
+    }
+}
+
+TEST(Microgenerator, ResponsePeaksAtResonance) {
+    eh::microgenerator gen;
+    const int pos = 128;
+    const double fr = gen.resonant_frequency(pos);
+    const double a = 0.5886;  // 60 mg
+    const double at_res =
+        gen.response(two_pi * fr, a, pos, 0.0).displacement_amp_m;
+    const double below =
+        gen.response(two_pi * (fr - 3.0), a, pos, 0.0).displacement_amp_m;
+    const double above =
+        gen.response(two_pi * (fr + 3.0), a, pos, 0.0).displacement_amp_m;
+    EXPECT_GT(at_res, 3.0 * below);
+    EXPECT_GT(at_res, 3.0 * above);
+}
+
+TEST(Microgenerator, ResonantAmplitudeMatchesClosedForm) {
+    eh::microgenerator gen;
+    const int pos = 0;
+    const double fr = gen.resonant_frequency(pos);
+    const double w = two_pi * fr;
+    const double a = 0.1;
+    const auto r = gen.response(w, a, pos, 0.0);
+    // At resonance |Z| = m A / (c w).
+    const double expected = gen.params().mass_kg * a / (gen.mech_damping() * w);
+    if (!r.displacement_limited)
+        EXPECT_NEAR(r.displacement_amp_m, expected, expected * 1e-9);
+}
+
+TEST(Microgenerator, EmfProportionalToVelocity) {
+    eh::microgenerator gen;
+    const auto r = gen.response(two_pi * 70.0, 0.3, 100, 0.01);
+    EXPECT_NEAR(r.velocity_amp_ms, two_pi * 70.0 * r.displacement_amp_m, 1e-12);
+    EXPECT_NEAR(r.emf_amp_v, gen.params().coupling_v_per_ms * r.velocity_amp_ms,
+                1e-12);
+}
+
+TEST(Microgenerator, DisplacementLimiterEngages) {
+    eh::microgenerator_params p;
+    p.max_displacement_m = 1e-6;  // absurdly tight stop
+    eh::microgenerator gen(p);
+    const double fr = gen.resonant_frequency(0);
+    const auto r = gen.response(two_pi * fr, 0.5886, 0, 0.0);
+    EXPECT_TRUE(r.displacement_limited);
+    EXPECT_DOUBLE_EQ(r.displacement_amp_m, 1e-6);
+}
+
+TEST(Microgenerator, ElectricalDampingReducesAmplitude) {
+    eh::microgenerator gen;
+    const double fr = gen.resonant_frequency(50);
+    const double w = two_pi * fr;
+    const double open = gen.response(w, 0.5886, 50, 0.0).displacement_amp_m;
+    const double damped = gen.response(w, 0.5886, 50, 0.1).displacement_amp_m;
+    EXPECT_LT(damped, open);
+}
+
+TEST(Microgenerator, QualityFactorAndSettlingTau) {
+    eh::microgenerator gen;
+    const double q_open = gen.quality_factor(0, 0.0);
+    EXPECT_NEAR(q_open, 1.0 / (2.0 * gen.params().damping_ratio) *
+                            std::sqrt(gen.effective_stiffness(0) / gen.base_stiffness()),
+                q_open * 0.01);
+    EXPECT_GT(q_open, gen.quality_factor(0, 0.05));
+    EXPECT_NEAR(gen.settling_tau(0.0), 2.0 * gen.params().mass_kg / gen.mech_damping(),
+                1e-12);
+    EXPECT_LT(gen.settling_tau(0.1), gen.settling_tau(0.0));
+}
+
+TEST(Microgenerator, ResponseInputValidation) {
+    eh::microgenerator gen;
+    EXPECT_THROW(gen.response(0.0, 1.0, 0, 0.0), std::invalid_argument);
+    EXPECT_THROW(gen.response(1.0, 1.0, 0, -0.1), std::invalid_argument);
+}

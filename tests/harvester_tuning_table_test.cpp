@@ -1,0 +1,83 @@
+// Tuning lookup table: inverse-map property, clamping, quantisation bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harvester/tuning_table.hpp"
+
+namespace eh = ehdse::harvester;
+
+namespace {
+const eh::microgenerator& shared_gen() {
+    static eh::microgenerator gen;
+    return gen;
+}
+const eh::tuning_table& shared_table() {
+    static eh::tuning_table table(shared_gen());
+    return table;
+}
+}  // namespace
+
+TEST(TuningTable, FrequenciesMatchGenerator) {
+    for (int p = 0; p < eh::tuning_table::k_entries; p += 17)
+        EXPECT_DOUBLE_EQ(shared_table().frequency_at(p),
+                         shared_gen().resonant_frequency(p));
+    EXPECT_THROW(shared_table().frequency_at(-1), std::out_of_range);
+    EXPECT_THROW(shared_table().frequency_at(256), std::out_of_range);
+}
+
+TEST(TuningTable, LookupOfExactEntryReturnsThatEntry) {
+    for (int p : {0, 1, 31, 128, 254, 255})
+        EXPECT_EQ(shared_table().lookup(shared_table().frequency_at(p)), p);
+}
+
+TEST(TuningTable, LookupClampsOutsideRange) {
+    EXPECT_EQ(shared_table().lookup(1.0), 0);
+    EXPECT_EQ(shared_table().lookup(1e4), eh::tuning_table::k_entries - 1);
+}
+
+TEST(TuningTable, QuantisationErrorBoundHolds) {
+    const double bound = shared_table().max_quantisation_error();
+    EXPECT_GT(bound, 0.0);
+    // The bound must dominate the worst case over a dense frequency sweep.
+    for (double f = shared_table().min_frequency();
+         f <= shared_table().max_frequency(); f += 0.01) {
+        const int p = shared_table().lookup(f);
+        const double err = std::abs(shared_table().frequency_at(p) - f);
+        ASSERT_LE(err, bound + 1e-12);
+    }
+}
+
+TEST(TuningTable, MagneticDipoleLawAlsoMonotone) {
+    // The raw 1/d^4 law gives a strongly non-uniform but still monotone
+    // map; the table must accept it and keep its nearest-entry property.
+    eh::microgenerator_params p;
+    p.law = eh::tuning_law::magnetic_dipole;
+    const eh::microgenerator gen(p);
+    const eh::tuning_table table(gen);
+    EXPECT_LT(table.min_frequency(), table.max_frequency());
+    for (double f = table.min_frequency(); f <= table.max_frequency(); f += 0.5) {
+        const int pos = table.lookup(f);
+        const double err = std::abs(table.frequency_at(pos) - f);
+        ASSERT_LE(err, table.max_quantisation_error() + 1e-12);
+    }
+    // Non-uniformity signature: entries crowd at the low-frequency end.
+    const double low_gap = table.frequency_at(1) - table.frequency_at(0);
+    const double high_gap = table.frequency_at(255) - table.frequency_at(254);
+    EXPECT_LT(low_gap, high_gap / 5.0);
+}
+
+// Property sweep: lookup must return the nearest entry for arbitrary targets.
+class TuningTableNearest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TuningTableNearest, LookupIsNearestEntry) {
+    const double f = GetParam();
+    const int p = shared_table().lookup(f);
+    const double err = std::abs(shared_table().frequency_at(p) - f);
+    for (int q = std::max(0, p - 2); q <= std::min(255, p + 2); ++q)
+        ASSERT_LE(err, std::abs(shared_table().frequency_at(q) - f) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(FrequencySweep, TuningTableNearest,
+                         ::testing::Values(64.0, 64.37, 66.6, 69.0, 71.125,
+                                           74.0, 77.7, 80.01, 84.5, 87.9));

@@ -1,0 +1,181 @@
+// Vibration stimulus: amplitude conversion, stepping, phase continuity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "harvester/vibration.hpp"
+
+namespace eh = ehdse::harvester;
+
+TEST(Vibration, ConstantSource) {
+    eh::vibration_source src(1.0, 10.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(100.0), 10.0);
+    EXPECT_NEAR(src.acceleration(0.0), 0.0, 1e-12);             // sin(0)
+    EXPECT_NEAR(src.acceleration(0.025), 1.0, 1e-9);            // quarter period
+}
+
+TEST(Vibration, MgConversion) {
+    const auto src = eh::vibration_source::stepped_mg(60.0, 64.0, 5.0, 1500.0, 2);
+    EXPECT_NEAR(src.amplitude(), 0.060 * eh::k_gravity, 1e-12);
+}
+
+TEST(Vibration, PaperScheduleFrequencies) {
+    const auto src = eh::vibration_source::stepped_mg(60.0, 64.0, 5.0, 1500.0, 2);
+    EXPECT_DOUBLE_EQ(src.frequency_at(0.0), 64.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(1499.9), 64.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(1500.0), 69.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(2999.9), 69.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(3000.0), 74.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(3600.0), 74.0);
+    ASSERT_EQ(src.change_times().size(), 2u);
+    EXPECT_DOUBLE_EQ(src.change_times()[0], 1500.0);
+    EXPECT_DOUBLE_EQ(src.change_times()[1], 3000.0);
+}
+
+TEST(Vibration, PhaseContinuousAcrossStep) {
+    const auto src = eh::vibration_source::stepped(1.0, 7.3, 2.1, 10.0, 3);
+    // Acceleration must be continuous at every change time.
+    for (const double tc : src.change_times()) {
+        const double before = src.acceleration(tc - 1e-9);
+        const double after = src.acceleration(tc + 1e-9);
+        EXPECT_NEAR(before, after, 1e-5);
+    }
+}
+
+TEST(Vibration, HoldsLastFrequencyAfterAllSteps) {
+    const auto src = eh::vibration_source::stepped(1.0, 10.0, 1.0, 5.0, 2);
+    EXPECT_DOUBLE_EQ(src.frequency_at(1e6), 12.0);
+}
+
+TEST(Vibration, InvalidParamsThrow) {
+    EXPECT_THROW(eh::vibration_source(-1.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(eh::vibration_source(1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(eh::vibration_source::stepped(1.0, 10.0, 1.0, 0.0, 2),
+                 std::invalid_argument);
+    // Steps that would drive the frequency non-positive are rejected.
+    EXPECT_THROW(eh::vibration_source::stepped(1.0, 10.0, -6.0, 5.0, 2),
+                 std::invalid_argument);
+}
+
+TEST(Vibration, ScheduleBuilder) {
+    const auto src = eh::vibration_source::from_schedule(
+        1.0, {{0.0, 50.0}, {10.0, 55.0}, {25.0, 48.0}});
+    EXPECT_DOUBLE_EQ(src.frequency_at(5.0), 50.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(12.0), 55.0);
+    EXPECT_DOUBLE_EQ(src.frequency_at(100.0), 48.0);
+    for (const double tc : src.change_times())
+        EXPECT_NEAR(src.acceleration(tc - 1e-9), src.acceleration(tc + 1e-9), 1e-5);
+}
+
+TEST(Vibration, ScheduleValidation) {
+    using sched = std::vector<std::pair<double, double>>;
+    EXPECT_THROW(eh::vibration_source::from_schedule(1.0, sched{}),
+                 std::invalid_argument);
+    EXPECT_THROW(eh::vibration_source::from_schedule(1.0, sched{{1.0, 50.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(eh::vibration_source::from_schedule(
+                     1.0, sched{{0.0, 50.0}, {0.0, 55.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(eh::vibration_source::from_schedule(
+                     1.0, sched{{0.0, 50.0}, {5.0, -1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(Vibration, RandomWalkStaysInBandAndIsDeterministic) {
+    const auto a = eh::vibration_source::random_walk(1.0, 70.0, 60.0, 3.0, 64.0,
+                                                     88.0, 50, 42);
+    const auto b = eh::vibration_source::random_walk(1.0, 70.0, 60.0, 3.0, 64.0,
+                                                     88.0, 50, 42);
+    EXPECT_EQ(a.change_times().size(), 50u);
+    for (double t = 0.0; t < 50.0 * 60.0; t += 30.0) {
+        const double f = a.frequency_at(t);
+        ASSERT_GE(f, 64.0);
+        ASSERT_LE(f, 88.0);
+        ASSERT_DOUBLE_EQ(f, b.frequency_at(t));
+    }
+    // Different seed: different walk.
+    const auto c = eh::vibration_source::random_walk(1.0, 70.0, 60.0, 3.0, 64.0,
+                                                     88.0, 50, 43);
+    bool any_diff = false;
+    for (double t = 0.0; t < 50.0 * 60.0; t += 60.0)
+        if (c.frequency_at(t) != a.frequency_at(t)) any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Vibration, CsvScheduleParsing) {
+    std::istringstream in(
+        "time,frequency\n"
+        "0,64\n"
+        "# mid-run retune\n"
+        "1500, 69.5\n"
+        "\n"
+        "3000,74 # trailing comment\n");
+    const auto sched = eh::vibration_source::parse_schedule_csv(in);
+    ASSERT_EQ(sched.size(), 3u);
+    EXPECT_DOUBLE_EQ(sched[0].first, 0.0);
+    EXPECT_DOUBLE_EQ(sched[0].second, 64.0);
+    EXPECT_DOUBLE_EQ(sched[1].second, 69.5);
+    EXPECT_DOUBLE_EQ(sched[2].first, 3000.0);
+    // Round-trips into a source.
+    const auto src = eh::vibration_source::from_schedule(1.0, sched);
+    EXPECT_DOUBLE_EQ(src.frequency_at(2000.0), 69.5);
+}
+
+TEST(Vibration, CsvScheduleErrors) {
+    std::istringstream empty("# only comments\n");
+    EXPECT_THROW(eh::vibration_source::parse_schedule_csv(empty),
+                 std::invalid_argument);
+    std::istringstream missing_col("0\n");
+    EXPECT_THROW(eh::vibration_source::parse_schedule_csv(missing_col),
+                 std::invalid_argument);
+    std::istringstream bad_freq("0,sixty\n");
+    EXPECT_THROW(eh::vibration_source::parse_schedule_csv(bad_freq),
+                 std::invalid_argument);
+    std::istringstream late_header("0,64\nheader,row\n");
+    EXPECT_THROW(eh::vibration_source::parse_schedule_csv(late_header),
+                 std::invalid_argument);
+}
+
+TEST(Vibration, AmplitudeScheduleScalesAcceleration) {
+    eh::vibration_source base(2.0, 10.0);
+    const auto src = base.with_amplitude_schedule(
+        {{0.0, 1.0}, {10.0, 0.0}, {20.0, 0.5}});
+    EXPECT_DOUBLE_EQ(src.amplitude_at(5.0), 2.0);
+    EXPECT_DOUBLE_EQ(src.amplitude_at(15.0), 0.0);
+    EXPECT_DOUBLE_EQ(src.amplitude_at(25.0), 1.0);
+    EXPECT_DOUBLE_EQ(src.acceleration(15.3), 0.0);  // source off
+    // Base amplitude (and the un-scheduled source) unaffected.
+    EXPECT_DOUBLE_EQ(src.amplitude(), 2.0);
+    EXPECT_DOUBLE_EQ(base.amplitude_at(15.0), 2.0);
+}
+
+TEST(Vibration, AmplitudeScheduleValidation) {
+    eh::vibration_source base(1.0, 10.0);
+    using sched = std::vector<std::pair<double, double>>;
+    EXPECT_THROW(base.with_amplitude_schedule(sched{}), std::invalid_argument);
+    EXPECT_THROW(base.with_amplitude_schedule(sched{{1.0, 1.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(base.with_amplitude_schedule(sched{{0.0, -0.5}}),
+                 std::invalid_argument);
+    EXPECT_THROW(base.with_amplitude_schedule(sched{{0.0, 1.0}, {0.0, 0.5}}),
+                 std::invalid_argument);
+}
+
+TEST(Vibration, DutyCycleBuilder) {
+    eh::vibration_source base(1.0, 10.0);
+    const auto src = base.with_duty_cycle(60.0, 30.0, 3);
+    EXPECT_DOUBLE_EQ(src.amplitude_at(10.0), 1.0);   // on
+    EXPECT_DOUBLE_EQ(src.amplitude_at(70.0), 0.0);   // off
+    EXPECT_DOUBLE_EQ(src.amplitude_at(100.0), 1.0);  // second cycle on
+    EXPECT_DOUBLE_EQ(src.amplitude_at(170.0), 0.0);
+    EXPECT_THROW(base.with_duty_cycle(0.0, 30.0, 2), std::invalid_argument);
+}
+
+TEST(Vibration, AmplitudeBound) {
+    const auto src = eh::vibration_source::stepped(2.5, 20.0, 5.0, 1.0, 3);
+    for (double t = 0.0; t < 5.0; t += 0.001)
+        ASSERT_LE(std::abs(src.acceleration(t)), 2.5 + 1e-12);
+}

@@ -1,0 +1,125 @@
+// MCU / actuator / accelerometer power models against the paper Table IV
+// anchors, and the clock-dependent measurement model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcu/frequency_meter.hpp"
+#include "mcu/power_model.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+
+namespace em = ehdse::mcu;
+
+TEST(McuPower, ActivePowerLinearInClock) {
+    em::mcu_params p;
+    p.clock_hz = 4e6;
+    const double p4m = em::mcu_active_power(p);
+    p.clock_hz = 8e6;
+    const double p8m = em::mcu_active_power(p);
+    EXPECT_NEAR(p8m - p4m, p.energy_per_cycle_j * 4e6, 1e-12);
+    // Calibration anchor: ~5 mW at the original design's 4 MHz (Table IV).
+    p.clock_hz = 4e6;
+    EXPECT_NEAR(em::mcu_active_power(p), 5.0e-3, 0.5e-3);
+    p.clock_hz = 0.0;
+    EXPECT_THROW(em::mcu_active_power(p), std::invalid_argument);
+}
+
+TEST(McuPower, MeasurementWindowSetBySignalNotClock) {
+    em::mcu_params p;
+    // 8 periods of a 64 Hz signal = 125 ms regardless of the clock.
+    p.clock_hz = 125e3;
+    EXPECT_NEAR(em::measurement_duration(p, 64.0), 0.125, 1e-12);
+    p.clock_hz = 8e6;
+    EXPECT_NEAR(em::measurement_duration(p, 64.0), 0.125, 1e-12);
+    EXPECT_THROW(em::measurement_duration(p, 0.0), std::invalid_argument);
+}
+
+TEST(McuPower, CoarseEnergyNearTable4AtOriginalClock) {
+    em::mcu_params p;  // 4 MHz default
+    // Paper Table IV: coarse-grain tuning 0.745 mJ (149 ms at 5 mW).
+    EXPECT_NEAR(em::coarse_energy(p, 64.0), 0.745e-3, 0.25e-3);
+}
+
+TEST(McuPower, FineEnergyNearTable4AtOriginalClock) {
+    em::mcu_params p;
+    // Paper Table IV: fine-grain tuning 2.11 mJ per iteration.
+    EXPECT_NEAR(em::fine_energy(p, 64.0), 2.11e-3, 1.0e-3);
+}
+
+TEST(McuPower, HigherClockCostsMoreForSameMeasurement) {
+    em::mcu_params lo, hi;
+    lo.clock_hz = 125e3;
+    hi.clock_hz = 8e6;
+    EXPECT_GT(em::coarse_energy(hi, 64.0), 3.0 * em::coarse_energy(lo, 64.0));
+}
+
+TEST(Actuator, Table4Anchors) {
+    em::actuator_params a;
+    EXPECT_NEAR(em::actuator_move_energy(a, 1), 4.06e-3, 1e-9);    // 1 step
+    EXPECT_NEAR(em::actuator_move_energy(a, 100), 203e-3, 1e-6);   // 100 steps
+    EXPECT_NEAR(em::actuator_move_time(a, 1), 5e-3, 1e-12);
+    EXPECT_NEAR(em::actuator_move_time(a, 100), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(em::actuator_move_energy(a, 0), 0.0);
+    EXPECT_THROW(em::actuator_move_energy(a, -1), std::invalid_argument);
+    EXPECT_THROW(em::actuator_move_time(a, -1), std::invalid_argument);
+}
+
+TEST(Accelerometer, Table4Anchors) {
+    em::accelerometer_params a;
+    EXPECT_NEAR(a.on_time_s, 0.153, 1e-12);
+    EXPECT_NEAR(a.energy_per_use_j, 2.02e-3, 1e-9);
+    // Consistency: P * t ~= E within rounding of the published values.
+    EXPECT_NEAR(a.power_w * a.on_time_s, a.energy_per_use_j, 0.1e-3);
+}
+
+TEST(FrequencyMeter, SigmaInverseInClock) {
+    em::mcu_params p;
+    p.clock_hz = 125e3;
+    em::frequency_meter lo(p);
+    p.clock_hz = 8e6;
+    em::frequency_meter hi(p);
+    EXPECT_NEAR(lo.frequency_sigma(64.0) / hi.frequency_sigma(64.0), 64.0, 1e-9);
+    EXPECT_THROW(lo.frequency_sigma(0.0), std::invalid_argument);
+}
+
+TEST(FrequencyMeter, SigmaQuadraticInSignalFrequency) {
+    em::frequency_meter m(em::mcu_params{});
+    EXPECT_NEAR(m.frequency_sigma(128.0) / m.frequency_sigma(64.0), 4.0, 1e-9);
+}
+
+TEST(FrequencyMeter, PhaseSigmaIsLoopOverClock) {
+    em::mcu_params p;
+    p.clock_hz = 1e6;
+    em::frequency_meter m(p);
+    EXPECT_NEAR(m.phase_sigma(), p.capture_loop_cycles / 1e6, 1e-15);
+}
+
+TEST(FrequencyMeter, MeasurementNeverNonPositive) {
+    em::mcu_params p;
+    p.clock_hz = 125e3;
+    p.capture_loop_cycles = 1e6;  // absurd noise
+    em::frequency_meter m(p);
+    ehdse::numeric::rng rng(1);
+    for (int i = 0; i < 1000; ++i) ASSERT_GT(m.measure_frequency(64.0, rng), 0.0);
+}
+
+// Statistical sweep: the empirical spread of measurements must match the
+// configured sigma at every clock.
+class MeterStatistics : public ::testing::TestWithParam<double> {};
+
+TEST_P(MeterStatistics, EmpiricalSigmaMatchesModel) {
+    em::mcu_params p;
+    p.clock_hz = GetParam();
+    em::frequency_meter m(p);
+    ehdse::numeric::rng rng(99);
+    constexpr int n = 20000;
+    std::vector<double> xs(n);
+    for (double& x : xs) x = m.measure_frequency(64.0, rng);
+    EXPECT_NEAR(ehdse::numeric::mean(xs), 64.0, 5.0 * m.frequency_sigma(64.0) / std::sqrt(n) + 1e-6);
+    EXPECT_NEAR(ehdse::numeric::sample_stddev(xs), m.frequency_sigma(64.0),
+                0.05 * m.frequency_sigma(64.0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, MeterStatistics,
+                         ::testing::Values(125e3, 1e6, 4e6, 8e6));

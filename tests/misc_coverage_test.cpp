@@ -1,0 +1,75 @@
+// Odds-and-ends coverage: public surfaces not exercised elsewhere
+// (renderers, accessors, small helpers).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "numeric/decomp.hpp"
+#include "numeric/matrix.hpp"
+#include "sim/trace.hpp"
+
+namespace en = ehdse::numeric;
+namespace es = ehdse::sim;
+
+TEST(MatrixToString, RendersRowsAndSeparators) {
+    en::matrix m{{1.5, -2.0}, {0.0, 3.25}};
+    const std::string s = m.to_string(3);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("3.25"), std::string::npos);
+    EXPECT_NE(s.find(";"), std::string::npos);  // row separator
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s.back(), ']');
+}
+
+TEST(MatrixData, RowMajorLayout) {
+    en::matrix m{{1, 2}, {3, 4}};
+    const auto& d = m.data();
+    ASSERT_EQ(d.size(), 4u);
+    EXPECT_DOUBLE_EQ(d[0], 1.0);
+    EXPECT_DOUBLE_EQ(d[1], 2.0);
+    EXPECT_DOUBLE_EQ(d[2], 3.0);
+    EXPECT_DOUBLE_EQ(d[3], 4.0);
+}
+
+TEST(QrFactor, RIsUpperTriangularAndReproducesNorms) {
+    en::matrix a{{1, 2}, {3, 1}, {0, 2}};
+    en::qr_decomposition qr(a);
+    const en::matrix r = qr.r();
+    ASSERT_EQ(r.rows(), 2u);
+    ASSERT_EQ(r.cols(), 2u);
+    EXPECT_DOUBLE_EQ(r(1, 0), 0.0);
+    // R'R = A'A (Q orthogonal).
+    const en::matrix rtr = r.transposed() * r;
+    EXPECT_LT(rtr.max_abs_diff(a.gram()), 1e-10);
+}
+
+TEST(LuMatrixSolve, MultipleRhsColumns) {
+    en::matrix a{{2, 0}, {0, 4}};
+    en::matrix b{{2, 4}, {8, 12}};
+    const en::matrix x = en::lu_decomposition(a).solve(b);
+    EXPECT_DOUBLE_EQ(x(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(x(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(x(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(x(1, 1), 3.0);
+    EXPECT_THROW(en::lu_decomposition(a).solve(en::matrix(3, 1)),
+                 std::invalid_argument);
+}
+
+TEST(TraceCsv, HeaderAndRows) {
+    es::trace tr("vcap");
+    tr.record(0.0, 2.8);
+    tr.record(1.5, 2.79);
+    std::ostringstream os;
+    tr.write_csv(os);
+    EXPECT_EQ(os.str(), "time,vcap\n0,2.8\n1.5,2.79\n");
+}
+
+TEST(TraceClear, EmptiesAndAllowsReuse) {
+    es::trace tr("x");
+    tr.record(1.0, 1.0);
+    tr.clear();
+    EXPECT_TRUE(tr.empty());
+    // After clear, earlier times are legal again.
+    tr.record(0.5, 9.0);
+    EXPECT_DOUBLE_EQ(tr.last_value(), 9.0);
+}

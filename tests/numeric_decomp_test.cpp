@@ -1,0 +1,134 @@
+// LU / QR decompositions: closed-form cases plus randomised property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/decomp.hpp"
+#include "numeric/rng.hpp"
+
+namespace en = ehdse::numeric;
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+    en::matrix a{{4, 3}, {6, 3}};
+    EXPECT_NEAR(en::determinant(a), -6.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfIdentity) {
+    EXPECT_NEAR(en::determinant(en::matrix::identity(5)), 1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixDetected) {
+    en::matrix a{{1, 2}, {2, 4}};
+    en::lu_decomposition lu(a);
+    EXPECT_TRUE(lu.singular());
+    EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+    EXPECT_THROW(lu.solve(en::vec{1.0, 1.0}), std::domain_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+    EXPECT_THROW(en::lu_decomposition(en::matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolveKnownSystem) {
+    en::matrix a{{2, 1}, {1, 3}};
+    const en::vec x = en::solve_linear(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+    en::matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+    const en::matrix prod = a * en::inverse(a);
+    EXPECT_LT(prod.max_abs_diff(en::matrix::identity(3)), 1e-10);
+}
+
+TEST(Lu, LogAbsDeterminantMatchesDeterminant) {
+    en::matrix a{{3, 1}, {2, 5}};
+    en::lu_decomposition lu(a);
+    const auto [log_abs, sign] = lu.log_abs_determinant();
+    EXPECT_NEAR(sign * std::exp(log_abs), lu.determinant(), 1e-9);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+    en::lu_decomposition lu(en::matrix::identity(3));
+    EXPECT_THROW(lu.solve(en::vec{1.0}), std::invalid_argument);
+}
+
+TEST(Qr, SolvesExactSquareSystem) {
+    en::matrix a{{2, 1}, {1, 3}};
+    const en::vec x = en::qr_decomposition(a).solve({5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresLine) {
+    // Fit y = 1 + 2t through noiseless points: exact recovery.
+    en::matrix a;
+    en::vec y;
+    for (double t : {0.0, 1.0, 2.0, 3.0}) {
+        a.append_row(en::vec{1.0, t});
+        y.push_back(1.0 + 2.0 * t);
+    }
+    const en::vec beta = en::solve_least_squares(a, y);
+    EXPECT_NEAR(beta[0], 1.0, 1e-12);
+    EXPECT_NEAR(beta[1], 2.0, 1e-12);
+}
+
+TEST(Qr, UnderdeterminedThrows) {
+    EXPECT_THROW(en::qr_decomposition(en::matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Qr, RankDeficiencyDetected) {
+    en::matrix a{{1, 2}, {2, 4}, {3, 6}};
+    en::qr_decomposition qr(a);
+    EXPECT_TRUE(qr.rank_deficient());
+    EXPECT_THROW(qr.solve(en::vec{1.0, 2.0, 3.0}), std::domain_error);
+}
+
+TEST(Qr, AbsDetRMatchesGramDeterminant) {
+    en::matrix a{{1, 2}, {3, 1}, {0, 2}};
+    en::qr_decomposition qr(a);
+    const double det_gram = en::determinant(a.gram());
+    EXPECT_NEAR(qr.abs_det_r() * qr.abs_det_r(), det_gram, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random well-conditioned systems across sizes and seeds.
+
+class DecompRandomised : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecompRandomised, LuSolveResidualSmall) {
+    const auto [n, seed] = GetParam();
+    en::rng rng(static_cast<std::uint64_t>(seed));
+    en::matrix a(n, n);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0) + (r == c ? static_cast<double>(n) : 0.0);
+    en::vec b(n);
+    for (double& v : b) v = rng.uniform(-2.0, 2.0);
+
+    const en::vec x = en::solve_linear(a, b);
+    const en::vec r = en::sub(a * x, b);
+    EXPECT_LT(en::max_abs(r), 1e-9);
+}
+
+TEST_P(DecompRandomised, QrNormalEquationsHold) {
+    const auto [n, seed] = GetParam();
+    en::rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+    const std::size_t rows = static_cast<std::size_t>(n) + 5;
+    const std::size_t cols = static_cast<std::size_t>(n);
+    en::matrix a(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    en::vec b(rows);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+    const en::vec x = en::solve_least_squares(a, b);
+    // Least-squares optimality: A'(Ax - b) = 0.
+    const en::vec grad = a.transposed() * en::sub(a * x, b);
+    EXPECT_LT(en::max_abs(grad), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, DecompRandomised,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 12),
+                                            ::testing::Values(1, 2, 3)));

@@ -1,0 +1,141 @@
+// Unit tests for the dense matrix/vector primitives.
+#include <gtest/gtest.h>
+
+#include "numeric/matrix.hpp"
+
+namespace en = ehdse::numeric;
+
+TEST(Matrix, ConstructionAndFill) {
+    en::matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+    en::matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, InitializerListRaggedThrows) {
+    EXPECT_THROW((en::matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+    en::matrix m(2, 2);
+    EXPECT_THROW(m(2, 0), std::out_of_range);
+    EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, Identity) {
+    const en::matrix id = en::matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Diagonal) {
+    const en::matrix d = en::matrix::diagonal({2.0, 5.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, RowAccessAndSetRow) {
+    en::matrix m{{1, 2}, {3, 4}};
+    auto row = m.row(1);
+    EXPECT_DOUBLE_EQ(row[0], 3.0);
+    const en::vec newrow{7.0, 8.0};
+    m.set_row(0, newrow);
+    EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+    EXPECT_THROW(m.set_row(0, en::vec{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AppendRowBuildsFromEmpty) {
+    en::matrix m;
+    m.append_row(en::vec{1.0, 2.0, 3.0});
+    m.append_row(en::vec{4.0, 5.0, 6.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+    EXPECT_THROW(m.append_row(en::vec{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, RemoveRow) {
+    en::matrix m{{1, 2}, {3, 4}, {5, 6}};
+    m.remove_row(1);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_DOUBLE_EQ(m(1, 0), 5.0);
+    EXPECT_THROW(m.remove_row(5), std::out_of_range);
+}
+
+TEST(Matrix, Transpose) {
+    en::matrix m{{1, 2, 3}, {4, 5, 6}};
+    const en::matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Product) {
+    en::matrix a{{1, 2}, {3, 4}};
+    en::matrix b{{5, 6}, {7, 8}};
+    const en::matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+    en::matrix a(2, 3);
+    en::matrix b(2, 3);
+    EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+    en::matrix a{{1, 2}, {3, 4}};
+    const en::vec y = a * en::vec{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_THROW(a * en::vec{1.0}, std::invalid_argument);
+}
+
+TEST(Matrix, AddSubScale) {
+    en::matrix a{{1, 2}, {3, 4}};
+    en::matrix b{{1, 1}, {1, 1}};
+    EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+    EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+    EXPECT_THROW(a + en::matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+    en::matrix x{{1, 2}, {3, 4}, {5, 6}};
+    const en::matrix g = x.gram();
+    const en::matrix expected = x.transposed() * x;
+    EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+    en::matrix m{{3, 4}};
+    EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotNormAddSubScaleAxpy) {
+    const en::vec a{1.0, 2.0, 2.0};
+    const en::vec b{2.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(en::dot(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(en::norm(a), 3.0);
+    EXPECT_DOUBLE_EQ(en::add(a, b)[0], 3.0);
+    EXPECT_DOUBLE_EQ(en::sub(a, b)[1], 1.0);
+    EXPECT_DOUBLE_EQ(en::scale(a, 2.0)[2], 4.0);
+    EXPECT_DOUBLE_EQ(en::axpy(a, 3.0, b)[0], 7.0);
+    EXPECT_DOUBLE_EQ(en::max_abs(en::vec{-5.0, 2.0}), 5.0);
+    EXPECT_THROW(en::dot(a, en::vec{1.0}), std::invalid_argument);
+}

@@ -1,0 +1,157 @@
+// Determinism and distribution sanity of the PRNG, and the statistics kit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+
+namespace en = ehdse::numeric;
+
+TEST(Rng, SameSeedSameStream) {
+    en::rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    en::rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+    en::rng parent1(7), parent2(7);
+    en::rng child1 = parent1.split();
+    en::rng child2 = parent2.split();
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next(), child2.next());
+    // Parent's continuation differs from the child's stream.
+    en::rng p(7);
+    en::rng c = p.split();
+    EXPECT_NE(p.next(), c.next());
+}
+
+TEST(Rng, UniformInRange) {
+    en::rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-2.0, 5.0);
+        ASSERT_GE(u, -2.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    en::rng r(5);
+    double acc = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) acc += r.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    en::rng r(11);
+    constexpr int n = 200000;
+    std::vector<double> xs(n);
+    for (double& x : xs) x = r.normal(3.0, 2.0);
+    EXPECT_NEAR(en::mean(xs), 3.0, 0.05);
+    EXPECT_NEAR(en::sample_stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    en::rng r(13);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7000; ++i) ++counts[r.uniform_index(7)];
+    for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    en::rng r(17);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+    EXPECT_FALSE(en::rng(1).bernoulli(0.0));
+    EXPECT_TRUE(en::rng(1).bernoulli(1.0));
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+    en::rng r(19);
+    const auto perm = r.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (std::size_t p : perm) {
+        ASSERT_LT(p, 50u);
+        ASSERT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Stats, MeanVarianceBasics) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(en::mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(en::variance(xs), 1.25);
+    EXPECT_NEAR(en::sample_variance(xs), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(en::mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, RSquaredPerfectFitIsOne) {
+    const std::vector<double> y{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(en::r_squared(y, y), 1.0);
+}
+
+TEST(Stats, RSquaredMeanModelIsZero) {
+    const std::vector<double> y{1.0, 2.0, 3.0};
+    const std::vector<double> fitted{2.0, 2.0, 2.0};
+    EXPECT_NEAR(en::r_squared(y, fitted), 0.0, 1e-12);
+}
+
+TEST(Stats, AdjustedRSquaredPenalisesTerms) {
+    const std::vector<double> y{1.0, 2.1, 2.9, 4.2, 5.0};
+    const std::vector<double> fitted{1.1, 2.0, 3.0, 4.0, 5.1};
+    const double r2 = en::r_squared(y, fitted);
+    EXPECT_LT(en::adjusted_r_squared(y, fitted, 3), r2);
+}
+
+TEST(Stats, RmseAndMaxError) {
+    const std::vector<double> y{0.0, 0.0};
+    const std::vector<double> f{3.0, 4.0};
+    EXPECT_NEAR(en::rmse(y, f), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(en::max_abs_error(y, f), 4.0);
+}
+
+TEST(Stats, PearsonOfLinearRelationIsOne) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(en::pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> yneg{8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(en::pearson(x, yneg), -1.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(en::quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(en::quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(en::quantile(xs, 0.5), 2.5);
+    EXPECT_THROW(en::quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+    EXPECT_THROW(en::quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, MinMax) {
+    const std::vector<double> xs{3.0, -1.0, 7.0};
+    const auto [lo, hi] = en::min_max(xs);
+    EXPECT_DOUBLE_EQ(lo, -1.0);
+    EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{1.0};
+    EXPECT_THROW(en::residual_sum_squares(a, b), std::invalid_argument);
+    EXPECT_THROW(en::pearson(a, b), std::invalid_argument);
+}

@@ -1,0 +1,92 @@
+// Special functions: incomplete beta, Student-t and F distributions,
+// validated against identities and standard table values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/special.hpp"
+
+namespace en = ehdse::numeric;
+
+TEST(IncompleteBeta, Endpoints) {
+    EXPECT_DOUBLE_EQ(en::incomplete_beta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(en::incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+    // I_x(1, 1) = x.
+    for (double x : {0.1, 0.25, 0.5, 0.9})
+        EXPECT_NEAR(en::incomplete_beta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(IncompleteBeta, ClosedFormA1) {
+    // I_x(1, b) = 1 - (1-x)^b.
+    for (double x : {0.2, 0.5, 0.8})
+        for (double b : {1.0, 2.0, 5.0})
+            EXPECT_NEAR(en::incomplete_beta(1.0, b, x), 1.0 - std::pow(1.0 - x, b),
+                        1e-12);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+    // I_x(a,b) = 1 - I_{1-x}(b,a).
+    for (double x : {0.1, 0.37, 0.6, 0.93})
+        EXPECT_NEAR(en::incomplete_beta(2.5, 4.0, x),
+                    1.0 - en::incomplete_beta(4.0, 2.5, 1.0 - x), 1e-11);
+}
+
+TEST(IncompleteBeta, MonotoneInX) {
+    double last = -1.0;
+    for (double x = 0.0; x <= 1.0; x += 0.05) {
+        const double v = en::incomplete_beta(3.0, 2.0, x);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+}
+
+TEST(IncompleteBeta, InvalidArguments) {
+    EXPECT_THROW(en::incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(en::incomplete_beta(1.0, -1.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(en::incomplete_beta(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(StudentT, SymmetryAndCenter) {
+    EXPECT_NEAR(en::student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+    for (double t : {0.5, 1.3, 2.8})
+        EXPECT_NEAR(en::student_t_cdf(t, 7.0) + en::student_t_cdf(-t, 7.0), 1.0,
+                    1e-11);
+}
+
+TEST(StudentT, TableValues) {
+    // Critical values: P(T <= 2.776, nu=4) = 0.975; P(T <= 1.812, nu=10) = 0.95.
+    EXPECT_NEAR(en::student_t_cdf(2.776, 4.0), 0.975, 1e-3);
+    EXPECT_NEAR(en::student_t_cdf(1.812, 10.0), 0.95, 1e-3);
+    // Large nu approaches the normal: P(T <= 1.96) ~ 0.975.
+    EXPECT_NEAR(en::student_t_cdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(StudentT, TwoSidedPValues) {
+    EXPECT_NEAR(en::student_t_two_sided_p(0.0, 5.0), 1.0, 1e-12);
+    EXPECT_NEAR(en::student_t_two_sided_p(2.776, 4.0), 0.05, 2e-3);
+    EXPECT_NEAR(en::student_t_two_sided_p(-2.776, 4.0),
+                en::student_t_two_sided_p(2.776, 4.0), 1e-12);
+}
+
+TEST(FDist, BasicsAndTableValues) {
+    EXPECT_DOUBLE_EQ(en::f_cdf(0.0, 3.0, 5.0), 0.0);
+    // Critical values: P(F <= 5.41, 3, 5) ~ 0.95; P(F <= 4.26, 2, 9) ~ 0.95.
+    EXPECT_NEAR(en::f_cdf(5.41, 3.0, 5.0), 0.95, 2e-3);
+    EXPECT_NEAR(en::f_cdf(4.26, 2.0, 9.0), 0.95, 2e-3);
+    EXPECT_NEAR(en::f_upper_p(5.41, 3.0, 5.0), 0.05, 2e-3);
+}
+
+TEST(FDist, RelationToT) {
+    // T^2 with nu dof is F(1, nu): P(F <= t^2) = P(|T| <= t).
+    const double t = 1.7, nu = 8.0;
+    EXPECT_NEAR(en::f_cdf(t * t, 1.0, nu), 1.0 - en::student_t_two_sided_p(t, nu),
+                1e-10);
+}
+
+TEST(FDist, InvalidArguments) {
+    EXPECT_THROW(en::f_cdf(1.0, 0.0, 5.0), std::invalid_argument);
+    EXPECT_THROW(en::student_t_cdf(1.0, 0.0), std::invalid_argument);
+}

@@ -1,0 +1,118 @@
+// NSGA-II: dominance primitives, sorting, and front recovery on problems
+// with known Pareto sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/nsga2.hpp"
+
+namespace eo = ehdse::opt;
+namespace en = ehdse::numeric;
+
+TEST(Dominance, Definition) {
+    EXPECT_TRUE(eo::dominates({2.0, 3.0}, {1.0, 3.0}));
+    EXPECT_TRUE(eo::dominates({2.0, 4.0}, {1.0, 3.0}));
+    EXPECT_FALSE(eo::dominates({1.0, 3.0}, {2.0, 2.0}));   // trade-off
+    EXPECT_FALSE(eo::dominates({1.0, 3.0}, {1.0, 3.0}));   // equal
+    EXPECT_THROW(eo::dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(NonDominatedSort, LayersCorrectly) {
+    // Points: A(4,4) front 0; B(3,5) front 0; C(3,3) dominated by A;
+    // D(1,1) dominated by everything.
+    const std::vector<en::vec> obj{{4, 4}, {3, 5}, {3, 3}, {1, 1}};
+    const auto rank = eo::non_dominated_sort(obj);
+    EXPECT_EQ(rank[0], 0u);
+    EXPECT_EQ(rank[1], 0u);
+    EXPECT_EQ(rank[2], 1u);
+    EXPECT_EQ(rank[3], 2u);
+}
+
+namespace {
+
+/// Schaffer's problem (maximised form): f1 = -x^2, f2 = -(x-2)^2.
+/// Pareto set: x in [0, 2]; the front satisfies
+/// sqrt(-f1) + sqrt(-f2) = 2.
+eo::multi_objective_fn schaffer() {
+    return [](const en::vec& x) {
+        return en::vec{-x[0] * x[0], -(x[0] - 2.0) * (x[0] - 2.0)};
+    };
+}
+
+}  // namespace
+
+TEST(Nsga2, RecoversSchafferFront) {
+    eo::nsga2_options opts;
+    opts.population = 60;
+    opts.generations = 80;
+    en::rng rng(7);
+    const auto front = eo::nsga2(opts).optimize(
+        schaffer(), 2, eo::box_bounds{{-5.0}, {5.0}}, rng);
+
+    ASSERT_GE(front.size(), 15u);
+    for (const auto& p : front) {
+        // On the Pareto set: x within [0, 2] (small numerical slack).
+        EXPECT_GT(p.x[0], -0.05);
+        EXPECT_LT(p.x[0], 2.05);
+        // On the front curve.
+        const double s = std::sqrt(-p.objectives[0]) + std::sqrt(-p.objectives[1]);
+        EXPECT_NEAR(s, 2.0, 0.05);
+    }
+    // Front spans both ends of the trade-off.
+    const auto [lo, hi] = std::minmax_element(
+        front.begin(), front.end(), [](const auto& a, const auto& b) {
+            return a.x[0] < b.x[0];
+        });
+    EXPECT_LT(lo->x[0], 0.3);
+    EXPECT_GT(hi->x[0], 1.7);
+}
+
+TEST(Nsga2, FrontIsMutuallyNonDominated) {
+    en::rng rng(13);
+    const auto front = eo::nsga2().optimize(
+        schaffer(), 2, eo::box_bounds{{-5.0}, {5.0}}, rng);
+    for (std::size_t i = 0; i < front.size(); ++i)
+        for (std::size_t j = 0; j < front.size(); ++j)
+            if (i != j)
+                ASSERT_FALSE(eo::dominates(front[i].objectives, front[j].objectives));
+}
+
+TEST(Nsga2, SingleObjectiveDegeneratesToMaximisation) {
+    // With one objective the front collapses to (near) the maximiser.
+    en::rng rng(3);
+    const auto front = eo::nsga2().optimize(
+        [](const en::vec& x) {
+            return en::vec{-(x[0] - 0.5) * (x[0] - 0.5)};
+        },
+        1, eo::box_bounds{{-1.0}, {1.0}}, rng);
+    ASSERT_FALSE(front.empty());
+    for (const auto& p : front) EXPECT_NEAR(p.x[0], 0.5, 0.05);
+}
+
+TEST(Nsga2, Validation) {
+    en::rng rng(1);
+    eo::nsga2_options bad;
+    bad.population = 2;
+    EXPECT_THROW(eo::nsga2(bad).optimize(schaffer(), 2,
+                                         eo::box_bounds{{-1.0}, {1.0}}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(eo::nsga2().optimize(schaffer(), 0,
+                                      eo::box_bounds{{-1.0}, {1.0}}, rng),
+                 std::invalid_argument);
+    // Objective-size mismatch reported.
+    EXPECT_THROW(eo::nsga2().optimize(schaffer(), 3,
+                                      eo::box_bounds{{-1.0}, {1.0}}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Nsga2, DeterministicGivenSeed) {
+    en::rng a(21), b(21);
+    const auto fa = eo::nsga2().optimize(schaffer(), 2,
+                                         eo::box_bounds{{-5.0}, {5.0}}, a);
+    const auto fb = eo::nsga2().optimize(schaffer(), 2,
+                                         eo::box_bounds{{-5.0}, {5.0}}, b);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        EXPECT_EQ(fa[i].objectives, fb[i].objectives);
+}

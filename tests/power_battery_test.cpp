@@ -1,0 +1,99 @@
+// Thin-film battery storage model and its use through the storage_model
+// interface in a whole-system run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "dse/system_evaluator.hpp"
+#include "power/battery.hpp"
+
+namespace ep = ehdse::power;
+
+TEST(Battery, ParameterValidation) {
+    ep::battery_params p;
+    p.capacity_c = 0.0;
+    EXPECT_THROW(ep::thin_film_battery{p}, std::invalid_argument);
+    p = {};
+    p.v_full = p.v_empty;
+    EXPECT_THROW(ep::thin_film_battery{p}, std::invalid_argument);
+    p = {};
+    p.charge_current_limit_a = 0.0;
+    EXPECT_THROW(ep::thin_film_battery{p}, std::invalid_argument);
+}
+
+TEST(Battery, StateOfChargeLinearInVoltage) {
+    ep::thin_film_battery bat;
+    const auto& p = bat.params();
+    EXPECT_DOUBLE_EQ(bat.state_of_charge(p.v_empty), 0.0);
+    EXPECT_DOUBLE_EQ(bat.state_of_charge(p.v_full), 1.0);
+    EXPECT_NEAR(bat.state_of_charge((p.v_empty + p.v_full) / 2.0), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(bat.state_of_charge(0.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(bat.state_of_charge(10.0), 1.0);  // clamped
+}
+
+TEST(Battery, EffectiveCapacitance) {
+    ep::thin_film_battery bat;
+    const auto& p = bat.params();
+    EXPECT_NEAR(bat.effective_capacitance(),
+                p.capacity_c / (p.v_full - p.v_empty), 1e-12);
+    // A 1 mAh cell over 0.35 V is a "10 F class" equivalent store.
+    EXPECT_GT(bat.effective_capacitance(), 5.0);
+}
+
+TEST(Battery, WithdrawalConsistentWithEnergy) {
+    ep::thin_film_battery bat;
+    const double v0 = 3.0;
+    const double joules = 0.05;
+    const double v1 = bat.voltage_after_withdrawal(v0, joules);
+    EXPECT_LT(v1, v0);
+    EXPECT_NEAR(bat.energy_at(v0) - bat.energy_at(v1), joules, 1e-9);
+    EXPECT_THROW(bat.voltage_after_withdrawal(v0, -1.0), std::invalid_argument);
+    // Overdraw floors at the empty voltage, not zero.
+    EXPECT_DOUBLE_EQ(bat.voltage_after_withdrawal(v0, 1e9),
+                     bat.params().v_empty);
+}
+
+TEST(Battery, ChargeAcceptanceLimit) {
+    ep::thin_film_battery bat;
+    const double v = 2.9;
+    const double slope_ok = bat.dv_dt(v, 1e-3);
+    const double slope_capped = bat.dv_dt(v, 1.0);  // 1 A demanded
+    EXPECT_GT(slope_ok, 0.0);
+    EXPECT_NEAR(slope_capped,
+                (bat.params().charge_current_limit_a - bat.params().self_discharge_a) /
+                    bat.effective_capacitance(),
+                1e-12);
+}
+
+TEST(Battery, WindowClamps) {
+    ep::thin_film_battery bat;
+    EXPECT_DOUBLE_EQ(bat.dv_dt(bat.params().v_full, 1e-3), 0.0);   // full: no charge
+    EXPECT_DOUBLE_EQ(bat.dv_dt(bat.params().v_empty, -1e-3), 0.0); // empty: no drain
+    EXPECT_LT(bat.dv_dt(bat.params().v_full, -1e-3), 0.0);         // discharge ok
+    EXPECT_DOUBLE_EQ(bat.max_voltage(), bat.params().v_full);
+}
+
+TEST(Battery, WholeSystemRunThroughEvaluator) {
+    // Battery-backed node: the terminal voltage stays above the 2.8 V band
+    // for the whole hour, so the node runs at its fast interval throughout.
+    ehdse::dse::scenario s;
+    s.duration_s = 600.0;
+    s.v_initial = 2.95;
+    s.step_period_s = 250.0;
+    s.step_count = 1;
+    ehdse::dse::system_evaluator ev(s);
+    ev.set_storage(std::make_shared<ep::thin_film_battery>());
+    const auto r = ev.evaluate(ehdse::dse::system_config::original());
+    EXPECT_TRUE(r.sim_ok);
+    EXPECT_EQ(r.transmissions, 121u);  // 600 s / 5 s + the t=0 burst
+    EXPECT_GT(r.min_voltage_v, 2.8);
+    // Millivolt-scale swing: the battery buffers everything.
+    EXPECT_LT(r.max_voltage_v - r.min_voltage_v, 0.05);
+
+    // Restoring the default supercapacitor changes the behaviour again.
+    ev.set_storage(nullptr);
+    const auto r2 = ev.evaluate(ehdse::dse::system_config::original());
+    EXPECT_GT(r2.max_voltage_v - r2.min_voltage_v,
+              r.max_voltage_v - r.min_voltage_v);
+}

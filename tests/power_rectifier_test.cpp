@@ -1,0 +1,106 @@
+// Averaged bridge model: closed-form values, power-split identity, and a
+// numerical cross-check integrating the instantaneous waveform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "power/rectifier.hpp"
+
+namespace ep = ehdse::power;
+
+TEST(Rectifier, BlockedWhenEmfBelowSink) {
+    ep::rectifier_params rp;  // 0.3 V per diode
+    const auto op = ep::bridge_average(2.0, 2.8, 1000.0, rp);
+    EXPECT_FALSE(op.conducting);
+    EXPECT_DOUBLE_EQ(op.i_avg_a, 0.0);
+    EXPECT_DOUBLE_EQ(op.p_mech_w, 0.0);
+}
+
+TEST(Rectifier, BlockedExactlyAtThreshold) {
+    const auto op = ep::bridge_average(3.4, 2.8, 1000.0);  // U = 3.4
+    EXPECT_FALSE(op.conducting);
+}
+
+TEST(Rectifier, ConductsAboveThreshold) {
+    const auto op = ep::bridge_average(5.0, 2.8, 1000.0);
+    EXPECT_TRUE(op.conducting);
+    EXPECT_GT(op.i_avg_a, 0.0);
+    EXPECT_GT(op.conduction_angle, 0.0);
+    EXPECT_LT(op.conduction_angle, std::numbers::pi);
+}
+
+TEST(Rectifier, PowerSplitIdentity) {
+    const auto op = ep::bridge_average(6.0, 2.8, 2000.0);
+    EXPECT_NEAR(op.p_mech_w, op.p_coil_w + op.p_store_w + op.p_diode_w,
+                1e-15 + 1e-9 * op.p_mech_w);
+    EXPECT_GT(op.p_coil_w, 0.0);
+    EXPECT_GT(op.p_store_w, 0.0);
+    EXPECT_GT(op.p_diode_w, 0.0);
+}
+
+TEST(Rectifier, ZeroSinkFullConduction) {
+    // With zero store voltage and zero diode drop, conduction spans the
+    // whole half-cycle and the averages reduce to textbook forms.
+    ep::rectifier_params rp;
+    rp.diode_drop_v = 0.0;
+    const double e = 4.0, r = 100.0;
+    const auto op = ep::bridge_average(e, 0.0, r, rp);
+    EXPECT_NEAR(op.conduction_angle, std::numbers::pi, 1e-9);
+    EXPECT_NEAR(op.i_avg_a, 2.0 * e / (std::numbers::pi * r), 1e-12);
+    EXPECT_NEAR(op.p_mech_w, e * e / (2.0 * r), 1e-12);
+}
+
+TEST(Rectifier, InvalidInputsThrow) {
+    EXPECT_THROW(ep::bridge_average(-1.0, 2.8, 100.0), std::invalid_argument);
+    EXPECT_THROW(ep::bridge_average(5.0, -0.1, 100.0), std::invalid_argument);
+    EXPECT_THROW(ep::bridge_average(5.0, 2.8, 0.0), std::invalid_argument);
+}
+
+TEST(Rectifier, CurrentDecreasesWithStoreVoltage) {
+    double last = 1e9;
+    for (double v = 0.0; v < 4.5; v += 0.5) {
+        const double i = ep::bridge_average(5.0, v, 1000.0).i_avg_a;
+        EXPECT_LT(i, last);
+        last = i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-check against direct numerical integration of the waveform:
+//   i(theta) = max(0, (E|sin| - U)) / R, current into the store = |i|.
+
+class RectifierNumerical
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(RectifierNumerical, AveragesMatchQuadrature) {
+    const auto [e, v, r] = GetParam();
+    const ep::rectifier_params rp;
+    const double u = v + 2.0 * rp.diode_drop_v;
+
+    const int n = 2'000'000;
+    double i_sum = 0.0, p_sum = 0.0;
+    for (int s = 0; s < n; ++s) {
+        const double theta = 2.0 * std::numbers::pi * (s + 0.5) / n;
+        const double emf = e * std::sin(theta);
+        if (std::abs(emf) > u) {
+            const double i = (std::abs(emf) - u) / r;
+            i_sum += i;                 // rectified current into the store
+            p_sum += std::abs(emf) * i; // power leaving the mechanics
+        }
+    }
+    const double i_avg = i_sum / n;
+    const double p_avg = p_sum / n;
+
+    const auto op = ep::bridge_average(e, v, r, rp);
+    EXPECT_NEAR(op.i_avg_a, i_avg, 1e-6 * std::max(1.0, i_avg) + 1e-12);
+    EXPECT_NEAR(op.p_mech_w, p_avg, 1e-5 * std::max(1.0, p_avg) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, RectifierNumerical,
+    ::testing::Values(std::make_tuple(5.0, 2.8, 1000.0),
+                      std::make_tuple(4.0, 2.8, 5000.0),
+                      std::make_tuple(10.0, 0.5, 200.0),
+                      std::make_tuple(3.45, 2.8, 5000.0),   // barely conducting
+                      std::make_tuple(20.0, 2.8, 5000.0))); // deep conduction

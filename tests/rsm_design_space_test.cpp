@@ -1,0 +1,93 @@
+// Coded-variable transform (paper eq. 3) and design-space plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rsm/design_space.hpp"
+
+namespace er = ehdse::rsm;
+
+namespace {
+er::design_space paper_like() {
+    return er::design_space({
+        {"clock", 125e3, 8e6, er::axis_scale::linear},
+        {"watchdog", 60.0, 600.0, er::axis_scale::linear},
+        {"interval", 0.005, 10.0, er::axis_scale::linear},
+    });
+}
+}  // namespace
+
+TEST(DesignSpace, EndpointsCodeToPlusMinusOne) {
+    const auto space = paper_like();
+    for (std::size_t i = 0; i < space.dimension(); ++i) {
+        EXPECT_NEAR(space.code(i, space.parameter(i).min), -1.0, 1e-12);
+        EXPECT_NEAR(space.code(i, space.parameter(i).max), +1.0, 1e-12);
+    }
+}
+
+TEST(DesignSpace, CenterCodesToZero) {
+    const auto space = paper_like();
+    EXPECT_NEAR(space.code(0, (125e3 + 8e6) / 2.0), 0.0, 1e-12);
+    EXPECT_NEAR(space.code(1, 330.0), 0.0, 1e-12);
+}
+
+TEST(DesignSpace, VectorFormsAndValidation) {
+    const auto space = paper_like();
+    const ehdse::numeric::vec natural{4e6, 320.0, 5.0};
+    const auto coded = space.code(natural);
+    EXPECT_EQ(coded.size(), 3u);
+    const auto back = space.decode(coded);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], natural[i], 1e-9);
+    EXPECT_THROW(space.code(ehdse::numeric::vec{1.0}), std::invalid_argument);
+    EXPECT_THROW(space.decode(ehdse::numeric::vec{1.0}), std::invalid_argument);
+}
+
+TEST(DesignSpace, ClampAndContains) {
+    const auto space = paper_like();
+    const auto clamped = space.clamp({-3.0, 0.5, 2.0});
+    EXPECT_DOUBLE_EQ(clamped[0], -1.0);
+    EXPECT_DOUBLE_EQ(clamped[1], 0.5);
+    EXPECT_DOUBLE_EQ(clamped[2], 1.0);
+    EXPECT_TRUE(space.contains(clamped));
+    EXPECT_FALSE(space.contains({-3.0, 0.0, 0.0}));
+    EXPECT_FALSE(space.contains({0.0, 0.0}));  // wrong dimension
+}
+
+TEST(DesignSpace, LogScaleRoundTrip) {
+    er::design_space space({{"clock", 125e3, 8e6, er::axis_scale::logarithmic}});
+    EXPECT_NEAR(space.code(0, 125e3), -1.0, 1e-12);
+    EXPECT_NEAR(space.code(0, 8e6), 1.0, 1e-12);
+    // Geometric centre codes to zero on a log axis.
+    EXPECT_NEAR(space.code(0, std::sqrt(125e3 * 8e6)), 0.0, 1e-12);
+    EXPECT_NEAR(space.decode(0, space.code(0, 1e6)), 1e6, 1e-3);
+}
+
+TEST(DesignSpace, InvalidRangesThrow) {
+    EXPECT_THROW(er::design_space({{"x", 1.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(er::design_space({{"x", 2.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(er::design_space({{"x", -1.0, 1.0, er::axis_scale::logarithmic}}),
+                 std::invalid_argument);
+    EXPECT_THROW(paper_like().parameter(7), std::out_of_range);
+}
+
+// Round-trip property across ranges and values.
+class CodingRoundTrip : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CodingRoundTrip, DecodeInvertsCode) {
+    const auto [lo, width] = GetParam();
+    er::design_space space({{"p", lo, lo + width}});
+    for (double frac : {0.0, 0.1, 0.25, 0.5, 0.77, 1.0}) {
+        const double natural = lo + frac * width;
+        const double coded = space.code(0, natural);
+        EXPECT_GE(coded, -1.0 - 1e-12);
+        EXPECT_LE(coded, 1.0 + 1e-12);
+        EXPECT_NEAR(space.decode(0, coded), natural,
+                    1e-12 * (std::abs(natural) + width));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, CodingRoundTrip,
+    ::testing::Values(std::make_tuple(0.005, 9.995), std::make_tuple(-5.0, 10.0),
+                      std::make_tuple(125e3, 7.875e6), std::make_tuple(60.0, 540.0),
+                      std::make_tuple(-1e6, 2e6)));

@@ -1,0 +1,119 @@
+// Gaussian-process surrogate: interpolation, predictive variance shape,
+// hyperparameter selection and comparison against the quadratic RSM on a
+// non-quadratic truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "doe/designs.hpp"
+#include "doe/sampling.hpp"
+#include "numeric/decomp.hpp"
+#include "numeric/stats.hpp"
+#include "rsm/kriging.hpp"
+#include "rsm/quadratic_model.hpp"
+
+namespace er = ehdse::rsm;
+namespace en = ehdse::numeric;
+
+TEST(Cholesky, FactorisesAndSolvesSpdSystem) {
+    en::matrix a{{4, 2, 0}, {2, 5, 1}, {0, 1, 3}};
+    en::cholesky_decomposition chol(a);
+    ASSERT_TRUE(chol.positive_definite());
+    const en::vec x = chol.solve({1.0, 2.0, 3.0});
+    const en::vec r = en::sub(a * x, {1.0, 2.0, 3.0});
+    EXPECT_LT(en::max_abs(r), 1e-12);
+    EXPECT_NEAR(chol.log_determinant(), std::log(en::determinant(a)), 1e-10);
+    // L L' reconstructs A.
+    const en::matrix rec = chol.l() * chol.l().transposed();
+    EXPECT_LT(rec.max_abs_diff(a), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+    en::matrix indefinite{{1, 2}, {2, 1}};
+    en::cholesky_decomposition chol(indefinite);
+    EXPECT_FALSE(chol.positive_definite());
+    EXPECT_THROW(chol.solve({1.0, 1.0}), std::domain_error);
+    EXPECT_THROW(en::cholesky_decomposition(en::matrix(2, 3)),
+                 std::invalid_argument);
+}
+
+namespace {
+double bumpy(const en::vec& x) {
+    // Smooth but distinctly non-quadratic over [-1,1]^2.
+    return std::sin(3.0 * x[0]) + 0.5 * std::cos(4.0 * x[1]) + 0.3 * x[0] * x[1];
+}
+}  // namespace
+
+TEST(Gp, InterpolatesTrainingPoints) {
+    const auto points = ehdse::doe::full_factorial(2, 4);
+    en::vec y;
+    for (const auto& p : points) y.push_back(bumpy(p));
+    er::gp_model gp(points, y, {0.8, 1.0, 1e-10});
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_NEAR(gp.predict(points[i]), y[i], 1e-5);
+}
+
+TEST(Gp, VarianceNearZeroAtTrainingGrowsAway) {
+    const auto points = ehdse::doe::full_factorial(2, 3);
+    en::vec y;
+    for (const auto& p : points) y.push_back(bumpy(p));
+    er::gp_model gp(points, y, {0.6, 1.0, 1e-8});
+    EXPECT_LT(gp.predict_variance(points[4]), 1e-5);  // a training point
+    const double far = gp.predict_variance({5.0, 5.0});
+    EXPECT_NEAR(far, 1.0 + 1e-8, 1e-6);  // reverts to prior variance
+    EXPECT_GT(far, gp.predict_variance({0.2, 0.1}));
+}
+
+TEST(Gp, InputValidation) {
+    const std::vector<en::vec> pts{{0.0}, {1.0}};
+    const en::vec y{1.0, 2.0};
+    EXPECT_THROW(er::gp_model({}, {}, {}), std::invalid_argument);
+    EXPECT_THROW(er::gp_model(pts, en::vec{1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(er::gp_model(pts, y, {0.0, 1.0, 1e-6}), std::invalid_argument);
+    er::gp_model gp(pts, y, {});
+    EXPECT_THROW(gp.predict({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Gp, DuplicatePointsNeedNugget) {
+    // Two identical points make K singular at zero noise; the nugget must
+    // rescue it and the domain error must fire without one.
+    const std::vector<en::vec> pts{{0.5}, {0.5}, {1.0}};
+    const en::vec y{1.0, 1.0, 2.0};
+    EXPECT_THROW(er::gp_model(pts, y, {1.0, 1.0, 0.0}), std::domain_error);
+    EXPECT_NO_THROW(er::gp_model(pts, y, {1.0, 1.0, 1e-6}));
+}
+
+TEST(Gp, AutoFitImprovesLikelihoodOverArbitraryParams) {
+    en::rng rng(31);
+    const auto points = ehdse::doe::maximin_latin_hypercube(2, 20, rng);
+    en::vec y;
+    for (const auto& p : points) y.push_back(bumpy(p));
+
+    const er::gp_model arbitrary(points, y, {3.0, 0.1, 1e-6});
+    const er::gp_model tuned = er::fit_gp_auto(points, y, 1e-6);
+    EXPECT_GT(tuned.log_marginal_likelihood(),
+              arbitrary.log_marginal_likelihood());
+}
+
+TEST(Gp, BeatsQuadraticOnNonQuadraticTruth) {
+    // Same 16-point budget for both surrogates; evaluate on a dense grid.
+    en::rng rng(17);
+    const auto train = ehdse::doe::maximin_latin_hypercube(2, 16, rng);
+    en::vec y;
+    for (const auto& p : train) y.push_back(bumpy(p));
+
+    const auto quad = er::fit_quadratic(train, y);
+    const auto gp = er::fit_gp_auto(train, y, 1e-8);
+
+    en::vec truth, quad_pred, gp_pred;
+    for (double a = -0.95; a <= 0.96; a += 0.19)
+        for (double b = -0.95; b <= 0.96; b += 0.19) {
+            const en::vec x{a, b};
+            truth.push_back(bumpy(x));
+            quad_pred.push_back(quad.model.predict(x));
+            gp_pred.push_back(gp.predict(x));
+        }
+    const double quad_rmse = en::rmse(truth, quad_pred);
+    const double gp_rmse = en::rmse(truth, gp_pred);
+    EXPECT_LT(gp_rmse, 0.5 * quad_rmse);
+}

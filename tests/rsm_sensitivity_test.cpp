@@ -1,0 +1,83 @@
+// Analytic Sobol decomposition: closed-form identities and Monte-Carlo
+// cross-validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "rsm/sensitivity.hpp"
+
+namespace er = ehdse::rsm;
+namespace en = ehdse::numeric;
+
+TEST(Sobol, PureLinearSingleVariable) {
+    // y = 2 x1 in 2 vars: all variance on x1, none on x2.
+    er::quadratic_model m(2, {0.0, 2.0, 0.0, 0.0, 0.0, 0.0});
+    const auto s = er::sobol_indices(m);
+    EXPECT_NEAR(s.total_variance, 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.first_order[0], 1.0, 1e-12);
+    EXPECT_NEAR(s.first_order[1], 0.0, 1e-12);
+    EXPECT_NEAR(s.total_order[0], 1.0, 1e-12);
+}
+
+TEST(Sobol, QuadraticTermVariance) {
+    // y = x1^2: Var = 4/45.
+    er::quadratic_model m(1, {0.0, 0.0, 1.0});
+    const auto s = er::sobol_indices(m);
+    EXPECT_NEAR(s.total_variance, 4.0 / 45.0, 1e-12);
+    EXPECT_NEAR(s.first_order[0], 1.0, 1e-12);
+}
+
+TEST(Sobol, InteractionOnlySplitsAcrossTotals) {
+    // y = 3 x1 x2: V = 1, S_i = 0, ST_i = 1 for both.
+    er::quadratic_model m(2, {0.0, 0.0, 0.0, 0.0, 0.0, 3.0});
+    const auto s = er::sobol_indices(m);
+    EXPECT_NEAR(s.total_variance, 1.0, 1e-12);
+    EXPECT_NEAR(s.first_order[0], 0.0, 1e-12);
+    EXPECT_NEAR(s.first_order[1], 0.0, 1e-12);
+    EXPECT_NEAR(s.total_order[0], 1.0, 1e-12);
+    EXPECT_NEAR(s.total_order[1], 1.0, 1e-12);
+}
+
+TEST(Sobol, ConstantModelAllZero) {
+    er::quadratic_model m(2, {7.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+    const auto s = er::sobol_indices(m);
+    EXPECT_DOUBLE_EQ(s.total_variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.first_order[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.total_order[1], 0.0);
+}
+
+TEST(Sobol, IndicesSumRules) {
+    // General model: sum of first-order + all interaction shares = 1;
+    // ST_i >= S_i; all in [0, 1].
+    er::quadratic_model m(3, {484.0, -121.8, -16.8, -208.4, 121.0, 106.7, -69.8,
+                              -34.2, -121.8, 32.5});
+    const auto s = er::sobol_indices(m);
+    double sum_first = std::accumulate(s.first_order.begin(), s.first_order.end(), 0.0);
+    double sum_inter = 0.0;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = i + 1; j < 3; ++j)
+            sum_inter += s.interaction_variance(i, j) / s.total_variance;
+    EXPECT_NEAR(sum_first + sum_inter, 1.0, 1e-12);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_GE(s.total_order[i], s.first_order[i]);
+        EXPECT_GE(s.first_order[i], 0.0);
+        EXPECT_LE(s.total_order[i], 1.0 + 1e-12);
+    }
+}
+
+TEST(Sobol, PaperSurfaceDominatedByX3) {
+    er::quadratic_model m(3, {484.02, -121.79, -16.77, -208.43, 120.98, 106.69,
+                              -69.75, -34.23, -121.79, 32.54});
+    const auto s = er::sobol_indices(m);
+    EXPECT_GT(s.first_order[2], s.first_order[0]);
+    EXPECT_GT(s.first_order[2], s.first_order[1]);
+    EXPECT_GT(s.total_order[2], 0.4);  // x3 carries the biggest share
+}
+
+TEST(Sobol, AnalyticVarianceMatchesMonteCarlo) {
+    er::quadratic_model m(3, {10.0, 3.0, -2.0, 1.0, 0.5, -1.5, 2.0, 0.7, -0.9, 1.2});
+    const auto s = er::sobol_indices(m);
+    const double mc = er::monte_carlo_variance(m, 400000, 42);
+    EXPECT_NEAR(mc, s.total_variance, 0.02 * s.total_variance);
+}

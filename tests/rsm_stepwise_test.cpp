@@ -1,0 +1,121 @@
+// Backward elimination: recovers sparse truth, keeps real terms, and the
+// reduced model predicts at least as well out-of-sample as the full one
+// when most terms are noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "doe/designs.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/stats.hpp"
+#include "rsm/stepwise.hpp"
+
+namespace er = ehdse::rsm;
+namespace en = ehdse::numeric;
+
+namespace {
+
+/// Sparse truth in 3 vars: y = 4 - 3 x3 + 2 x3^2 + noise.
+struct sparse_case {
+    std::vector<en::vec> points;
+    en::vec y;
+};
+
+sparse_case make_sparse(double sigma, std::uint64_t seed) {
+    sparse_case s;
+    en::rng rng(seed);
+    s.points = ehdse::doe::full_factorial(3, 3);
+    for (const auto& p : s.points)
+        s.y.push_back(4.0 - 3.0 * p[2] + 2.0 * p[2] * p[2] + rng.normal(0.0, sigma));
+    return s;
+}
+
+bool has_term(const er::reduced_model& m, std::size_t term) {
+    return std::find(m.active_terms().begin(), m.active_terms().end(), term) !=
+           m.active_terms().end();
+}
+
+}  // namespace
+
+TEST(Stepwise, RecoversSparseStructure) {
+    const auto s = make_sparse(0.05, 1);
+    const auto r = er::backward_eliminate(s.points, s.y, 0.05);
+    // Layout for k=3: 0:1, 1..3:x1..x3, 4..6:x^2, 7..9:interactions.
+    EXPECT_TRUE(has_term(r.model, 0));  // intercept
+    EXPECT_TRUE(has_term(r.model, 3));  // x3
+    EXPECT_TRUE(has_term(r.model, 6));  // x3^2
+    // Most of the 7 noise terms eliminated.
+    EXPECT_LE(r.model.active_terms().size(), 5u);
+    EXPECT_GE(r.dropped.size(), 5u);
+    EXPECT_GT(r.r_squared, 0.99);
+}
+
+TEST(Stepwise, CoefficientsNearTruth) {
+    const auto s = make_sparse(0.05, 2);
+    const auto r = er::backward_eliminate(s.points, s.y, 0.05);
+    // Find x3's coefficient.
+    for (std::size_t i = 0; i < r.model.active_terms().size(); ++i) {
+        if (r.model.active_terms()[i] == 3)
+            EXPECT_NEAR(r.model.coefficients()[i], -3.0, 0.1);
+        if (r.model.active_terms()[i] == 6)
+            EXPECT_NEAR(r.model.coefficients()[i], 2.0, 0.15);
+    }
+    // Prediction matches truth off the training grid.
+    EXPECT_NEAR(r.model.predict({0.3, -0.7, 0.5}), 4.0 - 1.5 + 0.5, 0.1);
+}
+
+TEST(Stepwise, PureNoiseCollapsesTowardsIntercept) {
+    en::rng rng(3);
+    const auto points = ehdse::doe::full_factorial(3, 3);
+    en::vec y;
+    for (std::size_t i = 0; i < points.size(); ++i) y.push_back(rng.normal(5.0, 1.0));
+    const auto r = er::backward_eliminate(points, y, 0.01);
+    EXPECT_LE(r.model.active_terms().size(), 3u);  // ~1% false keep rate
+    EXPECT_TRUE(has_term(r.model, 0));
+}
+
+TEST(Stepwise, ReducedBeatsFullOutOfSample) {
+    // Train on the 27-grid, test on off-grid points: with sparse truth the
+    // reduced model generalises at least as well as the full quadratic.
+    const auto s = make_sparse(0.5, 4);
+    const auto full = er::fit_quadratic(s.points, s.y);
+    const auto red = er::backward_eliminate(s.points, s.y, 0.05);
+
+    en::rng rng(5);
+    en::vec truth, pred_full, pred_red;
+    for (int i = 0; i < 200; ++i) {
+        en::vec x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                  rng.uniform(-1.0, 1.0)};
+        truth.push_back(4.0 - 3.0 * x[2] + 2.0 * x[2] * x[2]);
+        pred_full.push_back(full.model.predict(x));
+        pred_red.push_back(red.model.predict(x));
+    }
+    EXPECT_LE(en::rmse(truth, pred_red), en::rmse(truth, pred_full) * 1.02);
+}
+
+TEST(Stepwise, ToStringNamesActiveTerms) {
+    const auto s = make_sparse(0.05, 6);
+    const auto r = er::backward_eliminate(s.points, s.y, 0.05);
+    const std::string text = r.model.to_string(2);
+    EXPECT_NE(text.find("x3"), std::string::npos);
+    EXPECT_EQ(text.find("x1*x2"), std::string::npos);
+}
+
+TEST(Stepwise, Validation) {
+    const auto s = make_sparse(0.05, 7);
+    EXPECT_THROW(er::backward_eliminate(s.points, s.y, 0.0), std::invalid_argument);
+    EXPECT_THROW(er::backward_eliminate(s.points, s.y, 1.0), std::invalid_argument);
+    EXPECT_THROW(er::backward_eliminate({}, {}, 0.05), std::invalid_argument);
+    // Saturated design rejected.
+    std::vector<en::vec> few(s.points.begin(), s.points.begin() + 10);
+    en::vec y_few(s.y.begin(), s.y.begin() + 10);
+    EXPECT_THROW(er::backward_eliminate(few, y_few, 0.05), std::invalid_argument);
+}
+
+TEST(ReducedModel, ConstructionValidation) {
+    EXPECT_THROW(er::reduced_model(2, {0, 1}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(er::reduced_model(2, {99}, {1.0}), std::out_of_range);
+    er::reduced_model m(2, {0, 2}, {5.0, -1.0});  // 5 - x2
+    EXPECT_DOUBLE_EQ(m.predict({0.0, 2.0}), 3.0);
+}

@@ -1,0 +1,123 @@
+// Event queue ordering, FIFO tie-break, and cancellation semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace es = ehdse::sim;
+
+TEST(EventQueue, EmptyQueueBehaviour) {
+    es::event_queue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_THROW(q.next_time(), std::logic_error);
+    EXPECT_THROW(q.pop_and_run(), std::logic_error);
+}
+
+TEST(EventQueue, TimeOrdering) {
+    es::event_queue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (!q.empty()) q.pop_and_run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+    es::event_queue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.pop_and_run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReturnsEventTime) {
+    es::event_queue q;
+    q.schedule(2.5, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+    EXPECT_DOUBLE_EQ(q.pop_and_run(), 2.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+    es::event_queue q;
+    bool ran = false;
+    const es::event_id id = q.schedule(1.0, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+    es::event_queue q;
+    const es::event_id id = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+    es::event_queue q;
+    const es::event_id id = q.schedule(1.0, [] {});
+    q.pop_and_run();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+    es::event_queue q;
+    EXPECT_FALSE(q.cancel(12345));
+    EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, CancelledEntrySkippedByNextTime) {
+    es::event_queue q;
+    const es::event_id early = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    ASSERT_TRUE(q.cancel(early));
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+    es::event_queue q;
+    std::vector<double> fired;
+    q.schedule(1.0, [&] {
+        fired.push_back(1.0);
+        q.schedule(1.5, [&] { fired.push_back(1.5); });
+    });
+    while (!q.empty()) q.pop_and_run();
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5}));
+    EXPECT_EQ(q.executed_count(), 2u);
+}
+
+TEST(EventQueue, SameTimeSelfScheduledEventRunsAfter) {
+    es::event_queue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] {
+        order.push_back(0);
+        q.schedule(1.0, [&] { order.push_back(1); });
+    });
+    while (!q.empty()) q.pop_and_run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, LargeVolumeStaysSorted) {
+    es::event_queue q;
+    // Pseudo-random insertion order, must drain in sorted order.
+    double last = -1.0;
+    std::uint64_t state = 88172645463325252ULL;
+    for (int i = 0; i < 10000; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        q.schedule(static_cast<double>(state % 100000) / 1000.0, [] {});
+    }
+    bool sorted = true;
+    while (!q.empty()) {
+        const double t = q.pop_and_run();
+        if (t < last) sorted = false;
+        last = t;
+    }
+    EXPECT_TRUE(sorted);
+}

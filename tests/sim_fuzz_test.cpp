@@ -1,0 +1,149 @@
+// Randomised differential test: the event queue against a reference model
+// (std::multimap ordered by (time, sequence)) under thousands of random
+// schedule/cancel/pop operations; plus simulator edge cases.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "numeric/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace es = ehdse::sim;
+
+namespace {
+
+struct reference_queue {
+    struct entry {
+        es::event_id id;
+        int payload;
+    };
+    std::multimap<std::pair<double, std::uint64_t>, entry> entries;
+    std::uint64_t seq = 0;
+
+    void schedule(double t, es::event_id id, int payload) {
+        entries.emplace(std::make_pair(t, seq++), entry{id, payload});
+    }
+    bool cancel(es::event_id id) {
+        for (auto it = entries.begin(); it != entries.end(); ++it)
+            if (it->second.id == id) {
+                entries.erase(it);
+                return true;
+            }
+        return false;
+    }
+    entry pop() {
+        auto it = entries.begin();
+        entry e = it->second;
+        entries.erase(it);
+        return e;
+    }
+};
+
+}  // namespace
+
+class EventQueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+    ehdse::numeric::rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 5);
+    es::event_queue queue;
+    reference_queue reference;
+
+    std::vector<int> fired;
+    std::vector<es::event_id> live_ids;
+    int next_payload = 0;
+
+    for (int op = 0; op < 5000; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.5 || queue.empty()) {
+            // Schedule at a coarse-grained time so ties are common.
+            const double t = static_cast<double>(rng.uniform_index(50));
+            const int payload = next_payload++;
+            const es::event_id id =
+                queue.schedule(t, [payload, &fired] { fired.push_back(payload); });
+            reference.schedule(t, id, payload);
+            live_ids.push_back(id);
+        } else if (dice < 0.65 && !live_ids.empty()) {
+            // Cancel a random (possibly already-fired) id.
+            const es::event_id id = live_ids[rng.uniform_index(live_ids.size())];
+            const bool ours = queue.cancel(id);
+            const bool refs = reference.cancel(id);
+            ASSERT_EQ(ours, refs);
+        } else {
+            // Pop: payload order must match the reference exactly.
+            ASSERT_EQ(queue.size(), reference.entries.size());
+            const auto expected = reference.pop();
+            fired.clear();
+            queue.pop_and_run();
+            ASSERT_EQ(fired.size(), 1u);
+            ASSERT_EQ(fired[0], expected.payload);
+        }
+        ASSERT_EQ(queue.size(), reference.entries.size());
+        ASSERT_EQ(queue.empty(), reference.entries.empty());
+    }
+
+    // Drain both: total order identical.
+    while (!queue.empty()) {
+        const auto expected = reference.pop();
+        fired.clear();
+        queue.pop_and_run();
+        ASSERT_EQ(fired[0], expected.payload);
+    }
+    EXPECT_TRUE(reference.entries.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz, ::testing::Range(0, 6));
+
+// --- simulator edge cases -------------------------------------------------
+
+namespace {
+class still_system final : public es::analog_system {
+public:
+    std::size_t state_size() const override { return 1; }
+    void derivatives(double, std::span<const double>,
+                     std::span<double> d) const override {
+        d[0] = 0.0;
+    }
+};
+}  // namespace
+
+TEST(SimulatorEdge, EventExactlyAtHorizonFires) {
+    still_system sys;
+    es::simulator sim(sys, {0.0});
+    bool fired = false;
+    sim.at(1.0, [&] { fired = true; });
+    ASSERT_TRUE(sim.run_until(1.0));
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorEdge, ZeroDurationRunIsNoop) {
+    still_system sys;
+    es::simulator sim(sys, {0.5});
+    ASSERT_TRUE(sim.run_until(0.0));
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_DOUBLE_EQ(sim.state_at(0), 0.5);
+}
+
+TEST(SimulatorEdge, EventSchedulingAtCurrentTimeRunsThisSweep) {
+    still_system sys;
+    es::simulator sim(sys, {0.0});
+    std::vector<int> order;
+    sim.at(1.0, [&] {
+        order.push_back(1);
+        sim.at(1.0, [&] { order.push_back(2); });  // same-time follow-up
+    });
+    ASSERT_TRUE(sim.run_until(2.0));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorEdge, ManyZeroSpacedEventsTerminate) {
+    still_system sys;
+    es::simulator sim(sys, {0.0});
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 1000) sim.at(sim.now(), chain);
+    };
+    sim.at(0.5, chain);
+    ASSERT_TRUE(sim.run_until(1.0));
+    EXPECT_EQ(count, 1000);
+}

@@ -1,0 +1,207 @@
+// Mixed-signal coordination: analogue integration stopping exactly at
+// digital events, state perturbation by events, process wake semantics,
+// and waveform tracing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace es = ehdse::sim;
+
+namespace {
+
+/// dx/dt = rate (integrator ramp), rate adjustable by digital events.
+class ramp_system final : public es::analog_system {
+public:
+    std::size_t state_size() const override { return 1; }
+    void derivatives(double, std::span<const double>,
+                     std::span<double> dxdt) const override {
+        dxdt[0] = rate;
+    }
+    double rate = 1.0;
+};
+
+}  // namespace
+
+TEST(Simulator, PureAnalogRun) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    ASSERT_TRUE(sim.run_until(2.0));
+    EXPECT_NEAR(sim.state_at(0), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, EventChangesAnalogInput) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    sim.at(1.0, [&] { sys.rate = 3.0; });
+    ASSERT_TRUE(sim.run_until(2.0));
+    // 1 s at rate 1 plus 1 s at rate 3.
+    EXPECT_NEAR(sim.state_at(0), 4.0, 1e-8);
+}
+
+TEST(Simulator, EventReadsConsistentAnalogState) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    double observed = -1.0;
+    sim.at(1.5, [&] { observed = sim.state_at(0); });
+    ASSERT_TRUE(sim.run_until(3.0));
+    EXPECT_NEAR(observed, 1.5, 1e-8);
+}
+
+TEST(Simulator, EventPerturbsState) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    sim.at(1.0, [&] { sim.set_state(0, sim.state_at(0) - 0.5); });
+    ASSERT_TRUE(sim.run_until(2.0));
+    EXPECT_NEAR(sim.state_at(0), 1.5, 1e-8);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    ASSERT_TRUE(sim.run_until(1.0));
+    EXPECT_THROW(sim.at(0.5, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.after(-1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.run_until(0.5), std::invalid_argument);
+}
+
+TEST(Simulator, InitialStateSizeMismatchThrows) {
+    ramp_system sys;
+    EXPECT_THROW(es::simulator(sys, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Simulator, CascadedEventsWithinHorizon) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5) sim.after(0.1, chain);
+    };
+    sim.after(0.1, chain);
+    ASSERT_TRUE(sim.run_until(1.0));
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.total_events(), 5u);
+}
+
+namespace {
+
+class counting_process final : public es::process {
+public:
+    counting_process(es::simulator& sim, double period)
+        : es::process(sim), period_(period) {
+        wake_after(period_);
+    }
+    int activations = 0;
+
+private:
+    void activate() override {
+        ++activations;
+        wake_after(period_);
+    }
+    double period_;
+};
+
+class reschedule_process final : public es::process {
+public:
+    explicit reschedule_process(es::simulator& sim) : es::process(sim) {
+        wake_after(10.0);  // will be replaced
+        wake_after(1.0);   // replaces the pending wake
+    }
+    std::vector<double> activation_times;
+
+private:
+    void activate() override { activation_times.push_back(sim().now()); }
+};
+
+}  // namespace
+
+TEST(Process, PeriodicActivation) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    counting_process proc(sim, 0.25);
+    ASSERT_TRUE(sim.run_until(1.0));
+    EXPECT_EQ(proc.activations, 4);
+}
+
+TEST(Process, RescheduleReplacesPendingWake) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    reschedule_process proc(sim);
+    ASSERT_TRUE(sim.run_until(20.0));
+    // Only the 1 s wake fires; the 10 s wake was cancelled by replacement.
+    ASSERT_EQ(proc.activation_times.size(), 1u);
+    EXPECT_DOUBLE_EQ(proc.activation_times[0], 1.0);
+}
+
+TEST(Process, CancelWakeStopsActivation) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+
+    class cancelling final : public es::process {
+    public:
+        explicit cancelling(es::simulator& s) : es::process(s) {
+            wake_after(1.0);
+            EXPECT_TRUE(wake_pending());
+            cancel_wake();
+            EXPECT_FALSE(wake_pending());
+        }
+        bool activated = false;
+
+    private:
+        void activate() override { activated = true; }
+    } proc(sim);
+
+    ASSERT_TRUE(sim.run_until(5.0));
+    EXPECT_FALSE(proc.activated);
+}
+
+TEST(Trace, RecordsAndInterpolates) {
+    es::trace tr("x");
+    tr.record(0.0, 0.0);
+    tr.record(1.0, 2.0);
+    tr.record(2.0, 4.0);
+    EXPECT_EQ(tr.size(), 3u);
+    EXPECT_DOUBLE_EQ(tr.sample(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(tr.sample(-1.0), 0.0);  // clamped
+    EXPECT_DOUBLE_EQ(tr.sample(9.0), 4.0);
+    EXPECT_DOUBLE_EQ(tr.min_value(), 0.0);
+    EXPECT_DOUBLE_EQ(tr.max_value(), 4.0);
+    EXPECT_DOUBLE_EQ(tr.last_value(), 4.0);
+}
+
+TEST(Trace, MinIntervalThinsSamples) {
+    es::trace tr("x", 0.5);
+    for (int i = 0; i <= 100; ++i) tr.record(i * 0.01, i);
+    EXPECT_LE(tr.size(), 4u);
+}
+
+TEST(Trace, SameTimeUpdateReplaces) {
+    es::trace tr("x");
+    tr.record(1.0, 5.0);
+    tr.record(1.0, 7.0);
+    EXPECT_EQ(tr.size(), 1u);
+    EXPECT_DOUBLE_EQ(tr.last_value(), 7.0);
+}
+
+TEST(Trace, BackwardsTimeThrows) {
+    es::trace tr("x");
+    tr.record(1.0, 1.0);
+    EXPECT_THROW(tr.record(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Trace, ObserverIntegrationWithSimulator) {
+    ramp_system sys;
+    es::simulator sim(sys, {0.0});
+    es::trace tr("ramp", 0.0);
+    sim.add_step_observer([&](double t, std::span<const double> x) {
+        tr.record(t, x[0]);
+    });
+    ASSERT_TRUE(sim.run_until(1.0));
+    ASSERT_FALSE(tr.empty());
+    EXPECT_NEAR(tr.last_value(), 1.0, 1e-8);
+    EXPECT_NEAR(tr.sample(0.5), 0.5, 1e-6);
+}

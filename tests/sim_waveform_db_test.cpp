@@ -1,0 +1,73 @@
+// Multi-signal waveform database and its VCD/CSV exports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/waveform_db.hpp"
+
+namespace es = ehdse::sim;
+
+TEST(WaveformDb, SignalRegistration) {
+    es::waveform_db db;
+    const auto v = db.add_signal("vcap");
+    const auto p = db.add_signal("position");
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(p, 1u);
+    EXPECT_EQ(db.signal_count(), 2u);
+    EXPECT_EQ(db.signal(0).name(), "vcap");
+    EXPECT_THROW(db.add_signal(""), std::invalid_argument);
+    EXPECT_THROW(db.add_signal("vcap"), std::invalid_argument);
+    EXPECT_THROW(db.signal(9), std::out_of_range);
+    EXPECT_THROW(db.record(9, 0.0, 1.0), std::out_of_range);
+}
+
+TEST(WaveformDb, SignalLimit) {
+    es::waveform_db db;
+    for (int i = 0; i < 90; ++i) db.add_signal("s" + std::to_string(i));
+    EXPECT_THROW(db.add_signal("one_too_many"), std::length_error);
+}
+
+TEST(WaveformDb, InvalidTimescaleRejected) {
+    EXPECT_THROW(es::waveform_db(0.0), std::invalid_argument);
+}
+
+TEST(WaveformDb, VcdStructure) {
+    es::waveform_db db(1e-3);  // millisecond timescale
+    const auto v = db.add_signal("vcap");
+    const auto p = db.add_signal("pos");
+    db.record(v, 0.0, 2.8);
+    db.record(v, 0.010, 2.79);
+    db.record(p, 0.005, 64.0);
+
+    std::ostringstream os;
+    db.write_vcd(os, "node");
+    const std::string vcd = os.str();
+
+    EXPECT_NE(vcd.find("$timescale 1 ms $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$scope module node $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var real 64 ! vcap $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var real 64 \" pos $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+    // Timestamps in ms units, in order.
+    EXPECT_NE(vcd.find("#0\nr2.8 !"), std::string::npos);
+    EXPECT_NE(vcd.find("#5\nr64 \""), std::string::npos);
+    EXPECT_NE(vcd.find("#10\nr2.79 !"), std::string::npos);
+    EXPECT_LT(vcd.find("#0\n"), vcd.find("#5\n"));
+    EXPECT_LT(vcd.find("#5\n"), vcd.find("#10\n"));
+}
+
+TEST(WaveformDb, CsvMergesTimestamps) {
+    es::waveform_db db;
+    const auto a = db.add_signal("a");
+    const auto b = db.add_signal("b");
+    db.record(a, 0.0, 1.0);
+    db.record(a, 2.0, 3.0);
+    db.record(b, 1.0, 10.0);
+
+    std::ostringstream os;
+    db.write_csv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("time,a,b"), std::string::npos);
+    // Three distinct timestamps, with interpolation of 'a' at t=1.
+    EXPECT_NE(csv.find("1,2,10"), std::string::npos);
+}

@@ -1,0 +1,262 @@
+// ehdse_cli — command-line driver for the library, aimed at downstream
+// users who want runs without writing C++:
+//
+//   ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]
+//                      [--duration S] [--accel MG] [--seed N]
+//                      [--fidelity envelope|transient] [--trace FILE.csv]
+//   ehdse_cli flow     [--runs N] [--seed N]
+//   ehdse_cli sweep    --param clock|watchdog|interval
+//                      [--from X] [--to X] [--points N] [--log]
+//
+// Outputs are plain text; `--trace` writes the supercapacitor waveform CSV.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/report.hpp"
+#include "dse/rsm_flow.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+struct arg_map {
+    std::map<std::string, std::string> kv;
+    bool has(const std::string& key) const { return kv.count(key) != 0; }
+    double num(const std::string& key, double fallback) const {
+        const auto it = kv.find(key);
+        if (it == kv.end()) return fallback;
+        char* end = nullptr;
+        const double v = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str()) {
+            std::fprintf(stderr, "error: --%s expects a number, got '%s'\n",
+                         key.c_str(), it->second.c_str());
+            std::exit(2);
+        }
+        return v;
+    }
+    std::string str(const std::string& key, std::string fallback) const {
+        const auto it = kv.find(key);
+        return it == kv.end() ? fallback : it->second;
+    }
+};
+
+arg_map parse_args(int argc, char** argv, int first) {
+    arg_map args;
+    for (int i = first; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strncmp(a, "--", 2) != 0) {
+            std::fprintf(stderr, "error: unexpected argument '%s'\n", a);
+            std::exit(2);
+        }
+        std::string key = a + 2;
+        std::string value = "true";
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            value = argv[++i];
+        }
+        args.kv[key] = value;
+    }
+    return args;
+}
+
+void print_usage() {
+    std::puts(
+        "usage:\n"
+        "  ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]\n"
+        "                     [--duration S] [--accel MG] [--seed N]\n"
+        "                     [--fidelity envelope|transient] [--trace FILE]\n"
+        "                     [--schedule FILE.csv]\n"
+        "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
+        "                     [--parallel] [--report FILE.md]\n"
+        "  ehdse_cli sweep    --param clock|watchdog|interval\n"
+        "                     [--from X] [--to X] [--points N] [--log]");
+}
+
+dse::scenario scenario_from(const arg_map& args) {
+    dse::scenario s;
+    s.duration_s = args.num("duration", s.duration_s);
+    s.accel_mg = args.num("accel", s.accel_mg);
+    const std::string schedule_file = args.str("schedule", "");
+    if (!schedule_file.empty()) {
+        std::ifstream in(schedule_file);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read '%s'\n", schedule_file.c_str());
+            std::exit(2);
+        }
+        s.frequency_schedule =
+            harvester::vibration_source::parse_schedule_csv(in);
+    }
+    return s;
+}
+
+int cmd_simulate(const arg_map& args) {
+    dse::system_config cfg = dse::system_config::original();
+    cfg.mcu_clock_hz = args.num("clock", cfg.mcu_clock_hz);
+    cfg.watchdog_period_s = args.num("watchdog", cfg.watchdog_period_s);
+    cfg.tx_interval_s = args.num("interval", cfg.tx_interval_s);
+
+    dse::evaluation_options opts;
+    opts.controller_seed = static_cast<std::uint64_t>(args.num("seed", 0x5eed));
+    const std::string fid = args.str("fidelity", "envelope");
+    if (fid == "transient") {
+        opts.model = dse::fidelity::transient;
+    } else if (fid != "envelope") {
+        std::fprintf(stderr, "error: --fidelity must be envelope or transient\n");
+        return 2;
+    }
+    const std::string trace_file = args.str("trace", "");
+    opts.record_traces = !trace_file.empty();
+
+    dse::system_evaluator evaluator(scenario_from(args));
+    const auto r = evaluator.evaluate(cfg, opts);
+
+    std::printf("config: clock=%.6g Hz, watchdog=%.6g s, interval=%.6g s "
+                "(fidelity: %s)\n",
+                cfg.mcu_clock_hz, cfg.watchdog_period_s, cfg.tx_interval_s,
+                fid.c_str());
+    std::printf("transmissions: %llu (low-band %llu, suppressed polls %llu)\n",
+                static_cast<unsigned long long>(r.transmissions),
+                static_cast<unsigned long long>(r.low_band_transmissions),
+                static_cast<unsigned long long>(r.suppressed_wakeups));
+    std::printf("voltage: final %.4f V (min %.4f, max %.4f)\n", r.final_voltage_v,
+                r.min_voltage_v, r.max_voltage_v);
+    std::printf("energy: harvested %.2f mJ, bursts %.2f mJ, sustained %.2f mJ\n",
+                r.harvested_energy_j * 1e3, r.withdrawn_energy_j * 1e3,
+                r.sustained_load_energy_j * 1e3);
+    std::printf("tuning: %llu wakeups, %llu coarse (%llu steps), %llu fine "
+                "(%llu steps)\n",
+                static_cast<unsigned long long>(r.tuning.wakeups),
+                static_cast<unsigned long long>(r.tuning.coarse_tunings),
+                static_cast<unsigned long long>(r.tuning.coarse_steps),
+                static_cast<unsigned long long>(r.tuning.fine_iterations),
+                static_cast<unsigned long long>(r.tuning.fine_steps));
+    std::printf("ledger:\n");
+    for (const auto& [account, joules] : r.ledger.accounts())
+        std::printf("  %-24s %10.3f mJ\n", account.c_str(), joules * 1e3);
+    if (!r.sim_ok) {
+        std::fprintf(stderr, "warning: analogue integrator reported failure\n");
+        return 1;
+    }
+    if (opts.record_traces && r.voltage_trace) {
+        std::ofstream os(trace_file);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n", trace_file.c_str());
+            return 1;
+        }
+        r.voltage_trace->write_csv(os);
+        std::printf("trace written to %s (%zu samples)\n", trace_file.c_str(),
+                    r.voltage_trace->size());
+    }
+    return 0;
+}
+
+int cmd_flow(const arg_map& args) {
+    dse::flow_options opts;
+    opts.doe_runs = static_cast<std::size_t>(args.num("runs", 10));
+    opts.optimizer_seed = static_cast<std::uint64_t>(args.num("seed", 0x0b7a1));
+    opts.replicates = static_cast<std::size_t>(args.num("replicates", 1));
+    opts.parallel = args.has("parallel");
+
+    dse::system_evaluator evaluator(scenario_from(args));
+    const auto flow = dse::run_rsm_flow(evaluator, opts);
+
+    const std::string report_file = args.str("report", "");
+    if (!report_file.empty()) {
+        std::ofstream os(report_file);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n", report_file.c_str());
+            return 1;
+        }
+        dse::write_report(os, flow);
+        std::printf("report written to %s\n", report_file.c_str());
+    }
+
+    std::printf("D-optimal: %zu of %zu candidates, log det = %.3f\n",
+                flow.selection.selected.size(), flow.candidates.size(),
+                flow.selection.log_det);
+    std::printf("fit: R^2 = %.4f\n  y = %s\n", flow.fit.r_squared,
+                flow.fit.model.to_string(2).c_str());
+    std::printf("original: %llu tx\n",
+                static_cast<unsigned long long>(flow.original_eval.transmissions));
+    for (const auto& oc : flow.outcomes)
+        std::printf("%-22s clock=%.4g wd=%.0f int=%.4g -> predicted %.0f, "
+                    "validated %llu (%.2fx)\n",
+                    oc.name.c_str(), oc.config.mcu_clock_hz,
+                    oc.config.watchdog_period_s, oc.config.tx_interval_s,
+                    oc.predicted,
+                    static_cast<unsigned long long>(oc.validated.transmissions),
+                    static_cast<double>(oc.validated.transmissions) /
+                        static_cast<double>(flow.original_eval.transmissions));
+    return 0;
+}
+
+int cmd_sweep(const arg_map& args) {
+    const std::string param = args.str("param", "");
+    const auto space = dse::paper_design_space();
+    std::size_t axis = 0;
+    if (param == "clock") axis = 0;
+    else if (param == "watchdog") axis = 1;
+    else if (param == "interval") axis = 2;
+    else {
+        std::fprintf(stderr, "error: --param must be clock|watchdog|interval\n");
+        return 2;
+    }
+
+    const double lo = args.num("from", space.parameter(axis).min);
+    const double hi = args.num("to", space.parameter(axis).max);
+    const int points = static_cast<int>(args.num("points", 9));
+    const bool log_axis = args.has("log");
+    if (points < 2 || lo <= 0.0 || hi <= lo) {
+        std::fprintf(stderr, "error: need --from < --to (positive) and --points >= 2\n");
+        return 2;
+    }
+
+    dse::system_evaluator evaluator(scenario_from(args));
+    std::printf("%16s %10s %12s %12s\n", param.c_str(), "tx/h", "harvested",
+                "final V");
+    for (int i = 0; i < points; ++i) {
+        const double frac = static_cast<double>(i) / (points - 1);
+        const double value = log_axis
+                                 ? lo * std::pow(hi / lo, frac)
+                                 : lo + frac * (hi - lo);
+        dse::system_config cfg = dse::system_config::original();
+        if (axis == 0) cfg.mcu_clock_hz = value;
+        if (axis == 1) cfg.watchdog_period_s = value;
+        if (axis == 2) cfg.tx_interval_s = value;
+        const auto r = evaluator.evaluate(cfg);
+        std::printf("%16.6g %10llu %9.1f mJ %10.4f\n", value,
+                    static_cast<unsigned long long>(r.transmissions),
+                    r.harvested_energy_j * 1e3, r.final_voltage_v);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        print_usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const arg_map args = parse_args(argc, argv, 2);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "help" || cmd == "--help") {
+        print_usage();
+        return 0;
+    }
+    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+    print_usage();
+    return 2;
+}
