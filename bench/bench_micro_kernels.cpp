@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "doe/d_optimal.hpp"
+#include "obs/metrics.hpp"
 #include "doe/designs.hpp"
 #include "dse/system_evaluator.hpp"
 #include "harvester/envelope.hpp"
@@ -143,6 +144,50 @@ void bm_full_hour_evaluation(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_full_hour_evaluation)->Unit(benchmark::kMillisecond);
+
+// Observability overhead: the detached-sink check that instrumented code
+// performs, and the attached-sink instrument operations themselves.
+void bm_obs_sink_detached(benchmark::State& state) {
+    obs::set_global_registry(nullptr);
+    for (auto _ : state) {
+        obs::metrics_registry* reg = obs::global_registry();
+        benchmark::DoNotOptimize(reg);
+        if (reg) reg->get_counter("bench.never").add();
+    }
+}
+BENCHMARK(bm_obs_sink_detached);
+
+void bm_obs_counter_add(benchmark::State& state) {
+    obs::metrics_registry reg;
+    obs::counter& c = reg.get_counter("bench.hits");
+    for (auto _ : state) c.add();
+    benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(bm_obs_counter_add);
+
+void bm_obs_histogram_observe(benchmark::State& state) {
+    obs::metrics_registry reg;
+    obs::histogram& h = reg.get_histogram("bench.seconds");
+    double v = 1e-6;
+    for (auto _ : state) {
+        h.observe(v);
+        v = v < 1.0 ? v * 1.0001 : 1e-6;  // walk across buckets
+    }
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(bm_obs_histogram_observe);
+
+void bm_full_hour_evaluation_with_metrics(benchmark::State& state) {
+    obs::metrics_registry reg;
+    obs::set_global_registry(&reg);
+    dse::system_evaluator evaluator;
+    for (auto _ : state) {
+        auto r = evaluator.evaluate(dse::system_config::original());
+        benchmark::DoNotOptimize(r.transmissions);
+    }
+    obs::set_global_registry(nullptr);
+}
+BENCHMARK(bm_full_hour_evaluation_with_metrics)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

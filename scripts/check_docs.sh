@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# check_docs.sh — fail when README.md or docs/*.md reference repo paths
+# that do not exist, so documentation cannot silently rot as the tree
+# moves. Wired into CTest as `docs_references` (tier-1 catches it).
+#
+# What counts as a reference:
+#   * any token rooted at a first-level source dir:
+#       src/... docs/... tests/... tools/... bench/... examples/... scripts/...
+#     (tokens inside longer paths, e.g. ./build/tools/..., are ignored);
+#   * any ALL-CAPS top-level markdown file (ROADMAP.md, DESIGN.md, ...).
+# Tokens containing a glob (*) are skipped. Trailing sentence punctuation
+# is stripped. A path passes when it exists as a file or directory.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 2
+
+status=0
+checked=0
+
+check_file() {
+    local doc="$1"
+    local refs
+    refs=$(grep -oP '(?<![A-Za-z0-9_/.-])(src|docs|tests|tools|bench|examples|scripts)/[A-Za-z0-9_./-]+|(?<![A-Za-z0-9_/.-])[A-Z][A-Z_]*\.md' \
+               "$doc" 2>/dev/null | sed 's/[.,:;)]*$//' | sort -u)
+    while IFS= read -r ref; do
+        [ -z "$ref" ] && continue
+        case "$ref" in
+            *'*'*) continue ;;  # glob patterns are not concrete paths
+        esac
+        checked=$((checked + 1))
+        if [ ! -e "$ref" ]; then
+            echo "check_docs: $doc references missing path: $ref" >&2
+            status=1
+        fi
+    done <<EOF
+$refs
+EOF
+}
+
+check_file README.md
+for doc in docs/*.md; do
+    [ -f "$doc" ] && check_file "$doc"
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_docs: $checked references ok"
+else
+    echo "check_docs: FAILED (stale references above)" >&2
+fi
+exit $status

@@ -1,29 +1,154 @@
 #include "dse/rsm_flow.hpp"
 
 #include <future>
+#include <sstream>
 
 #include "doe/designs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 #include "opt/genetic_algorithm.hpp"
 #include "opt/simulated_annealing.hpp"
 
 namespace ehdse::dse {
 
+namespace {
+
+/// Flow-scoped observability: phase bookkeeping against the (optional)
+/// manifest and progress callback, plus the process-wide metrics sink.
+/// Everything degrades to no-ops when the corresponding sink is absent.
+class flow_observer {
+public:
+    explicit flow_observer(const flow_options& options)
+        : manifest_(options.manifest),
+          progress_(options.progress),
+          registry_(obs::global_registry()) {}
+
+    /// Close the current phase (if any) and open a new one.
+    void phase(std::string name, std::uint64_t items = 0) {
+        end_phase();
+        current_ = obs::phase_record{std::move(name), 0.0, items};
+        in_phase_ = true;
+        watch_ = obs::stopwatch();
+    }
+
+    void set_phase_items(std::uint64_t items) { current_.items = items; }
+
+    void end_phase() {
+        if (!in_phase_) return;
+        current_.wall_s = watch_.seconds();
+        if (registry_)
+            registry_->get_histogram("dse.flow.phase_seconds." + current_.name)
+                .observe(current_.wall_s);
+        if (manifest_) manifest_->add_phase(current_);
+        in_phase_ = false;
+    }
+
+    void note(const std::string& line) const {
+        if (progress_) progress_(line);
+    }
+
+    void sim_run(obs::sim_run_record record) const {
+        if (manifest_) manifest_->add_sim_run(std::move(record));
+    }
+
+    void optimizer(obs::optimizer_record record) const {
+        if (registry_) {
+            registry_->get_counter("dse.flow.optimizer_evaluations")
+                .add(record.evaluations);
+        }
+        if (manifest_) manifest_->add_optimizer(std::move(record));
+    }
+
+    bool manifest_attached() const noexcept { return manifest_ != nullptr; }
+
+private:
+    obs::run_manifest* manifest_;
+    const std::function<void(const std::string&)>& progress_;
+    obs::metrics_registry* registry_;
+    obs::phase_record current_;
+    obs::stopwatch watch_;
+    bool in_phase_ = false;
+};
+
+obs::sim_run_record make_run_record(const char* kind, std::size_t index,
+                                    const numeric::vec& coded,
+                                    const system_config& config,
+                                    std::uint64_t seed,
+                                    const evaluation_result& r) {
+    obs::sim_run_record rec;
+    rec.kind = kind;
+    rec.index = index;
+    rec.coded.assign(coded.begin(), coded.end());
+    rec.mcu_clock_hz = config.mcu_clock_hz;
+    rec.watchdog_period_s = config.watchdog_period_s;
+    rec.tx_interval_s = config.tx_interval_s;
+    rec.seed = seed;
+    rec.response = static_cast<double>(r.transmissions);
+    rec.wall_s = r.wall_time_s;
+    rec.ode_steps = r.ode_steps;
+    rec.ode_steps_rejected = r.ode_steps_rejected;
+    rec.events = r.events;
+    rec.sim_ok = r.sim_ok;
+    return rec;
+}
+
+void echo_options(obs::run_manifest& manifest, const flow_options& options,
+                  std::size_t dimension) {
+    manifest.set_option("dimension", obs::json_value(dimension));
+    manifest.set_option("doe_runs", obs::json_value(options.doe_runs));
+    manifest.set_option("factorial_levels",
+                        obs::json_value(options.factorial_levels));
+    manifest.set_option("replicates", obs::json_value(options.replicates));
+    manifest.set_option("parallel", obs::json_value(options.parallel));
+    manifest.set_option("optimizer_seed", obs::json_value(options.optimizer_seed));
+    manifest.set_option("replicate_seed_base",
+                        obs::json_value(options.replicate_seed_base));
+    manifest.set_option("controller_seed",
+                        obs::json_value(options.eval.controller_seed));
+    manifest.set_option(
+        "fidelity",
+        obs::json_value(options.eval.model == fidelity::transient ? "transient"
+                                                                  : "envelope"));
+}
+
+}  // namespace
+
 flow_result run_rsm_flow(const system_evaluator& evaluator,
                          const flow_options& options) {
+    flow_observer obs_hook(options);
+    if (options.manifest) {
+        options.manifest->set_tool("ehdse.run_rsm_flow", "");
+    }
+
     flow_result out;
     out.space = paper_design_space();
     const std::size_t k = out.space.dimension();
+    if (options.manifest) echo_options(*options.manifest, options, k);
 
     // 1. Candidate grid (paper: 3^3 = 27 feasible points).
+    obs_hook.phase("candidates");
     out.candidates = doe::full_factorial(k, options.factorial_levels);
+    obs_hook.set_phase_items(out.candidates.size());
+    obs_hook.note("candidates: " + std::to_string(out.candidates.size()) +
+                  " grid points");
 
     // 2. D-optimal run selection for the quadratic basis.
+    obs_hook.phase("d_optimal");
     out.selection = doe::d_optimal_design(
         out.candidates, [](const numeric::vec& x) { return rsm::quadratic_basis(x); },
         options.doe_runs, options.doe);
+    obs_hook.set_phase_items(out.selection.selected.size());
+    {
+        std::ostringstream msg;
+        msg << "d-optimal: selected " << out.selection.selected.size() << "/"
+            << out.candidates.size() << " (log det " << out.selection.log_det
+            << ")";
+        obs_hook.note(msg.str());
+    }
 
     // 3. Simulate each selected design point (optionally replicated with
     //    distinct measurement-noise seeds, for pure-error estimation).
+    obs_hook.phase("simulate");
     const std::size_t replicates = std::max<std::size_t>(options.replicates, 1);
     struct job {
         numeric::vec coded;
@@ -41,34 +166,53 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
             jobs.push_back({coded, config, eval});
         }
     }
+    obs_hook.set_phase_items(jobs.size());
 
-    std::vector<double> responses(jobs.size());
+    std::vector<evaluation_result> results(jobs.size());
     if (options.parallel && jobs.size() > 1) {
-        std::vector<std::future<double>> futures;
+        std::vector<std::future<evaluation_result>> futures;
         futures.reserve(jobs.size());
         for (const job& j : jobs)
             futures.push_back(std::async(std::launch::async, [&evaluator, &j] {
-                return static_cast<double>(
-                    evaluator.evaluate(j.config, j.eval).transmissions);
+                return evaluator.evaluate(j.config, j.eval);
             }));
         for (std::size_t i = 0; i < futures.size(); ++i)
-            responses[i] = futures[i].get();
+            results[i] = futures[i].get();
     } else {
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            responses[i] = static_cast<double>(
-                evaluator.evaluate(jobs[i].config, jobs[i].eval).transmissions);
+            results[i] = evaluator.evaluate(jobs[i].config, jobs[i].eval);
     }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         out.design_coded.push_back(jobs[i].coded);
         out.design_configs.push_back(jobs[i].config);
-        out.responses.push_back(responses[i]);
+        out.responses.push_back(static_cast<double>(results[i].transmissions));
+        obs_hook.sim_run(make_run_record("design_point", i, jobs[i].coded,
+                                         jobs[i].config,
+                                         jobs[i].eval.controller_seed,
+                                         results[i]));
+        std::ostringstream msg;
+        msg << "run " << i + 1 << "/" << jobs.size() << ": "
+            << results[i].transmissions << " tx, " << results[i].ode_steps
+            << " ode steps";
+        obs_hook.note(msg.str());
     }
 
     // 4. Fit the quadratic response surface (paper eq. 9).
+    obs_hook.phase("fit");
     out.fit = rsm::fit_quadratic(out.design_coded, out.responses);
+    {
+        std::ostringstream msg;
+        msg << "fit: R^2 = " << out.fit.r_squared;
+        obs_hook.note(msg.str());
+    }
 
     // Baseline for Table VI.
+    obs_hook.phase("baseline");
     out.original_eval = evaluator.evaluate(system_config::original(), options.eval);
+    obs_hook.sim_run(make_run_record(
+        "baseline", 0, config_to_coded(out.space, system_config::original()),
+        system_config::original(), options.eval.controller_seed,
+        out.original_eval));
 
     // 5-6. Maximise the surface and validate each optimum by simulation.
     std::vector<std::shared_ptr<opt::optimizer>> optimizers = options.optimizers;
@@ -81,8 +225,10 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         return out.fit.model.predict(x);
     };
 
+    obs_hook.phase("optimise", optimizers.size());
     for (const auto& optimizer : optimizers) {
         numeric::rng rng(options.optimizer_seed);
+        obs::stopwatch opt_watch;
         const opt::opt_result best = optimizer->maximize(surface, bounds, rng);
 
         optimizer_outcome oc;
@@ -91,9 +237,48 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         oc.config = config_from_coded(out.space, best.best_x);
         oc.predicted = best.best_value;
         oc.evaluations = best.evaluations;
-        oc.validated = evaluator.evaluate(oc.config, options.eval);
+        oc.details = best;
+        oc.optimise_wall_s = opt_watch.seconds();
+        {
+            std::ostringstream msg;
+            msg << "optimise[" << oc.name << "]: " << best.evaluations
+                << " evaluations, " << best.iterations << " iterations";
+            if (best.acceptance_rate() >= 0.0)
+                msg << ", acceptance " << best.acceptance_rate();
+            obs_hook.note(msg.str());
+        }
         out.outcomes.push_back(std::move(oc));
     }
+
+    obs_hook.phase("validate", out.outcomes.size());
+    for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
+        optimizer_outcome& oc = out.outcomes[i];
+        oc.validated = evaluator.evaluate(oc.config, options.eval);
+        obs_hook.sim_run(make_run_record("validation", i, oc.coded, oc.config,
+                                         options.eval.controller_seed,
+                                         oc.validated));
+
+        obs::optimizer_record rec;
+        rec.name = oc.name;
+        rec.evaluations = oc.details.evaluations;
+        rec.iterations = oc.details.iterations;
+        rec.proposed_moves = oc.details.proposed_moves;
+        rec.accepted_moves = oc.details.accepted_moves;
+        rec.acceptance_rate = oc.details.acceptance_rate();
+        rec.converged = oc.details.converged;
+        rec.predicted = oc.predicted;
+        rec.validated_response = static_cast<double>(oc.validated.transmissions);
+        rec.coded.assign(oc.coded.begin(), oc.coded.end());
+        rec.wall_s = oc.optimise_wall_s;
+        obs_hook.optimizer(std::move(rec));
+
+        std::ostringstream msg;
+        msg << "validate[" << oc.name << "]: " << oc.validated.transmissions
+            << " tx (predicted " << oc.predicted << ")";
+        obs_hook.note(msg.str());
+    }
+    obs_hook.end_phase();
+
     return out;
 }
 

@@ -9,11 +9,14 @@
 //   6. validation: re-simulate each optimiser's configuration.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "doe/d_optimal.hpp"
 #include "dse/system_evaluator.hpp"
+#include "obs/run_manifest.hpp"
 #include "opt/optimizer.hpp"
 #include "rsm/quadratic_model.hpp"
 
@@ -37,6 +40,19 @@ struct flow_options {
     /// Optimisers to run on the fitted surface. Empty = the paper's pair
     /// (simulated annealing + genetic algorithm).
     std::vector<std::shared_ptr<opt::optimizer>> optimizers;
+
+    // -- Observability (all optional; zero cost when unset) ---------------
+    /// When set, the flow records its full execution into this manifest:
+    /// option echo + seeds, per-phase wall times (candidates, d_optimal,
+    /// simulate, fit, baseline, optimise, validate), one sim_run_record
+    /// per simulation (design points — replicates included — baseline and
+    /// validation re-runs) and one optimizer_record per optimiser.
+    /// Caller-owned; must outlive the call. Works with `parallel` too.
+    obs::run_manifest* manifest = nullptr;
+    /// When set, receives one human-readable line per flow milestone
+    /// (phase completions, each design-point simulation, each optimiser).
+    /// Invoked from the calling thread only, including under `parallel`.
+    std::function<void(const std::string&)> progress;
 };
 
 /// One optimiser's outcome: the argmax on the surface, its prediction, and
@@ -48,6 +64,8 @@ struct optimizer_outcome {
     double predicted = 0.0;    ///< RSM value at the optimum
     evaluation_result validated;
     std::size_t evaluations = 0;  ///< objective (surface) evaluations
+    opt::opt_result details;   ///< full optimiser telemetry (acceptance, trajectory)
+    double optimise_wall_s = 0.0;  ///< wall time inside optimizer::maximize
 };
 
 struct flow_result {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "dse/transient_system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timing.hpp"
 
 namespace ehdse::dse {
 
@@ -91,8 +93,26 @@ evaluation_result run_simulation(System& system, const scenario& scn,
     out.ledger = system.ledger();
     out.withdrawn_energy_j = out.ledger.grand_total();
     out.ode_steps = sim.total_steps();
+    out.ode_steps_rejected = sim.total_rejected_steps();
     out.events = sim.total_events();
     return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Book one finished run into the process-wide metrics sink, if attached.
+void record_run_metrics(const evaluation_result& r) {
+    obs::metrics_registry* reg = obs::global_registry();
+    if (!reg) return;
+    reg->get_counter("dse.evaluate.runs").add();
+    if (!r.sim_ok) reg->get_counter("dse.evaluate.failures").add();
+    reg->get_histogram("dse.evaluate.seconds").observe(r.wall_time_s);
+    reg->get_histogram("dse.evaluate.ode_steps")
+        .observe(static_cast<double>(r.ode_steps));
+    reg->get_histogram("dse.evaluate.transmissions")
+        .observe(static_cast<double>(r.transmissions));
 }
 
 }  // namespace
@@ -100,6 +120,7 @@ evaluation_result run_simulation(System& system, const scenario& scn,
 evaluation_result system_evaluator::evaluate(const system_config& config,
                                              const evaluation_options& options) const {
     ++runs_;
+    const obs::stopwatch watch;
 
     // Per-run stimulus — evaluations are independent experiments.
     const harvester::vibration_source vib = scenario_.make_vibration();
@@ -129,11 +150,15 @@ evaluation_result system_evaluator::evaluate(const system_config& config,
         ode.max_dt = system.suggested_max_dt();
         // The transient model folds sustained loads into dV/dt directly;
         // they are not decomposed into a separate energy state.
-        return run_simulation(system, scenario_, table_, node_params,
-                              ctrl_params, options, start_position, ode,
-                              harvester::transient_model::ix_voltage,
-                              harvester::transient_model::ix_harvested,
-                              std::nullopt);
+        evaluation_result out =
+            run_simulation(system, scenario_, table_, node_params,
+                           ctrl_params, options, start_position, ode,
+                           harvester::transient_model::ix_voltage,
+                           harvester::transient_model::ix_harvested,
+                           std::nullopt);
+        out.wall_time_s = watch.seconds();
+        record_run_metrics(out);
+        return out;
     }
 
     envelope_system system = storage_
@@ -145,11 +170,15 @@ evaluation_result system_evaluator::evaluate(const system_config& config,
     ode.rel_tol = 1e-6;
     ode.initial_dt = 1e-3;
     ode.max_dt = 5.0;     // resolve watchdog/settling dynamics comfortably
-    return run_simulation(system, scenario_, table_, node_params, ctrl_params,
-                          options, start_position, ode,
-                          envelope_system::ix_voltage,
-                          envelope_system::ix_harvested,
-                          envelope_system::ix_load_energy);
+    evaluation_result out =
+        run_simulation(system, scenario_, table_, node_params, ctrl_params,
+                       options, start_position, ode,
+                       envelope_system::ix_voltage,
+                       envelope_system::ix_harvested,
+                       envelope_system::ix_load_energy);
+    out.wall_time_s = watch.seconds();
+    record_run_metrics(out);
+    return out;
 }
 
 }  // namespace ehdse::dse

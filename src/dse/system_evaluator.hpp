@@ -56,7 +56,9 @@ struct evaluation_result {
     double withdrawn_energy_j = 0.0;      ///< discrete bursts (ledger total)
     power::energy_ledger ledger;          ///< per-account discrete withdrawals
     std::size_t ode_steps = 0;
+    std::size_t ode_steps_rejected = 0;   ///< error-controlled integrator retries
     std::uint64_t events = 0;
+    double wall_time_s = 0.0;             ///< wall clock spent in evaluate()
     bool sim_ok = true;
     std::optional<sim::trace> voltage_trace;   ///< when tracing was requested
     std::optional<sim::trace> position_trace;  ///< actuator position over time

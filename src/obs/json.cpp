@@ -1,0 +1,392 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ehdse::obs {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted) {
+    throw std::logic_error(std::string("json_value: not a ") + wanted);
+}
+
+}  // namespace
+
+bool json_value::as_bool() const {
+    if (const bool* b = std::get_if<bool>(&data_)) return *b;
+    kind_error("bool");
+}
+
+double json_value::as_number() const {
+    if (const double* d = std::get_if<double>(&data_)) return *d;
+    kind_error("number");
+}
+
+const std::string& json_value::as_string() const {
+    if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+    kind_error("string");
+}
+
+const json_array& json_value::as_array() const {
+    if (const json_array* a = std::get_if<json_array>(&data_)) return *a;
+    kind_error("array");
+}
+
+const json_object& json_value::as_object() const {
+    if (const json_object* o = std::get_if<json_object>(&data_)) return *o;
+    kind_error("object");
+}
+
+json_array& json_value::as_array() {
+    if (json_array* a = std::get_if<json_array>(&data_)) return *a;
+    kind_error("array");
+}
+
+json_object& json_value::as_object() {
+    if (json_object* o = std::get_if<json_object>(&data_)) return *o;
+    kind_error("object");
+}
+
+const json_value* json_value::find(std::string_view key) const {
+    const json_object* o = std::get_if<json_object>(&data_);
+    if (!o) return nullptr;
+    for (const auto& [k, v] : *o)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const json_value& json_value::at(std::string_view key) const {
+    if (const json_value* v = find(key)) return *v;
+    throw std::out_of_range("json_value: no member '" + std::string(key) + "'");
+}
+
+const json_value& json_value::at(std::size_t index) const {
+    const json_array& a = as_array();
+    if (index >= a.size())
+        throw std::out_of_range("json_value: array index out of range");
+    return a[index];
+}
+
+bool json_value::contains(std::string_view key) const {
+    return find(key) != nullptr;
+}
+
+std::size_t json_value::size() const noexcept {
+    if (const json_array* a = std::get_if<json_array>(&data_)) return a->size();
+    if (const json_object* o = std::get_if<json_object>(&data_)) return o->size();
+    return 0;
+}
+
+void json_value::set(std::string key, json_value value) {
+    as_object().emplace_back(std::move(key), std::move(value));
+}
+
+void json_value::push_back(json_value value) {
+    as_array().push_back(std::move(value));
+}
+
+// ---------------------------------------------------------------- writing
+
+void write_json_string(std::ostream& os, std::string_view s) {
+    os.put('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\b': os << "\\b"; break;
+            case '\f': os << "\\f"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    os << buf;
+                } else {
+                    os.put(c);
+                }
+        }
+    }
+    os.put('"');
+}
+
+std::string json_number_to_string(double v) {
+    if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+    // Integral values within the exactly-representable range print without
+    // a fraction, so counters survive round trips textually unchanged.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        auto [end, ec] =
+            std::to_chars(buf, buf + sizeof buf, static_cast<long long>(v));
+        if (ec == std::errc()) return std::string(buf, end);
+    }
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    if (ec != std::errc()) return "null";
+    return std::string(buf, end);
+}
+
+void json_value::write_impl(std::ostream& os, int indent, int depth) const {
+    const auto newline_pad = [&](int d) {
+        if (indent < 0) return;
+        os.put('\n');
+        for (int i = 0; i < indent * d; ++i) os.put(' ');
+    };
+    if (is_null()) {
+        os << "null";
+    } else if (const bool* b = std::get_if<bool>(&data_)) {
+        os << (*b ? "true" : "false");
+    } else if (const double* d = std::get_if<double>(&data_)) {
+        os << json_number_to_string(*d);
+    } else if (const std::string* s = std::get_if<std::string>(&data_)) {
+        write_json_string(os, *s);
+    } else if (const json_array* a = std::get_if<json_array>(&data_)) {
+        if (a->empty()) {
+            os << "[]";
+            return;
+        }
+        os.put('[');
+        for (std::size_t i = 0; i < a->size(); ++i) {
+            if (i) os.put(',');
+            newline_pad(depth + 1);
+            (*a)[i].write_impl(os, indent, depth + 1);
+        }
+        newline_pad(depth);
+        os.put(']');
+    } else if (const json_object* o = std::get_if<json_object>(&data_)) {
+        if (o->empty()) {
+            os << "{}";
+            return;
+        }
+        os.put('{');
+        for (std::size_t i = 0; i < o->size(); ++i) {
+            if (i) os.put(',');
+            newline_pad(depth + 1);
+            write_json_string(os, (*o)[i].first);
+            os.put(':');
+            if (indent >= 0) os.put(' ');
+            (*o)[i].second.write_impl(os, indent, depth + 1);
+        }
+        newline_pad(depth);
+        os.put('}');
+    }
+}
+
+void json_value::write(std::ostream& os, int indent) const {
+    write_impl(os, indent, 0);
+}
+
+std::string json_value::dump(int indent) const {
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+class parser {
+public:
+    explicit parser(std::string_view text) : text_(text) {}
+
+    json_value run() {
+        json_value v = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    static constexpr int k_max_depth = 128;
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::invalid_argument("json parse error at offset " +
+                                    std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    json_value parse_value(int depth) {
+        if (depth > k_max_depth) fail("nesting too deep");
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object(depth);
+            case '[': return parse_array(depth);
+            case '"': return json_value(parse_string());
+            case 't':
+                if (consume_literal("true")) return json_value(true);
+                fail("invalid literal");
+            case 'f':
+                if (consume_literal("false")) return json_value(false);
+                fail("invalid literal");
+            case 'n':
+                if (consume_literal("null")) return json_value(nullptr);
+                fail("invalid literal");
+            default: return parse_number();
+        }
+    }
+
+    json_value parse_object(int depth) {
+        expect('{');
+        json_object members;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return json_value(std::move(members));
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            members.emplace_back(std::move(key), parse_value(depth + 1));
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == '}') break;
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+        return json_value(std::move(members));
+    }
+
+    json_value parse_array(int depth) {
+        expect('[');
+        json_array elements;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return json_value(std::move(elements));
+        }
+        while (true) {
+            elements.push_back(parse_value(depth + 1));
+            skip_ws();
+            const char c = peek();
+            ++pos_;
+            if (c == ']') break;
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+        return json_value(std::move(elements));
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') break;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail("invalid hex digit in \\u escape");
+                    }
+                    append_utf8(out, code);
+                    break;
+                }
+                default: fail("invalid escape character");
+            }
+        }
+        return out;
+    }
+
+    static void append_utf8(std::string& out, unsigned code) {
+        // Surrogate pairs are not recombined — the manifest writer never
+        // emits them (only control characters are \u-escaped).
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    json_value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                c == '+' || c == '-')
+                ++pos_;
+            else
+                break;
+        }
+        if (pos_ == start) fail("invalid value");
+        double v = 0.0;
+        const char* first = text_.data() + start;
+        const char* last = text_.data() + pos_;
+        const auto [end, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc() || end != last) {
+            pos_ = start;
+            fail("malformed number");
+        }
+        return json_value(v);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+json_value json_value::parse(std::string_view text) {
+    return parser(text).run();
+}
+
+}  // namespace ehdse::obs

@@ -1,0 +1,107 @@
+// Minimal JSON document model: enough to serialise run manifests and
+// metrics snapshots and to parse them back (round-trip tests, downstream
+// tooling). Zero dependencies beyond the standard library, by design —
+// the obs layer must be linkable everywhere, including the benches.
+//
+// Numbers are stored as double; integral values within 2^53 survive a
+// write/parse round trip exactly (they are printed without a fraction).
+// Object member order is preserved (insertion order), which keeps
+// manifests diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ehdse::obs {
+
+class json_value;
+
+/// Object members in insertion order. Lookup is linear — manifest objects
+/// are small and diff-stability matters more than O(log n) access.
+using json_object = std::vector<std::pair<std::string, json_value>>;
+using json_array = std::vector<json_value>;
+
+class json_value {
+public:
+    json_value() : data_(nullptr) {}
+    json_value(std::nullptr_t) : data_(nullptr) {}
+    json_value(bool b) : data_(b) {}
+    json_value(double d) : data_(d) {}
+    json_value(int i) : data_(static_cast<double>(i)) {}
+    json_value(unsigned u) : data_(static_cast<double>(u)) {}
+    json_value(long long i) : data_(static_cast<double>(i)) {}
+    json_value(unsigned long long u) : data_(static_cast<double>(u)) {}
+    json_value(long i) : data_(static_cast<double>(i)) {}
+    json_value(unsigned long u) : data_(static_cast<double>(u)) {}
+    json_value(const char* s) : data_(std::string(s)) {}
+    json_value(std::string s) : data_(std::move(s)) {}
+    json_value(std::string_view s) : data_(std::string(s)) {}
+    json_value(json_array a) : data_(std::move(a)) {}
+    json_value(json_object o) : data_(std::move(o)) {}
+
+    bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+    bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+    bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+    bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+    bool is_array() const noexcept { return std::holds_alternative<json_array>(data_); }
+    bool is_object() const noexcept { return std::holds_alternative<json_object>(data_); }
+
+    /// Typed accessors throw std::logic_error on kind mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const json_array& as_array() const;
+    const json_object& as_object() const;
+    json_array& as_array();
+    json_object& as_object();
+
+    /// Object member by key; throws std::out_of_range when absent.
+    const json_value& at(std::string_view key) const;
+    /// Array element by index; throws std::out_of_range when absent.
+    const json_value& at(std::size_t index) const;
+    bool contains(std::string_view key) const;
+    /// Pointer to a member, nullptr when absent (or not an object).
+    const json_value* find(std::string_view key) const;
+    /// Array/object element count; 0 for scalars.
+    std::size_t size() const noexcept;
+
+    /// Append a member to an object (no duplicate-key check; callers own
+    /// uniqueness). Throws std::logic_error unless *this is an object.
+    void set(std::string key, json_value value);
+    /// Append an element to an array.
+    void push_back(json_value value);
+
+    /// Serialise. indent < 0 = compact one-line form; indent >= 0 =
+    /// pretty-printed with that many spaces per level.
+    void write(std::ostream& os, int indent = -1) const;
+    std::string dump(int indent = -1) const;
+
+    /// Parse a complete JSON document. Throws std::invalid_argument with
+    /// an offset-bearing message on malformed input or trailing garbage.
+    static json_value parse(std::string_view text);
+
+    friend bool operator==(const json_value& a, const json_value& b) {
+        return a.data_ == b.data_;
+    }
+
+private:
+    void write_impl(std::ostream& os, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, json_array, json_object>
+        data_;
+};
+
+/// Write `s` as a JSON string literal (quotes + escapes) to `os`.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Format a double the way the serialiser does: shortest round-trip form,
+/// integral values without a fraction, non-finite values as null.
+std::string json_number_to_string(double v);
+
+}  // namespace ehdse::obs

@@ -1,0 +1,71 @@
+// Wall-clock instrumentation: an always-on stopwatch for phase timings
+// (the caller wants the number regardless of any sink) and an RAII
+// scoped_timer that records into a histogram only when one is attached —
+// with no sink it never reads the clock at all.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ehdse::obs {
+
+/// Monotonic elapsed-seconds clock. Starts on construction.
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Restart and return the lap time in seconds.
+    double lap() {
+        const auto now = clock::now();
+        const double s = std::chrono::duration<double>(now - start_).count();
+        start_ = now;
+        return s;
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Records elapsed seconds into a histogram on destruction (or on an
+/// explicit stop()). A nullptr sink disarms the timer entirely — the
+/// constructor and destructor then cost two branches, no clock reads.
+class scoped_timer {
+public:
+    explicit scoped_timer(histogram* sink) : sink_(sink) {
+        if (sink_) start_ = std::chrono::steady_clock::now();
+    }
+
+    /// Time into `registry`'s histogram `name`; nullptr registry disarms.
+    scoped_timer(metrics_registry* registry, std::string_view name)
+        : scoped_timer(registry ? &registry->get_histogram(name) : nullptr) {}
+
+    scoped_timer(const scoped_timer&) = delete;
+    scoped_timer& operator=(const scoped_timer&) = delete;
+
+    ~scoped_timer() { stop(); }
+
+    /// Record now instead of at scope exit; returns the elapsed seconds
+    /// (0.0 when disarmed or already stopped). Idempotent.
+    double stop() {
+        if (!sink_) return 0.0;
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+        sink_->observe(s);
+        sink_ = nullptr;
+        return s;
+    }
+
+private:
+    histogram* sink_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ehdse::obs

@@ -95,6 +95,7 @@ opt_result genetic_algorithm::maximize(const objective_fn& f,
         const auto gen_best = std::max_element(
             pop.begin(), pop.end(),
             [](const individual& a, const individual& b) { return a.fitness < b.fitness; });
+        out.trajectory.push_back(std::max(out.best_value, gen_best->fitness));
         if (gen_best->fitness > out.best_value + opt_.stall_tolerance) {
             out.best_value = gen_best->fitness;
             out.best_x = gen_best->genes;

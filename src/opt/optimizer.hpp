@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "numeric/matrix.hpp"
 #include "numeric/rng.hpp"
@@ -50,6 +51,23 @@ struct opt_result {
     std::size_t iterations = 0;
     bool converged = false;      ///< stopping rule was met (vs budget exhausted)
     std::string algorithm;
+
+    // Per-run telemetry (feeds obs::optimizer_record / run manifests).
+    /// Proposal moves offered to an acceptance rule (SA Metropolis steps);
+    /// 0 for optimisers without an acceptance notion.
+    std::size_t proposed_moves = 0;
+    /// Accepted proposal moves.
+    std::size_t accepted_moves = 0;
+    /// Best-so-far objective value after each iteration (SA epoch, GA
+    /// generation); empty when an optimiser does not track it.
+    std::vector<double> trajectory;
+
+    /// accepted_moves / proposed_moves, or -1 when not applicable.
+    double acceptance_rate() const noexcept {
+        if (proposed_moves == 0) return -1.0;
+        return static_cast<double>(accepted_moves) /
+               static_cast<double>(proposed_moves);
+    }
 };
 
 /// Abstract optimiser. Implementations are deterministic given the rng.

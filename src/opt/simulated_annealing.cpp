@@ -50,6 +50,7 @@ opt_result simulated_annealing::maximize(const objective_fn& f,
             y = bounds.clamp(std::move(y));
             const double fy = f(y);
             ++out.evaluations;
+            ++out.proposed_moves;
             const double delta = fy - fx;  // maximisation: improvement is positive
             if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
                 x = std::move(y);
@@ -61,6 +62,8 @@ opt_result simulated_annealing::maximize(const objective_fn& f,
                 }
             }
         }
+        out.accepted_moves += accepted;
+        out.trajectory.push_back(out.best_value);
         temperature *= opt_.cooling_rate;
         // Shrink the neighbourhood as acceptance falls; keeps late epochs local.
         const double accept_rate =

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace ehdse::sim {
 
 simulator::simulator(analog_system& sys, std::vector<double> initial_state,
@@ -9,6 +11,11 @@ simulator::simulator(analog_system& sys, std::vector<double> initial_state,
     : sys_(sys), state_(std::move(initial_state)), integrator_(options) {
     if (state_.size() != sys_.state_size())
         throw std::invalid_argument("simulator: initial state size mismatch");
+    if (obs::metrics_registry* reg = obs::global_registry()) {
+        steps_counter_ = &reg->get_counter("sim.ode_steps");
+        rejected_counter_ = &reg->get_counter("sim.ode_steps_rejected");
+        events_counter_ = &reg->get_counter("sim.events");
+    }
 }
 
 event_id simulator::at(double t, std::function<void()> action) {
@@ -41,8 +48,20 @@ bool simulator::integrate_to(double t_target) {
                           };
     last_status_ = integrator_.integrate(sys_, now_, t_target, state_, observer);
     total_steps_ += last_status_.steps_taken;
+    total_rejected_ += last_status_.steps_rejected;
+    if (steps_counter_) {
+        steps_counter_->add(last_status_.steps_taken);
+        rejected_counter_->add(last_status_.steps_rejected);
+    }
     now_ = t_target;
     return last_status_.ok;
+}
+
+void simulator::flush_event_count() {
+    if (!events_counter_) return;
+    const std::uint64_t executed = queue_.executed_count();
+    events_counter_->add(executed - flushed_events_);
+    flushed_events_ = executed;
 }
 
 bool simulator::run_until(double t_end) {
@@ -51,12 +70,17 @@ bool simulator::run_until(double t_end) {
 
     while (!queue_.empty() && queue_.next_time() <= t_end) {
         const double te = queue_.next_time();
-        if (!integrate_to(te)) return false;
+        if (!integrate_to(te)) {
+            flush_event_count();
+            return false;
+        }
         // Fire every event due at te (new same-time events fire too: FIFO).
         while (!queue_.empty() && queue_.next_time() <= now_) queue_.pop_and_run();
         notify_observers(now_);
     }
-    if (!integrate_to(t_end)) return false;
+    const bool ok = integrate_to(t_end);
+    flush_event_count();
+    if (!ok) return false;
     notify_observers(now_);
     return true;
 }

@@ -18,6 +18,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/ode.hpp"
 
+namespace ehdse::obs {
+class counter;
+}
+
 namespace ehdse::sim {
 
 /// Drives one analog_system plus an event queue over simulated time.
@@ -63,6 +67,9 @@ public:
     /// Cumulative accepted integration steps across all segments.
     std::size_t total_steps() const noexcept { return total_steps_; }
 
+    /// Cumulative rejected (error-controlled retry) steps across all segments.
+    std::size_t total_rejected_steps() const noexcept { return total_rejected_; }
+
     /// Cumulative executed events.
     std::uint64_t total_events() const noexcept { return queue_.executed_count(); }
 
@@ -75,6 +82,7 @@ public:
 private:
     void notify_observers(double t);
     bool integrate_to(double t_target);
+    void flush_event_count();
 
     analog_system& sys_;
     std::vector<double> state_;
@@ -84,6 +92,14 @@ private:
     double now_ = 0.0;
     ode_status last_status_;
     std::size_t total_steps_ = 0;
+    std::size_t total_rejected_ = 0;
+    // Process-wide metrics sink, resolved once at construction (nullptr =
+    // observability off). Updated per integration segment / run, never per
+    // step, so an attached sink stays off the integrator's hot path.
+    obs::counter* steps_counter_ = nullptr;
+    obs::counter* rejected_counter_ = nullptr;
+    obs::counter* events_counter_ = nullptr;
+    std::uint64_t flushed_events_ = 0;
 };
 
 /// Base class for digital processes (microcontroller, sensor node, ...).

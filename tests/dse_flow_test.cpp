@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "dse/rsm_flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_manifest.hpp"
 #include "rsm/anova.hpp"
 #include "opt/nelder_mead.hpp"
 
@@ -119,6 +121,139 @@ TEST(Flow, ParallelMatchesSequential) {
         EXPECT_DOUBLE_EQ(a.responses[i], b.responses[i]);
     EXPECT_EQ(a.outcomes[0].validated.transmissions,
               b.outcomes[0].validated.transmissions);
+}
+
+TEST(Flow, ManifestEmitsOneRecordPerDoeRun) {
+    ed::system_evaluator ev(flow_scenario());
+    ehdse::obs::run_manifest manifest;
+    ed::flow_options opts;
+    opts.manifest = &manifest;
+    const auto r = ed::run_rsm_flow(ev, opts);
+
+    // One design-point record per DoE run, plus the baseline and one
+    // validation per optimiser.
+    EXPECT_EQ(manifest.sim_run_count("design_point"), r.responses.size());
+    EXPECT_EQ(manifest.sim_run_count("baseline"), 1u);
+    EXPECT_EQ(manifest.sim_run_count("validation"), r.outcomes.size());
+
+    for (const auto& run : manifest.sim_runs()) {
+        EXPECT_GT(run.ode_steps, 0u) << run.kind;
+        EXPECT_GT(run.events, 0u) << run.kind;
+        EXPECT_GE(run.wall_s, 0.0);
+        EXPECT_TRUE(run.sim_ok);
+        if (run.kind == "design_point") EXPECT_EQ(run.coded.size(), 3u);
+    }
+
+    // Recorded responses match the flow's responses, in order.
+    std::size_t i = 0;
+    for (const auto& run : manifest.sim_runs()) {
+        if (run.kind != "design_point") continue;
+        EXPECT_DOUBLE_EQ(run.response, r.responses[i]) << i;
+        ++i;
+    }
+
+    // Every phase present, in pipeline order.
+    std::vector<std::string> names;
+    for (const auto& p : manifest.phases()) names.push_back(p.name);
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"candidates", "d_optimal", "simulate",
+                                        "fit", "baseline", "optimise",
+                                        "validate"}));
+    for (const auto& p : manifest.phases()) EXPECT_GE(p.wall_s, 0.0) << p.name;
+
+    // One optimizer record per optimiser; SA exposes its acceptance rate.
+    // (accessors snapshot by value — keep the copy alive while indexing)
+    const auto optimizers = manifest.optimizers();
+    ASSERT_EQ(optimizers.size(), 2u);
+    for (const auto& opt : optimizers) {
+        EXPECT_GT(opt.evaluations, 0u) << opt.name;
+        EXPECT_GT(opt.iterations, 0u) << opt.name;
+    }
+    const auto& sa = optimizers[0];
+    EXPECT_EQ(sa.name, "simulated-annealing");
+    EXPECT_GT(sa.acceptance_rate, 0.0);
+    EXPECT_LE(sa.acceptance_rate, 1.0);
+
+    // The whole manifest serialises to valid JSON.
+    const auto doc = ehdse::obs::json_value::parse(manifest.to_json().dump(2));
+    EXPECT_EQ(doc.at("runs").size(), manifest.sim_runs().size());
+    EXPECT_DOUBLE_EQ(doc.at("options").at("doe_runs").as_number(), 10.0);
+}
+
+TEST(Flow, ManifestCountsReplicatesAndParallel) {
+    ed::system_evaluator ev(flow_scenario());
+    ehdse::obs::run_manifest manifest;
+    ed::flow_options opts;
+    opts.doe_runs = 12;
+    opts.replicates = 2;
+    opts.parallel = true;
+    opts.manifest = &manifest;
+    const auto r = ed::run_rsm_flow(ev, opts);
+    EXPECT_EQ(r.responses.size(), 24u);
+    EXPECT_EQ(manifest.sim_run_count("design_point"), 24u);
+    // Replicates carry their distinct measurement-noise seeds.
+    const auto runs = manifest.sim_runs();
+    EXPECT_NE(runs[0].seed, runs[1].seed);
+}
+
+TEST(Flow, ProgressCallbackSeesEveryDesignPoint) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options opts;
+    std::vector<std::string> lines;
+    opts.progress = [&lines](const std::string& line) { lines.push_back(line); };
+    const auto r = ed::run_rsm_flow(ev, opts);
+    std::size_t run_lines = 0;
+    for (const auto& l : lines)
+        if (l.rfind("run ", 0) == 0) ++run_lines;
+    EXPECT_EQ(run_lines, r.responses.size());
+    // Milestone lines for every phase family.
+    const auto has_prefix = [&lines](const char* prefix) {
+        for (const auto& l : lines)
+            if (l.rfind(prefix, 0) == 0) return true;
+        return false;
+    };
+    EXPECT_TRUE(has_prefix("candidates:"));
+    EXPECT_TRUE(has_prefix("d-optimal:"));
+    EXPECT_TRUE(has_prefix("fit:"));
+    EXPECT_TRUE(has_prefix("optimise["));
+    EXPECT_TRUE(has_prefix("validate["));
+}
+
+TEST(Flow, GlobalMetricsPopulatedWhenInstalled) {
+    ehdse::obs::metrics_registry registry;
+    ehdse::obs::set_global_registry(&registry);
+    ed::system_evaluator ev(flow_scenario());
+    const auto r = ed::run_rsm_flow(ev, {});
+    ehdse::obs::set_global_registry(nullptr);
+
+    EXPECT_GE(registry.get_counter("dse.evaluate.runs").value(),
+              r.responses.size() + 1 + r.outcomes.size());
+    EXPECT_GT(registry.get_counter("sim.ode_steps").value(), 0u);
+    EXPECT_GT(registry.get_counter("sim.events").value(), 0u);
+    EXPECT_GT(registry.get_histogram("dse.evaluate.seconds").count(), 0u);
+    EXPECT_GT(
+        registry.get_histogram("dse.flow.phase_seconds.simulate").count(), 0u);
+    EXPECT_GT(registry.get_counter("dse.flow.optimizer_evaluations").value(),
+              0u);
+}
+
+TEST(Flow, OptimiserTelemetryExposed) {
+    const auto& r = shared_flow();
+    const auto& sa = r.outcomes[0];
+    EXPECT_EQ(sa.details.algorithm, "simulated-annealing");
+    EXPECT_GT(sa.details.proposed_moves, 0u);
+    EXPECT_GT(sa.details.accepted_moves, 0u);
+    EXPECT_LE(sa.details.accepted_moves, sa.details.proposed_moves);
+    EXPECT_EQ(sa.details.trajectory.size(), sa.details.iterations);
+    const auto& ga = r.outcomes[1];
+    EXPECT_EQ(ga.details.proposed_moves, 0u);  // no acceptance notion
+    EXPECT_DOUBLE_EQ(ga.details.acceptance_rate(), -1.0);
+    EXPECT_EQ(ga.details.trajectory.size(), ga.details.iterations);
+    // Best-so-far trajectories never decrease.
+    for (const auto& oc : r.outcomes)
+        for (std::size_t i = 1; i < oc.details.trajectory.size(); ++i)
+            EXPECT_GE(oc.details.trajectory[i], oc.details.trajectory[i - 1])
+                << oc.name;
 }
 
 TEST(Flow, ReducedDoeRunsStillWork) {

@@ -1,0 +1,108 @@
+// obs::json_value — writer/parser round trips, escaping, error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace eo = ehdse::obs;
+
+TEST(Json, ScalarRoundTrips) {
+    EXPECT_EQ(eo::json_value::parse("null"), eo::json_value(nullptr));
+    EXPECT_EQ(eo::json_value::parse("true").as_bool(), true);
+    EXPECT_EQ(eo::json_value::parse("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(eo::json_value::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(eo::json_value::parse("-1.5e3").as_number(), -1500.0);
+    EXPECT_EQ(eo::json_value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersPrintWithoutFraction) {
+    EXPECT_EQ(eo::json_value(10).dump(), "10");
+    EXPECT_EQ(eo::json_value(0).dump(), "0");
+    EXPECT_EQ(eo::json_value(-3).dump(), "-3");
+    EXPECT_EQ(eo::json_value(1e15).dump(), "1000000000000000");
+    // Non-integral values keep a shortest round-trip representation.
+    const double v = 0.1;
+    EXPECT_DOUBLE_EQ(eo::json_value::parse(eo::json_value(v).dump()).as_number(), v);
+}
+
+TEST(Json, NonFiniteSerialisesAsNull) {
+    EXPECT_EQ(eo::json_value(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(eo::json_value(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscapes) {
+    // Note the split: "\x01f" would parse as the single char 0x1F.
+    const std::string raw = "a\"b\\c\nd\te\x01" "f";
+    const std::string dumped = eo::json_value(raw).dump();
+    EXPECT_EQ(eo::json_value::parse(dumped).as_string(), raw);
+    EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, UnicodeEscapeParses) {
+    EXPECT_EQ(eo::json_value::parse("\"\\u0041\"").as_string(), "A");
+    EXPECT_EQ(eo::json_value::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+    EXPECT_EQ(eo::json_value::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    eo::json_value obj = eo::json_object{};
+    obj.set("zebra", eo::json_value(1));
+    obj.set("alpha", eo::json_value(2));
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2}");
+    const auto back = eo::json_value::parse(obj.dump());
+    EXPECT_EQ(back.as_object()[0].first, "zebra");
+    EXPECT_DOUBLE_EQ(back.at("alpha").as_number(), 2.0);
+}
+
+TEST(Json, NestedDocumentRoundTrips) {
+    const std::string text =
+        R"({"a":[1,2,{"b":null}],"c":{"d":true,"e":[[],{}]},"f":-0.25})";
+    const auto v = eo::json_value::parse(text);
+    EXPECT_EQ(v.dump(), text);
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_TRUE(v.at("a").at(2).at("b").is_null());
+    EXPECT_TRUE(v.at("c").at("e").at(0).is_array());
+    EXPECT_DOUBLE_EQ(v.at("f").as_number(), -0.25);
+}
+
+TEST(Json, PrettyPrintReparses) {
+    const auto v = eo::json_value::parse(R"({"x":[1,2],"y":{"z":"w"}})");
+    const std::string pretty = v.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_EQ(eo::json_value::parse(pretty), v);
+}
+
+TEST(Json, WhitespaceTolerated) {
+    const auto v = eo::json_value::parse(" \t\r\n{ \"a\" : [ 1 , 2 ] } \n");
+    EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(Json, MalformedInputsThrow) {
+    EXPECT_THROW(eo::json_value::parse(""), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("{"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("[1,]"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("{\"a\" 1}"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("tru"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("1 2"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("\"unterminated"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("nan"), std::invalid_argument);
+    EXPECT_THROW(eo::json_value::parse("--1"), std::invalid_argument);
+}
+
+TEST(Json, DeepNestingRejected) {
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_THROW(eo::json_value::parse(deep), std::invalid_argument);
+}
+
+TEST(Json, AccessErrors) {
+    const auto v = eo::json_value::parse(R"({"a":1})");
+    EXPECT_THROW(v.at("missing"), std::out_of_range);
+    EXPECT_THROW(v.as_array(), std::logic_error);
+    EXPECT_THROW(v.at("a").as_string(), std::logic_error);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_TRUE(v.contains("a"));
+}

@@ -4,22 +4,31 @@
 //   ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]
 //                      [--duration S] [--accel MG] [--seed N]
 //                      [--fidelity envelope|transient] [--trace FILE.csv]
-//   ehdse_cli flow     [--runs N] [--seed N]
+//                      [--metrics-out FILE.json]
+//   ehdse_cli flow     [--runs N] [--seed N] [--replicates N] [--parallel]
+//                      [--report FILE.md] [--metrics-out FILE.json] [--progress]
 //   ehdse_cli sweep    --param clock|watchdog|interval
 //                      [--from X] [--to X] [--points N] [--log]
 //
-// Outputs are plain text; `--trace` writes the supercapacitor waveform CSV.
+// Outputs are plain text; `--trace` writes the supercapacitor waveform
+// CSV; `--metrics-out` writes a run manifest (docs/observability.md) as
+// JSON, or as JSONL when the path ends in `.jsonl`. Unknown flags and
+// unwritable output paths are hard errors (exit 2) before any simulation
+// starts.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "dse/report.hpp"
 #include "dse/rsm_flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_manifest.hpp"
 
 namespace {
 
@@ -46,7 +55,13 @@ struct arg_map {
     }
 };
 
-arg_map parse_args(int argc, char** argv, int first) {
+/// Flags that stand alone; every other flag requires a non-empty value.
+const std::set<std::string> k_boolean_flags = {"parallel", "progress", "log"};
+
+/// Parse `--key value` / `--key=value` pairs, rejecting any key not in
+/// `allowed` (exit 2) so a typo cannot silently fall back to defaults.
+arg_map parse_args(int argc, char** argv, int first,
+                   const std::set<std::string>& allowed) {
     arg_map args;
     for (int i = first; i < argc; ++i) {
         const char* a = argv[i];
@@ -55,13 +70,30 @@ arg_map parse_args(int argc, char** argv, int first) {
             std::exit(2);
         }
         std::string key = a + 2;
-        std::string value = "true";
+        std::string value;
+        bool have_value = false;
         const auto eq = key.find('=');
         if (eq != std::string::npos) {
             value = key.substr(eq + 1);
             key = key.substr(0, eq);
+            have_value = true;
         } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
             value = argv[++i];
+            have_value = true;
+        }
+        if (allowed.count(key) == 0) {
+            std::fprintf(stderr,
+                         "error: unknown flag '--%s' (run 'ehdse_cli help' for "
+                         "the flag list)\n",
+                         key.c_str());
+            std::exit(2);
+        }
+        if (k_boolean_flags.count(key)) {
+            if (!have_value) value = "true";
+        } else if (!have_value || value.empty()) {
+            std::fprintf(stderr, "error: flag '--%s' requires a value\n",
+                         key.c_str());
+            std::exit(2);
         }
         args.kv[key] = value;
     }
@@ -74,11 +106,41 @@ void print_usage() {
         "  ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]\n"
         "                     [--duration S] [--accel MG] [--seed N]\n"
         "                     [--fidelity envelope|transient] [--trace FILE]\n"
-        "                     [--schedule FILE.csv]\n"
+        "                     [--schedule FILE.csv] [--metrics-out FILE.json]\n"
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
-        "                     [--parallel] [--report FILE.md]\n"
+        "                     [--parallel] [--report FILE.md] [--progress]\n"
+        "                     [--metrics-out FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
-        "                     [--from X] [--to X] [--points N] [--log]");
+        "                     [--from X] [--to X] [--points N] [--log]\n"
+        "\n"
+        "--metrics-out writes a run manifest (see docs/observability.md);\n"
+        "a .jsonl suffix selects one-record-per-line output.");
+}
+
+/// Open `path` for writing, exiting with a clear message when it cannot be
+/// created — checked BEFORE any simulation so a bad path fails in
+/// milliseconds, not after the whole flow has run.
+std::ofstream open_output_or_die(const std::string& path, const char* what) {
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write %s '%s'\n", what, path.c_str());
+        std::exit(2);
+    }
+    return os;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void write_manifest(std::ofstream& os, const std::string& path,
+                    const obs::run_manifest& manifest) {
+    if (ends_with(path, ".jsonl"))
+        manifest.write_jsonl(os);
+    else
+        manifest.write_json(os);
+    std::printf("manifest written to %s\n", path.c_str());
 }
 
 dse::scenario scenario_from(const arg_map& args) {
@@ -116,6 +178,14 @@ int cmd_simulate(const arg_map& args) {
     const std::string trace_file = args.str("trace", "");
     opts.record_traces = !trace_file.empty();
 
+    const std::string metrics_file = args.str("metrics-out", "");
+    std::ofstream metrics_os;
+    obs::metrics_registry registry;
+    if (!metrics_file.empty()) {
+        metrics_os = open_output_or_die(metrics_file, "metrics file");
+        obs::set_global_registry(&registry);
+    }
+
     dse::system_evaluator evaluator(scenario_from(args));
     const auto r = evaluator.evaluate(cfg, opts);
 
@@ -139,9 +209,39 @@ int cmd_simulate(const arg_map& args) {
                 static_cast<unsigned long long>(r.tuning.coarse_steps),
                 static_cast<unsigned long long>(r.tuning.fine_iterations),
                 static_cast<unsigned long long>(r.tuning.fine_steps));
+    std::printf("sim: %zu ode steps (%zu rejected), %llu events, %.3f s wall\n",
+                r.ode_steps, r.ode_steps_rejected,
+                static_cast<unsigned long long>(r.events), r.wall_time_s);
     std::printf("ledger:\n");
     for (const auto& [account, joules] : r.ledger.accounts())
         std::printf("  %-24s %10.3f mJ\n", account.c_str(), joules * 1e3);
+
+    if (!metrics_file.empty()) {
+        obs::run_manifest manifest;
+        manifest.set_tool("ehdse_cli simulate", "1.0");
+        manifest.set_option("seed", obs::json_value(opts.controller_seed));
+        manifest.set_option("fidelity", obs::json_value(fid));
+        manifest.add_sim_run(
+            [&] {
+                obs::sim_run_record rec;
+                rec.kind = "simulate";
+                rec.mcu_clock_hz = cfg.mcu_clock_hz;
+                rec.watchdog_period_s = cfg.watchdog_period_s;
+                rec.tx_interval_s = cfg.tx_interval_s;
+                rec.seed = opts.controller_seed;
+                rec.response = static_cast<double>(r.transmissions);
+                rec.wall_s = r.wall_time_s;
+                rec.ode_steps = r.ode_steps;
+                rec.ode_steps_rejected = r.ode_steps_rejected;
+                rec.events = r.events;
+                rec.sim_ok = r.sim_ok;
+                return rec;
+            }());
+        manifest.set_metrics(registry.to_json());
+        write_manifest(metrics_os, metrics_file, manifest);
+        obs::set_global_registry(nullptr);
+    }
+
     if (!r.sim_ok) {
         std::fprintf(stderr, "warning: analogue integrator reported failure\n");
         return 1;
@@ -166,18 +266,39 @@ int cmd_flow(const arg_map& args) {
     opts.replicates = static_cast<std::size_t>(args.num("replicates", 1));
     opts.parallel = args.has("parallel");
 
+    // Output paths are validated before the (potentially long) run.
+    const std::string metrics_file = args.str("metrics-out", "");
+    const std::string report_file = args.str("report", "");
+    std::ofstream metrics_os;
+    std::ofstream report_os;
+    if (!metrics_file.empty())
+        metrics_os = open_output_or_die(metrics_file, "metrics file");
+    if (!report_file.empty())
+        report_os = open_output_or_die(report_file, "report file");
+
+    obs::metrics_registry registry;
+    obs::run_manifest manifest;
+    if (!metrics_file.empty()) {
+        obs::set_global_registry(&registry);
+        opts.manifest = &manifest;
+    }
+    if (args.has("progress"))
+        opts.progress = [](const std::string& line) {
+            std::fprintf(stderr, "[flow] %s\n", line.c_str());
+        };
+
     dse::system_evaluator evaluator(scenario_from(args));
     const auto flow = dse::run_rsm_flow(evaluator, opts);
 
-    const std::string report_file = args.str("report", "");
     if (!report_file.empty()) {
-        std::ofstream os(report_file);
-        if (!os) {
-            std::fprintf(stderr, "error: cannot write '%s'\n", report_file.c_str());
-            return 1;
-        }
-        dse::write_report(os, flow);
+        dse::write_report(report_os, flow);
         std::printf("report written to %s\n", report_file.c_str());
+    }
+    if (!metrics_file.empty()) {
+        manifest.set_tool("ehdse_cli flow", "1.0");
+        manifest.set_metrics(registry.to_json());
+        write_manifest(metrics_os, metrics_file, manifest);
+        obs::set_global_registry(nullptr);
     }
 
     std::printf("D-optimal: %zu of %zu candidates, log det = %.3f\n",
@@ -240,6 +361,15 @@ int cmd_sweep(const arg_map& args) {
     return 0;
 }
 
+const std::set<std::string> k_simulate_flags = {
+    "clock", "watchdog", "interval", "duration", "accel", "seed",
+    "fidelity", "trace", "schedule", "metrics-out"};
+const std::set<std::string> k_flow_flags = {
+    "runs", "seed", "replicates", "parallel", "report", "duration",
+    "accel", "schedule", "metrics-out", "progress"};
+const std::set<std::string> k_sweep_flags = {
+    "param", "from", "to", "points", "log", "duration", "accel", "schedule"};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,10 +378,10 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string cmd = argv[1];
-    const arg_map args = parse_args(argc, argv, 2);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "flow") return cmd_flow(args);
-    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "simulate")
+        return cmd_simulate(parse_args(argc, argv, 2, k_simulate_flags));
+    if (cmd == "flow") return cmd_flow(parse_args(argc, argv, 2, k_flow_flags));
+    if (cmd == "sweep") return cmd_sweep(parse_args(argc, argv, 2, k_sweep_flags));
     if (cmd == "help" || cmd == "--help") {
         print_usage();
         return 0;
