@@ -1,0 +1,118 @@
+// Thread-safe memoising wrapper over system_evaluator. An evaluation is a
+// pure function of (system_config, evaluation_options) — the evaluator's
+// physics are fixed at construction and every stochastic stream is seeded
+// through the options — so identical requests (optimiser revisits of the
+// same design point, repeated baselines) can return the stored result
+// instead of re-integrating an hour of ODE.
+//
+// Keying: every field of both structs participates in the key and
+// equality is exact, so distinct seeds, fidelities, front-ends or trace
+// settings can never collide (the hash only routes buckets; equality
+// decides). Eviction is LRU with a fixed capacity.
+//
+// Concurrency: lookups are single-flight. The first thread to request a
+// key runs the simulation; concurrent requests for the same key block on
+// a shared future and receive the same result — the pool never burns two
+// workers on one configuration. If the producing evaluation throws, every
+// waiter receives the exception and the entry is removed so a later call
+// retries.
+//
+// Observability: when a global metrics registry is installed at
+// construction, hits/misses/evictions land in the dse.cache.* counters
+// and dse.cache.size gauge; stats() reports the same numbers without any
+// registry.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "dse/system_evaluator.hpp"
+
+namespace ehdse::obs {
+class counter;
+class gauge;
+}  // namespace ehdse::obs
+
+namespace ehdse::dse {
+
+class cached_evaluator {
+public:
+    struct cache_stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+
+        double hit_rate() const noexcept {
+            const std::uint64_t total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(total);
+        }
+    };
+
+    /// Wrap `inner` (caller-owned; must outlive this object). `capacity`
+    /// bounds the number of retained results; throws std::invalid_argument
+    /// when zero.
+    explicit cached_evaluator(const system_evaluator& inner,
+                              std::size_t capacity = 128);
+
+    /// As system_evaluator::evaluate, memoised. Safe to call concurrently.
+    evaluation_result evaluate(const system_config& config,
+                               const evaluation_options& options = {}) const;
+
+    cache_stats stats() const;
+
+    /// Drop every cached entry (hit/miss/eviction totals are kept).
+    void clear();
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    const system_evaluator& inner() const noexcept { return inner_; }
+
+private:
+    struct cache_key {
+        double mcu_clock_hz;
+        double watchdog_period_s;
+        double tx_interval_s;
+        bool record_traces;
+        double trace_interval_s;
+        std::uint64_t controller_seed;
+        int model;
+        int frontend;
+        double frontend_efficiency;
+
+        bool operator==(const cache_key&) const = default;
+    };
+    struct key_hash {
+        std::size_t operator()(const cache_key& key) const noexcept;
+    };
+    struct entry {
+        std::shared_future<evaluation_result> result;
+        std::list<cache_key>::iterator lru_it;
+    };
+
+    static cache_key make_key(const system_config& config,
+                              const evaluation_options& options) noexcept;
+    /// Caller holds mutex_. Evicts ready entries (never in-flight ones)
+    /// from the cold end until the map fits the capacity, then refreshes
+    /// the size bookkeeping.
+    void shrink_to_capacity_locked() const;
+
+    const system_evaluator& inner_;
+    std::size_t capacity_;
+
+    mutable std::mutex mutex_;
+    mutable std::list<cache_key> lru_;  ///< front = most recently used
+    mutable std::unordered_map<cache_key, entry, key_hash> map_;
+    mutable cache_stats stats_;
+
+    obs::counter* hits_counter_ = nullptr;
+    obs::counter* misses_counter_ = nullptr;
+    obs::counter* evictions_counter_ = nullptr;
+    obs::gauge* size_gauge_ = nullptr;
+};
+
+}  // namespace ehdse::dse

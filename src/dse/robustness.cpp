@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/batch.hpp"
 #include "numeric/stats.hpp"
 
 namespace ehdse::dse {
@@ -15,30 +16,41 @@ robustness_summary run_robustness_study(const scenario& base,
     out.label = label;
     out.config = config;
 
-    auto record = [&](const scenario& scn, std::uint64_t seed) {
-        system_evaluator evaluator(scn);
-        evaluation_options eval;
-        eval.controller_seed = seed;
-        const auto r = evaluator.evaluate(config, eval);
-        out.samples.push_back(static_cast<double>(r.transmissions));
+    // Enumerate every variant first so the sweep can fan out; sample
+    // order matches the sequential axis order either way.
+    struct variant {
+        scenario scn;
+        std::uint64_t seed;
     };
+    std::vector<variant> variants;
+    const std::uint64_t axis_seed =
+        options.seeds.empty() ? 1 : options.seeds.front();
 
     // Axis 1: measurement-noise seeds at the nominal scenario.
-    for (std::uint64_t seed : options.seeds) record(base, seed);
+    for (std::uint64_t seed : options.seeds) variants.push_back({base, seed});
 
     // Axis 2: excitation amplitude.
     for (double mg : options.accel_levels_mg) {
         scenario scn = base;
         scn.accel_mg = mg;
-        record(scn, options.seeds.empty() ? 1 : options.seeds.front());
+        variants.push_back({scn, axis_seed});
     }
 
     // Axis 3: frequency step size.
     for (double step : options.step_sizes_hz) {
         scenario scn = base;
         scn.f_step_hz = step;
-        record(scn, options.seeds.empty() ? 1 : options.seeds.front());
+        variants.push_back({scn, axis_seed});
     }
+
+    out.samples.resize(variants.size());
+    exec::parallel_for(options.pool, variants.size(), [&](std::size_t i) {
+        system_evaluator evaluator(variants[i].scn);
+        evaluation_options eval;
+        eval.controller_seed = variants[i].seed;
+        const auto r = evaluator.evaluate(config, eval);
+        out.samples[i] = static_cast<double>(r.transmissions);
+    });
 
     if (!out.samples.empty()) {
         out.mean_tx = numeric::mean(out.samples);

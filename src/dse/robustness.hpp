@@ -11,6 +11,10 @@
 
 #include "dse/system_evaluator.hpp"
 
+namespace ehdse::exec {
+class thread_pool;
+}  // namespace ehdse::exec
+
 namespace ehdse::dse {
 
 /// Statistics of a configuration across a perturbation set.
@@ -30,6 +34,10 @@ struct robustness_options {
     std::vector<double> accel_levels_mg = {40.0, 60.0, 80.0};  ///< amplitude
     /// Alternative frequency step sizes (Hz) applied to the base scenario.
     std::vector<double> step_sizes_hz = {3.0, 5.0, 8.0};
+    /// Evaluate the variants over this pool (nullptr = sequential). Each
+    /// variant is independently seeded, so samples are identical either
+    /// way. Non-owning; must outlive the call.
+    exec::thread_pool* pool = nullptr;
 };
 
 /// Evaluate `config` across the cross-product of one perturbation axis at a

@@ -1,9 +1,12 @@
 #include "dse/rsm_flow.hpp"
 
-#include <future>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "doe/designs.hpp"
+#include "exec/batch.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "opt/genetic_algorithm.hpp"
@@ -93,13 +96,17 @@ obs::sim_run_record make_run_record(const char* kind, std::size_t index,
 }
 
 void echo_options(obs::run_manifest& manifest, const flow_options& options,
-                  std::size_t dimension) {
+                  std::size_t dimension, std::size_t resolved_jobs) {
     manifest.set_option("dimension", obs::json_value(dimension));
     manifest.set_option("doe_runs", obs::json_value(options.doe_runs));
     manifest.set_option("factorial_levels",
                         obs::json_value(options.factorial_levels));
     manifest.set_option("replicates", obs::json_value(options.replicates));
     manifest.set_option("parallel", obs::json_value(options.parallel));
+    manifest.set_option("jobs", obs::json_value(resolved_jobs));
+    manifest.set_option("cache", obs::json_value(options.cache));
+    manifest.set_option("cache_capacity",
+                        obs::json_value(options.cache_capacity));
     manifest.set_option("optimizer_seed", obs::json_value(options.optimizer_seed));
     manifest.set_option("replicate_seed_base",
                         obs::json_value(options.replicate_seed_base));
@@ -120,10 +127,31 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         options.manifest->set_tool("ehdse.run_rsm_flow", "");
     }
 
+    // Execution engine: use the caller's pool when provided; otherwise own
+    // one for the duration of the call when `parallel` is requested. A null
+    // pool means every phase runs inline on this thread.
+    exec::thread_pool* pool = options.pool;
+    std::unique_ptr<exec::thread_pool> owned_pool;
+    if (pool == nullptr && options.parallel) {
+        owned_pool = std::make_unique<exec::thread_pool>(options.jobs);
+        pool = owned_pool.get();
+    }
+
+    // Memoise evaluations so optimiser revisits of a design point (and
+    // concurrent duplicates under the pool) cost one simulation.
+    std::optional<cached_evaluator> cache;
+    if (options.cache) cache.emplace(evaluator, options.cache_capacity);
+    const auto evaluate = [&](const system_config& config,
+                              const evaluation_options& eval) {
+        return cache ? cache->evaluate(config, eval)
+                     : evaluator.evaluate(config, eval);
+    };
+
     flow_result out;
     out.space = paper_design_space();
     const std::size_t k = out.space.dimension();
-    if (options.manifest) echo_options(*options.manifest, options, k);
+    if (options.manifest)
+        echo_options(*options.manifest, options, k, pool ? pool->size() : 1);
 
     // 1. Candidate grid (paper: 3^3 = 27 feasible points).
     obs_hook.phase("candidates");
@@ -169,19 +197,9 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     obs_hook.set_phase_items(jobs.size());
 
     std::vector<evaluation_result> results(jobs.size());
-    if (options.parallel && jobs.size() > 1) {
-        std::vector<std::future<evaluation_result>> futures;
-        futures.reserve(jobs.size());
-        for (const job& j : jobs)
-            futures.push_back(std::async(std::launch::async, [&evaluator, &j] {
-                return evaluator.evaluate(j.config, j.eval);
-            }));
-        for (std::size_t i = 0; i < futures.size(); ++i)
-            results[i] = futures[i].get();
-    } else {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = evaluator.evaluate(jobs[i].config, jobs[i].eval);
-    }
+    exec::parallel_for(pool, jobs.size(), [&](std::size_t i) {
+        results[i] = evaluate(jobs[i].config, jobs[i].eval);
+    });
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         out.design_coded.push_back(jobs[i].coded);
         out.design_configs.push_back(jobs[i].config);
@@ -208,7 +226,7 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
 
     // Baseline for Table VI.
     obs_hook.phase("baseline");
-    out.original_eval = evaluator.evaluate(system_config::original(), options.eval);
+    out.original_eval = evaluate(system_config::original(), options.eval);
     obs_hook.sim_run(make_run_record(
         "baseline", 0, config_to_coded(out.space, system_config::original()),
         system_config::original(), options.eval.controller_seed,
@@ -229,7 +247,17 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     for (const auto& optimizer : optimizers) {
         numeric::rng rng(options.optimizer_seed);
         obs::stopwatch opt_watch;
-        const opt::opt_result best = optimizer->maximize(surface, bounds, rng);
+        // Lend the pool for batch objective evaluation, and take it back
+        // before the (possibly caller-owned) optimiser outlives it.
+        optimizer->set_execution(pool);
+        opt::opt_result best;
+        try {
+            best = optimizer->maximize(surface, bounds, rng);
+        } catch (...) {
+            optimizer->set_execution(nullptr);
+            throw;
+        }
+        optimizer->set_execution(nullptr);
 
         optimizer_outcome oc;
         oc.name = optimizer->name();
@@ -251,9 +279,14 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     }
 
     obs_hook.phase("validate", out.outcomes.size());
+    // Fan the validating simulations out; manifest records and progress
+    // notes stay on the calling thread, in outcome order.
+    exec::parallel_for(pool, out.outcomes.size(), [&](std::size_t i) {
+        optimizer_outcome& oc = out.outcomes[i];
+        oc.validated = evaluate(oc.config, options.eval);
+    });
     for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
         optimizer_outcome& oc = out.outcomes[i];
-        oc.validated = evaluator.evaluate(oc.config, options.eval);
         obs_hook.sim_run(make_run_record("validation", i, oc.coded, oc.config,
                                          options.eval.controller_seed,
                                          oc.validated));
@@ -278,6 +311,24 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         obs_hook.note(msg.str());
     }
     obs_hook.end_phase();
+
+    if (cache) {
+        out.cache = cache->stats();
+        if (options.manifest) {
+            options.manifest->set_option("cache_hits",
+                                         obs::json_value(out.cache.hits));
+            options.manifest->set_option("cache_misses",
+                                         obs::json_value(out.cache.misses));
+            options.manifest->set_option("cache_evictions",
+                                         obs::json_value(out.cache.evictions));
+            options.manifest->set_option("cache_hit_rate",
+                                         obs::json_value(out.cache.hit_rate()));
+        }
+        std::ostringstream msg;
+        msg << "cache: " << out.cache.hits << " hits / " << out.cache.misses
+            << " misses";
+        obs_hook.note(msg.str());
+    }
 
     return out;
 }

@@ -15,10 +15,15 @@
 #include <vector>
 
 #include "doe/d_optimal.hpp"
+#include "dse/cached_evaluator.hpp"
 #include "dse/system_evaluator.hpp"
 #include "obs/run_manifest.hpp"
 #include "opt/optimizer.hpp"
 #include "rsm/quadratic_model.hpp"
+
+namespace ehdse::exec {
+class thread_pool;
+}  // namespace ehdse::exec
 
 namespace ehdse::dse {
 
@@ -37,6 +42,20 @@ struct flow_options {
     /// Results are identical to the sequential order — each run is seeded
     /// independently — just faster on multi-core hosts.
     bool parallel = false;
+    /// Worker count when the flow creates its own pool (`parallel` set and
+    /// `pool` unset). 0 = one worker per hardware thread.
+    std::size_t jobs = 0;
+    /// Externally owned pool. When set, the simulate / optimise / validate
+    /// phases fan out over it even without `parallel`; it must outlive the
+    /// call. When unset and `parallel` is set, the flow owns a pool of
+    /// `jobs` workers for the duration of the call.
+    exec::thread_pool* pool = nullptr;
+    /// Memoise evaluations for the duration of the flow: optimiser
+    /// revisits of an already-simulated configuration (common — GA and SA
+    /// frequently agree on a box vertex) reuse the stored result.
+    bool cache = true;
+    /// Retained entries in the memoisation cache.
+    std::size_t cache_capacity = 128;
     /// Optimisers to run on the fitted surface. Empty = the paper's pair
     /// (simulated annealing + genetic algorithm).
     std::vector<std::shared_ptr<opt::optimizer>> optimizers;
@@ -78,6 +97,8 @@ struct flow_result {
     rsm::fit_result fit;                         ///< the response surface
     evaluation_result original_eval;             ///< baseline (Table VI row 1)
     std::vector<optimizer_outcome> outcomes;     ///< Table VI remaining rows
+    /// Memoisation totals for this run (all zero when caching is off).
+    cached_evaluator::cache_stats cache;
 };
 
 /// Run the complete flow against `evaluator`.

@@ -1,0 +1,14 @@
+#include "exec/batch.hpp"
+
+namespace ehdse::exec {
+
+void parallel_for(thread_pool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+    if (pool == nullptr || n < 2 || pool->size() < 2) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+    pool->parallel_for(n, body);
+}
+
+}  // namespace ehdse::exec

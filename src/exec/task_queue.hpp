@@ -1,0 +1,63 @@
+// Per-worker work-stealing deque for exec::thread_pool: the owning worker
+// pushes and pops at the back (LIFO — the most recently produced task is
+// the cache-warmest), thieves take from the front (FIFO — the oldest task
+// has waited longest and is least likely to conflict with the owner).
+//
+// The deque is mutex-guarded rather than lock-free: pool tasks here are
+// whole-system simulations (milliseconds to seconds each), so one short
+// critical section per push/pop is invisible next to the work itself, and
+// the simple implementation is trivially correct under TSan.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace ehdse::exec {
+
+/// Unit of work accepted by thread_pool.
+using task_fn = std::function<void()>;
+
+namespace detail {
+
+struct task_item {
+    task_fn fn;
+    /// Set at submit time only when the pool has a wait histogram attached;
+    /// default-constructed (and never read) otherwise.
+    std::chrono::steady_clock::time_point enqueued{};
+};
+
+class task_queue {
+public:
+    /// Append at the owner end.
+    void push(task_item item) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        deque_.push_back(std::move(item));
+    }
+
+    /// Owner end (back, LIFO). Returns false when empty.
+    bool pop(task_item& out) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (deque_.empty()) return false;
+        out = std::move(deque_.back());
+        deque_.pop_back();
+        return true;
+    }
+
+    /// Thief end (front, FIFO). Returns false when empty.
+    bool steal(task_item& out) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (deque_.empty()) return false;
+        out = std::move(deque_.front());
+        deque_.pop_front();
+        return true;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::deque<task_item> deque_;
+};
+
+}  // namespace detail
+}  // namespace ehdse::exec

@@ -39,11 +39,19 @@ opt_result genetic_algorithm::maximize(const objective_fn& f,
     opt_result out;
     out.algorithm = name();
 
+    // Draw the whole initial population first, then evaluate as one batch
+    // (through the attached pool, if any). Evaluations never touch the
+    // rng, so this is bit-identical to the evaluate-as-you-draw order.
     std::vector<individual> pop(opt_.population);
-    for (auto& ind : pop) {
-        ind.genes = bounds.random_point(rng);
-        ind.fitness = f(ind.genes);
-        ++out.evaluations;
+    {
+        std::vector<numeric::vec> genes(opt_.population);
+        for (auto& g : genes) g = bounds.random_point(rng);
+        const std::vector<double> fitness = evaluate_all(f, genes);
+        for (std::size_t i = 0; i < pop.size(); ++i) {
+            pop[i].genes = std::move(genes[i]);
+            pop[i].fitness = fitness[i];
+            ++out.evaluations;
+        }
     }
 
     auto best_it = std::max_element(
@@ -64,31 +72,35 @@ opt_result genetic_algorithm::maximize(const objective_fn& f,
                                      pop.begin() + static_cast<std::ptrdiff_t>(opt_.elite_count));
         next.reserve(opt_.population);
 
-        while (next.size() < opt_.population) {
+        // Breed every child gene first, then batch-evaluate the brood.
+        std::vector<numeric::vec> brood;
+        brood.reserve(opt_.population - next.size());
+        while (next.size() + brood.size() < opt_.population) {
             const individual& pa = pop[tournament_pick(pop, opt_.tournament_size, rng)];
             const individual& pb = pop[tournament_pick(pop, opt_.tournament_size, rng)];
 
-            individual child;
-            child.genes.resize(k);
+            numeric::vec genes(k);
             if (rng.bernoulli(opt_.crossover_prob)) {
                 // BLX-alpha: sample each gene from the expanded parent interval.
                 for (std::size_t i = 0; i < k; ++i) {
                     const double lo = std::min(pa.genes[i], pb.genes[i]);
                     const double hi = std::max(pa.genes[i], pb.genes[i]);
                     const double pad = opt_.blx_alpha * (hi - lo);
-                    child.genes[i] = rng.uniform(lo - pad, hi + pad);
+                    genes[i] = rng.uniform(lo - pad, hi + pad);
                 }
             } else {
-                child.genes = pa.genes;
+                genes = pa.genes;
             }
             for (std::size_t i = 0; i < k; ++i)
                 if (rng.bernoulli(opt_.mutation_prob))
-                    child.genes[i] +=
+                    genes[i] +=
                         rng.normal(0.0, opt_.mutation_sigma_fraction * bounds.width(i));
-            child.genes = bounds.clamp(std::move(child.genes));
-            child.fitness = f(child.genes);
+            brood.push_back(bounds.clamp(std::move(genes)));
+        }
+        const std::vector<double> brood_fitness = evaluate_all(f, brood);
+        for (std::size_t i = 0; i < brood.size(); ++i) {
+            next.push_back(individual{std::move(brood[i]), brood_fitness[i]});
             ++out.evaluations;
-            next.push_back(std::move(child));
         }
         pop = std::move(next);
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/batch.hpp"
+
 namespace ehdse::opt {
 
 bool dominates(const numeric::vec& a, const numeric::vec& b) {
@@ -94,18 +96,23 @@ std::vector<pareto_point> nsga2::optimize(const multi_objective_fn& f,
     const std::size_t np = opt_.population + (opt_.population % 2);
     const std::size_t k = bounds.dimension();
 
-    auto evaluate = [&](const numeric::vec& x) {
-        numeric::vec obj = f(x);
-        if (obj.size() != objective_count)
-            throw std::invalid_argument("nsga2: objective size mismatch");
-        return obj;
+    // Batch objective evaluation (through the attached pool, if any).
+    // Generation stays on the calling thread, so results are identical
+    // whether or not a pool is attached.
+    auto evaluate_batch = [&](const std::vector<numeric::vec>& xs) {
+        std::vector<numeric::vec> objs(xs.size());
+        exec::parallel_for(pool_, xs.size(), [&](std::size_t i) {
+            numeric::vec o = f(xs[i]);
+            if (o.size() != objective_count)
+                throw std::invalid_argument("nsga2: objective size mismatch");
+            objs[i] = std::move(o);
+        });
+        return objs;
     };
 
-    std::vector<numeric::vec> pop(np), obj(np);
-    for (std::size_t i = 0; i < np; ++i) {
-        pop[i] = bounds.random_point(rng);
-        obj[i] = evaluate(pop[i]);
-    }
+    std::vector<numeric::vec> pop(np);
+    for (std::size_t i = 0; i < np; ++i) pop[i] = bounds.random_point(rng);
+    std::vector<numeric::vec> obj = evaluate_batch(pop);
 
     for (std::size_t gen = 0; gen < opt_.generations; ++gen) {
         const auto rank = non_dominated_sort(obj);
@@ -128,9 +135,8 @@ std::vector<pareto_point> nsga2::optimize(const multi_objective_fn& f,
             return crowd[a] >= crowd[b] ? a : b;
         };
 
-        // Offspring.
+        // Offspring: breed the full brood, then evaluate it as one batch.
         std::vector<numeric::vec> child_pop;
-        std::vector<numeric::vec> child_obj;
         child_pop.reserve(np);
         while (child_pop.size() < np) {
             const numeric::vec& pa = pop[tournament()];
@@ -150,10 +156,9 @@ std::vector<pareto_point> nsga2::optimize(const multi_objective_fn& f,
                 if (rng.bernoulli(opt_.mutation_prob))
                     child[i] += rng.normal(0.0, opt_.mutation_sigma_fraction *
                                                     bounds.width(i));
-            child = bounds.clamp(std::move(child));
-            child_obj.push_back(evaluate(child));
-            child_pop.push_back(std::move(child));
+            child_pop.push_back(bounds.clamp(std::move(child)));
         }
+        std::vector<numeric::vec> child_obj = evaluate_batch(child_pop);
 
         // Environmental selection over parents + offspring.
         std::vector<numeric::vec> union_pop = pop;

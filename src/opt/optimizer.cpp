@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/batch.hpp"
+
 namespace ehdse::opt {
+
+std::vector<double> optimizer::evaluate_all(
+    const objective_fn& f, const std::vector<numeric::vec>& xs) const {
+    std::vector<double> values(xs.size());
+    exec::parallel_for(pool_, xs.size(),
+                       [&](std::size_t i) { values[i] = f(xs[i]); });
+    return values;
+}
 
 box_bounds box_bounds::unit(std::size_t k) {
     return {numeric::vec(k, -1.0), numeric::vec(k, 1.0)};

@@ -28,17 +28,26 @@ opt_result particle_swarm::maximize(const objective_fn& f,
     for (std::size_t i = 0; i < k; ++i)
         v_max[i] = opt_.max_velocity_fraction * bounds.width(i);
 
-    for (auto& p : swarm) {
-        p.x = bounds.random_point(rng);
-        p.v.resize(k);
-        for (std::size_t i = 0; i < k; ++i)
-            p.v[i] = rng.uniform(-v_max[i], v_max[i]);
-        p.best_x = p.x;
-        p.best_value = f(p.x);
-        ++out.evaluations;
-        if (p.best_value > out.best_value) {
-            out.best_value = p.best_value;
-            out.best_x = p.x;
+    std::vector<numeric::vec> positions(opt_.particles);
+    {
+        for (std::size_t pi = 0; pi < swarm.size(); ++pi) {
+            particle& p = swarm[pi];
+            p.x = bounds.random_point(rng);
+            p.v.resize(k);
+            for (std::size_t i = 0; i < k; ++i)
+                p.v[i] = rng.uniform(-v_max[i], v_max[i]);
+            p.best_x = p.x;
+            positions[pi] = p.x;
+        }
+        const std::vector<double> values = evaluate_all(f, positions);
+        for (std::size_t pi = 0; pi < swarm.size(); ++pi) {
+            particle& p = swarm[pi];
+            p.best_value = values[pi];
+            ++out.evaluations;
+            if (p.best_value > out.best_value) {
+                out.best_value = p.best_value;
+                out.best_x = p.x;
+            }
         }
     }
 
@@ -46,15 +55,25 @@ opt_result particle_swarm::maximize(const objective_fn& f,
     for (std::size_t it = 0; it < opt_.iterations; ++it) {
         ++out.iterations;
         const double before = out.best_value;
-        for (auto& p : swarm) {
+        // Synchronous gbest update: every velocity draw this iteration
+        // sees the same iteration-start global best, so the whole swarm
+        // can be moved first and evaluated as one batch.
+        const numeric::vec gbest = out.best_x;
+        for (std::size_t pi = 0; pi < swarm.size(); ++pi) {
+            particle& p = swarm[pi];
             for (std::size_t i = 0; i < k; ++i) {
                 p.v[i] = opt_.inertia * p.v[i] +
                          opt_.cognitive * rng.uniform() * (p.best_x[i] - p.x[i]) +
-                         opt_.social * rng.uniform() * (out.best_x[i] - p.x[i]);
+                         opt_.social * rng.uniform() * (gbest[i] - p.x[i]);
                 p.v[i] = std::clamp(p.v[i], -v_max[i], v_max[i]);
                 p.x[i] = std::clamp(p.x[i] + p.v[i], bounds.lo[i], bounds.hi[i]);
             }
-            const double value = f(p.x);
+            positions[pi] = p.x;
+        }
+        const std::vector<double> values = evaluate_all(f, positions);
+        for (std::size_t pi = 0; pi < swarm.size(); ++pi) {
+            particle& p = swarm[pi];
+            const double value = values[pi];
             ++out.evaluations;
             if (value > p.best_value) {
                 p.best_value = value;
@@ -90,9 +109,9 @@ opt_result differential_evolution::maximize(const objective_fn& f,
 
     std::vector<numeric::vec> pop(np);
     std::vector<double> value(np);
+    for (std::size_t i = 0; i < np; ++i) pop[i] = bounds.random_point(rng);
+    value = evaluate_all(f, pop);
     for (std::size_t i = 0; i < np; ++i) {
-        pop[i] = bounds.random_point(rng);
-        value[i] = f(pop[i]);
         ++out.evaluations;
         if (value[i] > out.best_value) {
             out.best_value = value[i];
@@ -101,9 +120,13 @@ opt_result differential_evolution::maximize(const objective_fn& f,
     }
 
     std::size_t stall = 0;
+    std::vector<numeric::vec> trials(np);
     for (std::size_t gen = 0; gen < opt_.generations; ++gen) {
         ++out.iterations;
         const double before = out.best_value;
+        // Synchronous generation: every trial is bred from the
+        // generation-start population, then all trials are evaluated as
+        // one batch before any selection replaces a member.
         for (std::size_t i = 0; i < np; ++i) {
             // DE/rand/1: three distinct donors, none equal to i.
             std::size_t a, b, c;
@@ -121,13 +144,16 @@ opt_result differential_evolution::maximize(const objective_fn& f,
                     trial[d] = std::clamp(mutant, bounds.lo[d], bounds.hi[d]);
                 }
             }
-            const double trial_value = f(trial);
+            trials[i] = std::move(trial);
+        }
+        const std::vector<double> trial_values = evaluate_all(f, trials);
+        for (std::size_t i = 0; i < np; ++i) {
             ++out.evaluations;
-            if (trial_value >= value[i]) {
-                pop[i] = std::move(trial);
-                value[i] = trial_value;
-                if (trial_value > out.best_value) {
-                    out.best_value = trial_value;
+            if (trial_values[i] >= value[i]) {
+                pop[i] = std::move(trials[i]);
+                value[i] = trial_values[i];
+                if (trial_values[i] > out.best_value) {
+                    out.best_value = trial_values[i];
                     out.best_x = pop[i];
                 }
             }

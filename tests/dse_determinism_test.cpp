@@ -1,0 +1,108 @@
+// Bitwise determinism of the flow under the execution engine: the same
+// seed must produce identical responses, fit coefficients, and Table VI
+// numbers whether the flow runs sequentially, on an owned pool of any
+// size, on an external pool, or with the memoisation cache on or off.
+#include <gtest/gtest.h>
+
+#include "dse/rsm_flow.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace ed = ehdse::dse;
+
+namespace {
+
+ed::scenario flow_scenario() {
+    ed::scenario s;
+    s.duration_s = 1200.0;
+    s.step_period_s = 500.0;
+    s.step_count = 2;
+    return s;
+}
+
+/// Exact equality — EXPECT_DOUBLE_EQ, not EXPECT_NEAR — across everything
+/// Table VI reports plus the fitted surface itself.
+void expect_identical(const ed::flow_result& a, const ed::flow_result& b) {
+    ASSERT_EQ(a.responses.size(), b.responses.size());
+    for (std::size_t i = 0; i < a.responses.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.responses[i], b.responses[i]) << "response " << i;
+
+    const auto& ca = a.fit.model.coefficients();
+    const auto& cb = b.fit.model.coefficients();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        EXPECT_DOUBLE_EQ(ca[i], cb[i]) << "coefficient " << i;
+    EXPECT_DOUBLE_EQ(a.fit.r_squared, b.fit.r_squared);
+
+    EXPECT_EQ(a.original_eval.transmissions, b.original_eval.transmissions);
+
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+        const auto& oa = a.outcomes[i];
+        const auto& ob = b.outcomes[i];
+        EXPECT_EQ(oa.name, ob.name);
+        ASSERT_EQ(oa.coded.size(), ob.coded.size());
+        for (std::size_t d = 0; d < oa.coded.size(); ++d)
+            EXPECT_DOUBLE_EQ(oa.coded[d], ob.coded[d]) << oa.name;
+        EXPECT_DOUBLE_EQ(oa.predicted, ob.predicted) << oa.name;
+        EXPECT_EQ(oa.validated.transmissions, ob.validated.transmissions)
+            << oa.name;
+        EXPECT_DOUBLE_EQ(oa.config.mcu_clock_hz, ob.config.mcu_clock_hz);
+        EXPECT_DOUBLE_EQ(oa.config.watchdog_period_s,
+                         ob.config.watchdog_period_s);
+        EXPECT_DOUBLE_EQ(oa.config.tx_interval_s, ob.config.tx_interval_s);
+    }
+}
+
+const ed::flow_result& sequential_flow() {
+    static const ed::flow_result result = [] {
+        ed::system_evaluator ev(flow_scenario());
+        return ed::run_rsm_flow(ev, {});
+    }();
+    return result;
+}
+
+}  // namespace
+
+TEST(Determinism, ParallelJobsMatchSequential) {
+    ed::system_evaluator ev(flow_scenario());
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        ed::flow_options opts;
+        opts.parallel = true;
+        opts.jobs = jobs;
+        const auto parallel = ed::run_rsm_flow(ev, opts);
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        expect_identical(sequential_flow(), parallel);
+    }
+}
+
+TEST(Determinism, ExternalPoolMatchesSequential) {
+    ed::system_evaluator ev(flow_scenario());
+    ehdse::exec::thread_pool pool(3);
+    ed::flow_options opts;
+    opts.pool = &pool;  // engages the pool even without `parallel`
+    const auto result = ed::run_rsm_flow(ev, opts);
+    expect_identical(sequential_flow(), result);
+}
+
+TEST(Determinism, CacheDoesNotChangeResults) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options no_cache;
+    no_cache.cache = false;
+    const auto uncached = ed::run_rsm_flow(ev, no_cache);
+    expect_identical(sequential_flow(), uncached);
+    // The default (cached) flow never misses the simulate-phase points.
+    EXPECT_GT(sequential_flow().cache.misses, 0u);
+    EXPECT_EQ(uncached.cache.misses, 0u);
+}
+
+TEST(Determinism, ReplicatedFlowsMatchAcrossModes) {
+    ed::system_evaluator ev(flow_scenario());
+    ed::flow_options seq, par;
+    seq.replicates = par.replicates = 2;
+    par.parallel = true;
+    par.jobs = 4;
+    const auto a = ed::run_rsm_flow(ev, seq);
+    const auto b = ed::run_rsm_flow(ev, par);
+    expect_identical(a, b);
+    EXPECT_EQ(a.responses.size(), 20u);
+}

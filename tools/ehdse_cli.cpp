@@ -56,7 +56,8 @@ struct arg_map {
 };
 
 /// Flags that stand alone; every other flag requires a non-empty value.
-const std::set<std::string> k_boolean_flags = {"parallel", "progress", "log"};
+const std::set<std::string> k_boolean_flags = {"parallel", "progress", "log",
+                                               "no-cache"};
 
 /// Parse `--key value` / `--key=value` pairs, rejecting any key not in
 /// `allowed` (exit 2) so a typo cannot silently fall back to defaults.
@@ -108,7 +109,8 @@ void print_usage() {
         "                     [--fidelity envelope|transient] [--trace FILE]\n"
         "                     [--schedule FILE.csv] [--metrics-out FILE.json]\n"
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
-        "                     [--parallel] [--report FILE.md] [--progress]\n"
+        "                     [--parallel] [--jobs N] [--no-cache]\n"
+        "                     [--report FILE.md] [--progress]\n"
         "                     [--metrics-out FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
         "                     [--from X] [--to X] [--points N] [--log]\n"
@@ -265,6 +267,8 @@ int cmd_flow(const arg_map& args) {
     opts.optimizer_seed = static_cast<std::uint64_t>(args.num("seed", 0x0b7a1));
     opts.replicates = static_cast<std::size_t>(args.num("replicates", 1));
     opts.parallel = args.has("parallel");
+    opts.jobs = static_cast<std::size_t>(args.num("jobs", 0));
+    opts.cache = !args.has("no-cache");
 
     // Output paths are validated before the (potentially long) run.
     const std::string metrics_file = args.str("metrics-out", "");
@@ -308,6 +312,11 @@ int cmd_flow(const arg_map& args) {
                 flow.fit.model.to_string(2).c_str());
     std::printf("original: %llu tx\n",
                 static_cast<unsigned long long>(flow.original_eval.transmissions));
+    if (opts.cache)
+        std::printf("cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
+                    static_cast<unsigned long long>(flow.cache.hits),
+                    static_cast<unsigned long long>(flow.cache.misses),
+                    100.0 * flow.cache.hit_rate());
     for (const auto& oc : flow.outcomes)
         std::printf("%-22s clock=%.4g wd=%.0f int=%.4g -> predicted %.0f, "
                     "validated %llu (%.2fx)\n",
@@ -365,8 +374,8 @@ const std::set<std::string> k_simulate_flags = {
     "clock", "watchdog", "interval", "duration", "accel", "seed",
     "fidelity", "trace", "schedule", "metrics-out"};
 const std::set<std::string> k_flow_flags = {
-    "runs", "seed", "replicates", "parallel", "report", "duration",
-    "accel", "schedule", "metrics-out", "progress"};
+    "runs", "seed", "replicates", "parallel", "jobs", "no-cache", "report",
+    "duration", "accel", "schedule", "metrics-out", "progress"};
 const std::set<std::string> k_sweep_flags = {
     "param", "from", "to", "points", "log", "duration", "accel", "schedule"};
 
