@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # check_docs.sh — fail when README.md or docs/*.md reference repo paths
 # that do not exist, so documentation cannot silently rot as the tree
-# moves. Wired into CTest as `docs_references` (tier-1 catches it).
+# moves, and when a load-bearing doc section disappears. Wired into
+# CTest as `docs_references` (tier-1 catches it).
 #
 # What counts as a reference:
 #   * any token rooted at a first-level source dir:
@@ -38,10 +39,27 @@ $refs
 EOF
 }
 
+# Sections other docs/tests/tools point readers at; deleting one must
+# fail CI, not silently orphan the pointers.
+require_section() {
+    local doc="$1" pattern="$2"
+    checked=$((checked + 1))
+    if ! grep -qE -e "$pattern" "$doc" 2>/dev/null; then
+        echo "check_docs: $doc lost required section matching: $pattern" >&2
+        status=1
+    fi
+}
+
 check_file README.md
 for doc in docs/*.md; do
     [ -f "$doc" ] && check_file "$doc"
 done
+
+require_section docs/architecture.md '^## .*[Ee]xperiment spec'
+require_section docs/architecture.md '^## .*[Dd]eterminism'
+require_section docs/observability.md '^### Manifest JSON schema'
+require_section docs/observability.md '\-\-dump\-spec'
+require_section docs/observability.md 'spec_hash'
 
 if [ "$status" -eq 0 ]; then
     echo "check_docs: $checked references ok"

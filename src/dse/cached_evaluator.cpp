@@ -1,53 +1,22 @@
 #include "dse/cached_evaluator.hpp"
 
-#include <bit>
 #include <chrono>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "spec/spec_hash.hpp"
 
 namespace ehdse::dse {
 
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
-    // splitmix64 finaliser over a running combine.
-    v += 0x9e3779b97f4a7c15ULL + h;
-    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
-    return v ^ (v >> 31);
-}
-
-std::uint64_t bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
-
-}  // namespace
-
 std::size_t cached_evaluator::key_hash::operator()(
     const cache_key& key) const noexcept {
-    std::uint64_t h = 0x243f6a8885a308d3ULL;
-    h = mix(h, bits(key.mcu_clock_hz));
-    h = mix(h, bits(key.watchdog_period_s));
-    h = mix(h, bits(key.tx_interval_s));
-    h = mix(h, key.record_traces ? 1 : 0);
-    h = mix(h, bits(key.trace_interval_s));
-    h = mix(h, key.controller_seed);
-    h = mix(h, static_cast<std::uint64_t>(key.model));
-    h = mix(h, static_cast<std::uint64_t>(key.frontend));
-    h = mix(h, bits(key.frontend_efficiency));
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(
+        spec::evaluation_request_hash(key.config, key.eval));
 }
 
 cached_evaluator::cache_key cached_evaluator::make_key(
     const system_config& config, const evaluation_options& options) noexcept {
-    return {config.mcu_clock_hz,
-            config.watchdog_period_s,
-            config.tx_interval_s,
-            options.record_traces,
-            options.trace_interval_s,
-            options.controller_seed,
-            static_cast<int>(options.model),
-            static_cast<int>(options.frontend),
-            options.frontend_efficiency};
+    return {config, options.canonicalized()};
 }
 
 cached_evaluator::cached_evaluator(const system_evaluator& inner,

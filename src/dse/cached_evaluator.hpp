@@ -5,10 +5,17 @@
 // same design point, repeated baselines) can return the stored result
 // instead of re-integrating an hour of ODE.
 //
-// Keying: every field of both structs participates in the key and
-// equality is exact, so distinct seeds, fidelities, front-ends or trace
-// settings can never collide (the hash only routes buckets; equality
-// decides). Eviction is LRU with a fixed capacity.
+// Keying: the key is the CANONICALIZED (system_config, evaluation_options)
+// pair of the spec layer — spec::evaluation_request_hash routes buckets
+// and full canonical equality (defaulted field-wise operator==) decides,
+// so adding a field to either struct automatically participates in
+// equality with no hand-maintained mirror to forget (a stale hash can
+// only cost a bucket collision, never a false hit). Canonicalisation
+// means observably equivalent requests share an entry: distinct seeds,
+// fidelities and effective front-ends never collide, while fields the
+// run cannot observe (trace interval with tracing off, front-end choice
+// under transient fidelity, mppt efficiency without the mppt front-end)
+// no longer force a re-simulation. Eviction is LRU with a fixed capacity.
 //
 // Concurrency: lookups are single-flight. The first thread to request a
 // key runs the simulation; concurrent requests for the same key block on
@@ -73,16 +80,11 @@ public:
     const system_evaluator& inner() const noexcept { return inner_; }
 
 private:
+    /// Canonical request: full structs, defaulted exact equality — every
+    /// present AND future field participates without a mirror.
     struct cache_key {
-        double mcu_clock_hz;
-        double watchdog_period_s;
-        double tx_interval_s;
-        bool record_traces;
-        double trace_interval_s;
-        std::uint64_t controller_seed;
-        int model;
-        int frontend;
-        double frontend_efficiency;
+        system_config config;
+        evaluation_options eval;
 
         bool operator==(const cache_key&) const = default;
     };

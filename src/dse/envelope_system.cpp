@@ -23,6 +23,15 @@ envelope_system::envelope_system(const harvester::microgenerator& gen,
         throw std::invalid_argument("envelope_system: null storage");
 }
 
+sim::ode_options envelope_system::suggested_ode_options() const {
+    sim::ode_options ode;
+    ode.abs_tol = 1e-8;   // volts-scale states: ~10 nV step error
+    ode.rel_tol = 1e-6;
+    ode.initial_dt = 1e-3;
+    ode.max_dt = 5.0;     // resolve watchdog/settling dynamics comfortably
+    return ode;
+}
+
 sim::simulator& envelope_system::sim() const {
     if (sim_ == nullptr)
         throw std::logic_error("envelope_system: no simulator attached");

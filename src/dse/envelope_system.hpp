@@ -20,6 +20,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "dse/node_system.hpp"
 #include "harvester/envelope.hpp"
 #include "harvester/microgenerator.hpp"
 #include "harvester/plant.hpp"
@@ -33,20 +34,12 @@
 
 namespace ehdse::dse {
 
-/// Power-conditioning front-end between coil and store.
-enum class frontend_kind {
-    /// Passive diode bridge straight into the store (the paper's circuit).
-    diode_bridge,
-    /// Idealised maximum-power-point front-end: a switching converter that
-    /// presents the coil's matched load (electrical damping = mechanical
-    /// damping) and delivers the extracted power to the store at a fixed
-    /// conversion efficiency. The classic "active rectifier" upgrade the
-    /// power-processing literature proposes.
-    mppt,
-};
+/// Power-conditioning front-end between coil and store — canonical
+/// definition lives with the experiment spec (spec::frontend_kind); this
+/// alias keeps the historical dse:: spelling working.
+using frontend_kind = spec::frontend_kind;
 
-class envelope_system final : public sim::analog_system,
-                              public harvester::plant {
+class envelope_system final : public node_system {
 public:
     enum state_index : std::size_t {
         ix_voltage = 0,
@@ -69,9 +62,8 @@ public:
                     std::shared_ptr<const power::storage_model> storage,
                     power::rectifier_params rect = {});
 
-    /// Bind the simulator whose state vector this system reads/writes when
-    /// servicing plant calls. Must be called before the first event fires.
-    void attach(sim::simulator& sim) { sim_ = &sim; }
+    // --- node_system ---
+    void attach(sim::simulator& sim) override { sim_ = &sim; }
 
     /// Select the power front-end (default: the paper's diode bridge).
     /// `efficiency` applies to the mppt kind only; must be in (0, 1].
@@ -80,7 +72,14 @@ public:
 
     /// Suggested initial state for storage voltage v0 (amplitude starts at
     /// the converged steady state so t=0 is not an artificial transient).
-    std::vector<double> initial_state(double v0, int initial_position);
+    std::vector<double> initial_state(double v0, int initial_position) override;
+
+    /// Volts-scale tolerances; max_dt resolves watchdog/settling dynamics.
+    sim::ode_options suggested_ode_options() const override;
+
+    state_map states() const override {
+        return {ix_voltage, ix_harvested, ix_load_energy};
+    }
 
     // --- analog_system ---
     std::size_t state_size() const override { return k_state_count; }
@@ -97,7 +96,9 @@ public:
     double phase_lag() const override;
 
     /// Energy accounting of the discrete withdrawals.
-    const power::energy_ledger& ledger() const noexcept { return ledger_; }
+    const power::energy_ledger& ledger() const noexcept override {
+        return ledger_;
+    }
     power::energy_ledger& ledger() noexcept { return ledger_; }
 
     const power::storage_model& storage() const noexcept { return *storage_; }

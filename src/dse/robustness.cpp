@@ -46,7 +46,7 @@ robustness_summary run_robustness_study(const scenario& base,
     out.samples.resize(variants.size());
     exec::parallel_for(options.pool, variants.size(), [&](std::size_t i) {
         system_evaluator evaluator(variants[i].scn);
-        evaluation_options eval;
+        evaluation_options eval = options.eval;
         eval.controller_seed = variants[i].seed;
         const auto r = evaluator.evaluate(config, eval);
         out.samples[i] = static_cast<double>(r.transmissions);
@@ -60,6 +60,15 @@ robustness_summary run_robustness_study(const scenario& base,
         out.stddev_tx = numeric::sample_stddev(out.samples);
     }
     return out;
+}
+
+robustness_summary run_robustness_study(const spec::experiment_spec& spec,
+                                        const std::string& label,
+                                        const robustness_options& options) {
+    spec.validate();
+    robustness_options opts = options;
+    opts.eval = spec.eval;
+    return run_robustness_study(spec.scn, spec.config, label, opts);
 }
 
 }  // namespace ehdse::dse

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dse/system_evaluator.hpp"
+#include "spec/experiment_spec.hpp"
 
 namespace ehdse::exec {
 class thread_pool;
@@ -34,6 +35,9 @@ struct robustness_options {
     std::vector<double> accel_levels_mg = {40.0, 60.0, 80.0};  ///< amplitude
     /// Alternative frequency step sizes (Hz) applied to the base scenario.
     std::vector<double> step_sizes_hz = {3.0, 5.0, 8.0};
+    /// Evaluation options every variant starts from (fidelity, front-end,
+    /// tracing); only controller_seed is overridden, per variant.
+    evaluation_options eval{};
     /// Evaluate the variants over this pool (nullptr = sequential). Each
     /// variant is independently seeded, so samples are identical either
     /// way. Non-owning; must outlive the call.
@@ -45,6 +49,13 @@ struct robustness_options {
 ///   variants = seeds  +  accel levels  +  step sizes.
 robustness_summary run_robustness_study(const scenario& base,
                                         const system_config& config,
+                                        const std::string& label,
+                                        const robustness_options& options = {});
+
+/// Spec-driven entry point: base scenario, configuration under study and
+/// the variants' base evaluation options all come from the canonical spec
+/// (spec.scn / spec.config / spec.eval); `options.eval` is ignored.
+robustness_summary run_robustness_study(const spec::experiment_spec& spec,
                                         const std::string& label,
                                         const robustness_options& options = {});
 

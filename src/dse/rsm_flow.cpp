@@ -11,6 +11,8 @@
 #include "obs/timing.hpp"
 #include "opt/genetic_algorithm.hpp"
 #include "opt/simulated_annealing.hpp"
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
 
 namespace ehdse::dse {
 
@@ -95,6 +97,30 @@ obs::sim_run_record make_run_record(const char* kind, std::size_t index,
     return rec;
 }
 
+/// Rebuild the canonical spec this invocation answers. The CLI constructs
+/// the same value when driving the flow from a spec file, so both entry
+/// points stamp identical spec / spec_hash manifest fields — the property
+/// the spec_roundtrip ctest fixture asserts.
+spec::experiment_spec spec_of(const system_evaluator& evaluator,
+                              const flow_options& options) {
+    spec::experiment_spec out;
+    out.scn = evaluator.scene();
+    out.config = options.baseline;
+    out.eval = options.eval;
+    out.flow.doe_runs = options.doe_runs;
+    out.flow.factorial_levels = options.factorial_levels;
+    out.flow.optimizer_seed = options.optimizer_seed;
+    out.flow.replicates = options.replicates;
+    out.flow.replicate_seed_base = options.replicate_seed_base;
+    out.flow.parallel = options.parallel;
+    out.flow.jobs = options.jobs;
+    out.flow.cache = options.cache;
+    out.flow.cache_capacity = options.cache_capacity;
+    for (const auto& optimizer : options.optimizers)
+        out.flow.optimizers.push_back(optimizer->name());
+    return out.canonicalized();
+}
+
 void echo_options(obs::run_manifest& manifest, const flow_options& options,
                   std::size_t dimension, std::size_t resolved_jobs) {
     manifest.set_option("dimension", obs::json_value(dimension));
@@ -150,8 +176,14 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     flow_result out;
     out.space = paper_design_space();
     const std::size_t k = out.space.dimension();
-    if (options.manifest)
+    if (options.manifest) {
         echo_options(*options.manifest, options, k, pool ? pool->size() : 1);
+        const spec::experiment_spec espec = spec_of(evaluator, options);
+        options.manifest->set_option("spec", spec::to_json(espec));
+        options.manifest->set_option(
+            "spec_hash",
+            obs::json_value(spec::spec_hash_hex(spec::spec_hash(espec))));
+    }
 
     // 1. Candidate grid (paper: 3^3 = 27 feasible points).
     obs_hook.phase("candidates");
@@ -226,11 +258,10 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
 
     // Baseline for Table VI.
     obs_hook.phase("baseline");
-    out.original_eval = evaluate(system_config::original(), options.eval);
+    out.original_eval = evaluate(options.baseline, options.eval);
     obs_hook.sim_run(make_run_record(
-        "baseline", 0, config_to_coded(out.space, system_config::original()),
-        system_config::original(), options.eval.controller_seed,
-        out.original_eval));
+        "baseline", 0, config_to_coded(out.space, options.baseline),
+        options.baseline, options.eval.controller_seed, out.original_eval));
 
     // 5-6. Maximise the surface and validate each optimum by simulation.
     std::vector<std::shared_ptr<opt::optimizer>> optimizers = options.optimizers;
@@ -331,6 +362,32 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     }
 
     return out;
+}
+
+flow_options flow_options_from_spec(const spec::experiment_spec& spec,
+                                    flow_options runtime) {
+    spec.validate();
+    runtime.doe_runs = spec.flow.doe_runs;
+    runtime.factorial_levels = spec.flow.factorial_levels;
+    runtime.optimizer_seed = spec.flow.optimizer_seed;
+    runtime.eval = spec.eval;
+    runtime.baseline = spec.config;
+    runtime.replicates = spec.flow.replicates;
+    runtime.replicate_seed_base = spec.flow.replicate_seed_base;
+    runtime.parallel = spec.flow.parallel;
+    runtime.jobs = spec.flow.jobs;
+    runtime.cache = spec.flow.cache;
+    runtime.cache_capacity = spec.flow.cache_capacity;
+    runtime.optimizers.clear();
+    for (const std::string& name : spec.flow.optimizers)
+        runtime.optimizers.push_back(opt::make_optimizer(name));
+    return runtime;
+}
+
+flow_result run_rsm_flow(const spec::experiment_spec& spec,
+                         const flow_options& runtime) {
+    const system_evaluator evaluator(spec.scn);
+    return run_rsm_flow(evaluator, flow_options_from_spec(spec, runtime));
 }
 
 }  // namespace ehdse::dse

@@ -20,6 +20,7 @@
 #include "obs/run_manifest.hpp"
 #include "opt/optimizer.hpp"
 #include "rsm/quadratic_model.hpp"
+#include "spec/experiment_spec.hpp"
 
 namespace ehdse::exec {
 class thread_pool;
@@ -33,6 +34,9 @@ struct flow_options {
     doe::d_optimal_options doe{};
     std::uint64_t optimizer_seed = 0x0b7a1;
     evaluation_options eval{};
+    /// Reference design simulated for Table VI row 1 (and recorded in the
+    /// manifest spec as the spec's `config` part).
+    system_config baseline = system_config::original();
     /// Simulations per design point, each with its own measurement-noise
     /// seed. 1 = the paper's flow; > 1 produces replicated observations so
     /// pure error / lack-of-fit can be assessed (rsm::lack_of_fit).
@@ -101,8 +105,30 @@ struct flow_result {
     cached_evaluator::cache_stats cache;
 };
 
-/// Run the complete flow against `evaluator`.
+/// Run the complete flow against `evaluator`. When a manifest is attached,
+/// the canonical spec::experiment_spec this invocation answers — rebuilt
+/// from the evaluator's scenario plus the serialisable options — is
+/// embedded under the "spec" option together with its content hash
+/// ("spec_hash", 16 hex chars), so any manifest identifies the experiment
+/// it records and can be replayed via `ehdse_cli flow --spec`.
 flow_result run_rsm_flow(const system_evaluator& evaluator,
                          const flow_options& options = {});
+
+/// Translate a canonical spec into flow_options. `runtime` contributes the
+/// non-serialisable wiring only (pool, manifest, progress callback,
+/// d_optimal options); every serialisable field is taken from the spec —
+/// optimiser names resolve through opt::make_optimizer. Throws
+/// std::invalid_argument when the spec fails validation or names an
+/// unknown optimiser.
+flow_options flow_options_from_spec(const spec::experiment_spec& spec,
+                                    flow_options runtime = {});
+
+/// Run the complete flow described by `spec` (evaluator built from
+/// spec.scn, options via flow_options_from_spec). The manifest spec/
+/// spec_hash stamped by this overload equal those of the flag-driven
+/// entry point given the same request — the round-trip guarantee behind
+/// `--dump-spec` / `--spec`.
+flow_result run_rsm_flow(const spec::experiment_spec& spec,
+                         const flow_options& runtime = {});
 
 }  // namespace ehdse::dse

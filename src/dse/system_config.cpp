@@ -1,18 +1,6 @@
 #include "dse/system_config.hpp"
 
-#include <stdexcept>
-
 namespace ehdse::dse {
-
-system_config system_config::from_vector(const numeric::vec& v) {
-    if (v.size() != 3)
-        throw std::invalid_argument("system_config::from_vector: need 3 entries");
-    system_config c;
-    c.mcu_clock_hz = v[0];
-    c.watchdog_period_s = v[1];
-    c.tx_interval_s = v[2];
-    return c;
-}
 
 rsm::design_space paper_design_space() {
     return rsm::design_space({

@@ -1,28 +1,18 @@
 // The three-parameter system configuration under optimisation
-// (paper section III and Table V).
+// (paper section III and Table V). The struct itself is part of the
+// canonical experiment spec (spec::system_config); this header adds the
+// design-space coding that only the DSE layer needs.
 #pragma once
 
 #include "numeric/matrix.hpp"
 #include "rsm/design_space.hpp"
+#include "spec/experiment_spec.hpp"
 
 namespace ehdse::dse {
 
-/// One point of the design space in natural units.
-struct system_config {
-    double mcu_clock_hz = 4.0e6;      ///< x1: 125 kHz .. 8 MHz
-    double watchdog_period_s = 320.0; ///< x2: 60 .. 600 s
-    double tx_interval_s = 5.0;       ///< x3: 0.005 .. 10 s
-
-    /// The paper's original (unoptimised) design: 4 MHz / 320 s / 5 s.
-    static system_config original() { return {}; }
-
-    /// Natural-units vector [clock, watchdog, interval].
-    numeric::vec to_vector() const {
-        return {mcu_clock_hz, watchdog_period_s, tx_interval_s};
-    }
-
-    static system_config from_vector(const numeric::vec& v);
-};
+/// One point of the design space in natural units — canonical definition
+/// in the experiment spec; historical dse:: spelling preserved.
+using system_config = spec::system_config;
 
 /// Table V: the optimisation ranges with their coded symbols x1..x3.
 rsm::design_space paper_design_space();

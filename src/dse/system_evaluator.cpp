@@ -2,26 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
-#include <stdexcept>
+#include <memory>
 
-#include "dse/transient_system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 
 namespace ehdse::dse {
-
-harvester::vibration_source scenario::make_vibration() const {
-    harvester::vibration_source src =
-        frequency_schedule.empty()
-            ? harvester::vibration_source::stepped_mg(
-                  accel_mg, f_start_hz, f_step_hz, step_period_s, step_count)
-            : harvester::vibration_source::from_schedule(
-                  accel_mg * 1e-3 * harvester::k_gravity, frequency_schedule);
-    if (!amplitude_schedule.empty())
-        src = src.with_amplitude_schedule(amplitude_schedule);
-    return src;
-}
 
 system_evaluator::system_evaluator(scenario scn,
                                    harvester::microgenerator_params gen,
@@ -36,26 +22,23 @@ system_evaluator::system_evaluator(scenario scn,
       rect_(rect),
       node_(node),
       controller_(controller) {
-    if (scenario_.duration_s <= 0.0)
-        throw std::invalid_argument("system_evaluator: duration must be > 0");
+    scenario_.validate();
 }
 
 namespace {
 
-/// Shared digital wiring + run loop over either analogue plant. `System`
-/// must be both a sim::analog_system and a harvester::plant exposing
-/// initial_state(v0, position) and ledger().
-template <class System>
-evaluation_result run_simulation(System& system, const scenario& scn,
+/// Shared digital wiring + run loop over any node_system: the system
+/// supplies its own integration defaults and state layout, so neither
+/// fidelity branch threads index/ode plumbing through here.
+evaluation_result run_simulation(node_system& system, const scenario& scn,
                                  const harvester::tuning_table& table,
                                  const node::node_params& node_params,
                                  const mcu::controller_params& ctrl_params,
                                  const evaluation_options& options,
-                                 int start_position, sim::ode_options ode,
-                                 std::size_t ix_voltage, std::size_t ix_harvested,
-                                 std::optional<std::size_t> ix_load_energy) {
+                                 int start_position) {
+    const node_system::state_map ix = system.states();
     std::vector<double> x0 = system.initial_state(scn.v_initial, start_position);
-    sim::simulator sim(system, std::move(x0), ode);
+    sim::simulator sim(system, std::move(x0), system.suggested_ode_options());
     system.attach(sim);
 
     node::sensor_node node(sim, system, node_params, /*first_wake_s=*/0.0);
@@ -65,7 +48,7 @@ evaluation_result run_simulation(System& system, const scenario& scn,
     double v_min = scn.v_initial;
     double v_max = scn.v_initial;
     sim.add_step_observer([&](double, std::span<const double> x) {
-        const double v = x[ix_voltage];
+        const double v = x[ix.voltage];
         v_min = std::min(v_min, v);
         v_max = std::max(v_max, v);
     });
@@ -74,7 +57,7 @@ evaluation_result run_simulation(System& system, const scenario& scn,
         out.voltage_trace.emplace("supercap_voltage", options.trace_interval_s);
         out.position_trace.emplace("actuator_position", options.trace_interval_s);
         sim.add_step_observer([&](double t, std::span<const double> x) {
-            out.voltage_trace->record(t, x[ix_voltage]);
+            out.voltage_trace->record(t, x[ix.voltage]);
             out.position_trace->record(t, static_cast<double>(system.position()));
         });
     }
@@ -85,11 +68,11 @@ evaluation_result run_simulation(System& system, const scenario& scn,
     out.suppressed_wakeups = node.suppressed_wakeups();
     out.low_band_transmissions = node.low_band_transmissions();
     out.tuning = controller.stats();
-    out.final_voltage_v = sim.state_at(ix_voltage);
+    out.final_voltage_v = sim.state_at(ix.voltage);
     out.min_voltage_v = v_min;
     out.max_voltage_v = v_max;
-    out.harvested_energy_j = sim.state_at(ix_harvested);
-    if (ix_load_energy) out.sustained_load_energy_j = sim.state_at(*ix_load_energy);
+    out.harvested_energy_j = sim.state_at(ix.harvested);
+    if (ix.load_energy) out.sustained_load_energy_j = sim.state_at(*ix.load_energy);
     out.ledger = system.ledger();
     out.withdrawn_energy_j = out.ledger.grand_total();
     out.ode_steps = sim.total_steps();
@@ -97,10 +80,6 @@ evaluation_result run_simulation(System& system, const scenario& scn,
     out.events = sim.total_events();
     return out;
 }
-
-}  // namespace
-
-namespace {
 
 /// Book one finished run into the process-wide metrics sink, if attached.
 void record_run_metrics(const evaluation_result& r) {
@@ -139,43 +118,11 @@ evaluation_result system_evaluator::evaluate(const system_config& config,
     ctrl_params.watchdog_period_s = config.watchdog_period_s;
     ctrl_params.rng_seed = options.controller_seed;
 
-    if (options.model == fidelity::transient) {
-        transient_system system =
-            storage_ ? transient_system(gen_, vib, storage_, rect_)
-                     : transient_system(gen_, vib, cap_, rect_);
-        sim::ode_options ode;
-        ode.abs_tol = 1e-9;
-        ode.rel_tol = 1e-6;
-        ode.initial_dt = 1e-5;
-        ode.max_dt = system.suggested_max_dt();
-        // The transient model folds sustained loads into dV/dt directly;
-        // they are not decomposed into a separate energy state.
-        evaluation_result out =
-            run_simulation(system, scenario_, table_, node_params,
-                           ctrl_params, options, start_position, ode,
-                           harvester::transient_model::ix_voltage,
-                           harvester::transient_model::ix_harvested,
-                           std::nullopt);
-        out.wall_time_s = watch.seconds();
-        record_run_metrics(out);
-        return out;
-    }
-
-    envelope_system system = storage_
-                                 ? envelope_system(gen_, vib, storage_, rect_)
-                                 : envelope_system(gen_, vib, cap_, rect_);
-    system.set_frontend(options.frontend, options.frontend_efficiency);
-    sim::ode_options ode;
-    ode.abs_tol = 1e-8;   // volts-scale states: ~10 nV step error
-    ode.rel_tol = 1e-6;
-    ode.initial_dt = 1e-3;
-    ode.max_dt = 5.0;     // resolve watchdog/settling dynamics comfortably
-    evaluation_result out =
-        run_simulation(system, scenario_, table_, node_params, ctrl_params,
-                       options, start_position, ode,
-                       envelope_system::ix_voltage,
-                       envelope_system::ix_harvested,
-                       envelope_system::ix_load_energy);
+    const std::unique_ptr<node_system> system =
+        make_node_system(options, gen_, vib, storage_, cap_, rect_);
+    evaluation_result out = run_simulation(*system, scenario_, table_,
+                                           node_params, ctrl_params, options,
+                                           start_position);
     out.wall_time_s = watch.seconds();
     record_run_metrics(out);
     return out;

@@ -1,6 +1,10 @@
 // One-hour whole-system evaluation of a configuration — the "simulation
 // run" of the paper's methodology (its SystemC-A model run for each DOE
 // design point), producing the response y = number of transmissions.
+//
+// The request types (scenario, evaluation_options, fidelity) are part of
+// the canonical experiment spec (src/spec); the aliases below keep the
+// historical dse:: spellings working across the tree.
 #pragma once
 
 #include <atomic>
@@ -8,39 +12,25 @@
 #include <optional>
 
 #include "dse/envelope_system.hpp"
+#include "dse/node_system.hpp"
 #include "dse/system_config.hpp"
 #include "harvester/tuning_table.hpp"
 #include "mcu/tuning_controller.hpp"
 #include "node/sensor_node.hpp"
 #include "sim/trace.hpp"
+#include "spec/experiment_spec.hpp"
 
 namespace ehdse::dse {
 
 /// Stimulus and initial conditions (paper section V: 60 mg, +5 Hz steps
 /// every 25 minutes, one-hour horizon).
-struct scenario {
-    double duration_s = 3600.0;
-    double accel_mg = 60.0;
-    double f_start_hz = 64.0;
-    double f_step_hz = 5.0;
-    double step_period_s = 1500.0;  ///< 25 minutes
-    std::size_t step_count = 2;     ///< 64 -> 69 -> 74 Hz within the hour
-    double v_initial = 2.80;        ///< storage starts at the band edge
-    /// Initial actuator position; -1 = tuned to f_start via the LUT.
-    int initial_position = -1;
+using scenario = spec::scenario;
 
-    /// Optional explicit frequency schedule [(time, Hz), ...] starting at
-    /// t = 0. When non-empty it replaces the stepped profile above (and
-    /// f_start for the initial-position lookup comes from its first entry).
-    std::vector<std::pair<double, double>> frequency_schedule;
+/// Analogue fidelity of a run.
+using fidelity = spec::fidelity;
 
-    /// Optional amplitude-scale schedule [(time, scale), ...] starting at
-    /// t = 0; scale 0 = vibration source off (machine duty cycles).
-    std::vector<std::pair<double, double>> amplitude_schedule;
-
-    /// Build the vibration source this scenario describes.
-    harvester::vibration_source make_vibration() const;
-};
+/// Options controlling one evaluation.
+using evaluation_options = spec::evaluation_options;
 
 /// Everything a run produces.
 struct evaluation_result {
@@ -64,29 +54,12 @@ struct evaluation_result {
     std::optional<sim::trace> position_trace;  ///< actuator position over time
 };
 
-/// Analogue fidelity of a run.
-enum class fidelity {
-    envelope,   ///< cycle-averaged fast path (default; ~75 ms per hour)
-    transient,  ///< full nonlinear model, every vibration cycle resolved
-                ///< (~5000x slower; validation runs)
-};
-
-/// Options controlling one evaluation.
-struct evaluation_options {
-    bool record_traces = false;
-    double trace_interval_s = 1.0;
-    std::uint64_t controller_seed = 0x5eed;  ///< measurement-noise stream
-    fidelity model = fidelity::envelope;
-    /// Power front-end (envelope fidelity only; the transient model always
-    /// resolves the physical diode bridge).
-    frontend_kind frontend = frontend_kind::diode_bridge;
-    double frontend_efficiency = 0.75;
-};
-
 /// Reusable evaluator: fixed physics (microgenerator, scenario, node and
 /// controller base parameters), varying system_config per call.
 class system_evaluator {
 public:
+    /// Throws std::invalid_argument (offending field named) when the
+    /// scenario fails spec::scenario::validate().
     explicit system_evaluator(scenario scn = {},
                               harvester::microgenerator_params gen = {},
                               power::supercapacitor_params cap = {},
@@ -105,7 +78,8 @@ public:
         storage_ = std::move(storage);
     }
 
-    /// Run the full mixed-signal simulation for `config`.
+    /// Run the full mixed-signal simulation for `config`. The analogue
+    /// model is chosen by options.model via make_node_system().
     evaluation_result evaluate(const system_config& config,
                                const evaluation_options& options = {}) const;
 

@@ -42,6 +42,20 @@ double transient_system::suggested_max_dt() const {
     return harvester::transient_model::suggested_max_dt(gen_.max_frequency());
 }
 
+sim::ode_options transient_system::suggested_ode_options() const {
+    sim::ode_options ode;
+    ode.abs_tol = 1e-9;
+    ode.rel_tol = 1e-6;
+    ode.initial_dt = 1e-5;
+    ode.max_dt = suggested_max_dt();
+    return ode;
+}
+
+node_system::state_map transient_system::states() const {
+    return {harvester::transient_model::ix_voltage,
+            harvester::transient_model::ix_harvested, std::nullopt};
+}
+
 double transient_system::storage_voltage() const {
     return sim().state_at(harvester::transient_model::ix_voltage);
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "dse/node_system.hpp"
 #include "harvester/envelope.hpp"
 #include "harvester/plant.hpp"
 #include "harvester/transient_model.hpp"
@@ -23,8 +24,7 @@
 
 namespace ehdse::dse {
 
-class transient_system final : public sim::analog_system,
-                               public harvester::plant {
+class transient_system final : public node_system {
 public:
     /// `gen` and `vib` must outlive the system. Storage defaults to the
     /// paper's supercapacitor built from `cap`.
@@ -39,12 +39,18 @@ public:
                      std::shared_ptr<const power::storage_model> storage,
                      power::rectifier_params rect = {});
 
-    /// Bind the simulator whose state this system reads/writes when
-    /// servicing plant calls. Must be called before the first event fires.
-    void attach(sim::simulator& sim) { sim_ = &sim; }
+    // --- node_system ---
+    void attach(sim::simulator& sim) override { sim_ = &sim; }
 
     /// Initial state: mass at rest, store at v0, actuator at the position.
-    std::vector<double> initial_state(double v0, int initial_position);
+    std::vector<double> initial_state(double v0, int initial_position) override;
+
+    /// Tight tolerances and an initial/maximum step resolving the fastest
+    /// resonance. The transient model folds sustained loads into dV/dt
+    /// directly, so states() reports no separate load-energy index.
+    sim::ode_options suggested_ode_options() const override;
+
+    state_map states() const override;
 
     /// Integrator ceiling that resolves the fastest resonance.
     double suggested_max_dt() const;
@@ -65,7 +71,9 @@ public:
     double vibration_frequency() const override;
     double phase_lag() const override;
 
-    const power::energy_ledger& ledger() const noexcept { return ledger_; }
+    const power::energy_ledger& ledger() const noexcept override {
+        return ledger_;
+    }
     const harvester::transient_model& model() const noexcept { return model_; }
 
 private:

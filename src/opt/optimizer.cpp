@@ -4,8 +4,27 @@
 #include <stdexcept>
 
 #include "exec/batch.hpp"
+#include "opt/genetic_algorithm.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/pattern_search.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "opt/swarm.hpp"
 
 namespace ehdse::opt {
+
+std::shared_ptr<optimizer> make_optimizer(std::string_view name) {
+    if (name == "simulated-annealing")
+        return std::make_shared<simulated_annealing>();
+    if (name == "genetic-algorithm") return std::make_shared<genetic_algorithm>();
+    if (name == "nelder-mead") return std::make_shared<nelder_mead>();
+    if (name == "pattern-search") return std::make_shared<pattern_search>();
+    if (name == "random-search") return std::make_shared<random_search>();
+    if (name == "particle-swarm") return std::make_shared<particle_swarm>();
+    if (name == "differential-evolution")
+        return std::make_shared<differential_evolution>();
+    throw std::invalid_argument("opt::make_optimizer: unknown optimizer '" +
+                                std::string(name) + "'");
+}
 
 std::vector<double> optimizer::evaluate_all(
     const objective_fn& f, const std::vector<numeric::vec>& xs) const {

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "numeric/matrix.hpp"
@@ -105,5 +107,13 @@ protected:
 private:
     exec::thread_pool* pool_ = nullptr;
 };
+
+/// Construct a single-objective optimiser from its name() string — the
+/// registry that lets a serialised experiment spec (spec::flow_spec::
+/// optimizers) name its algorithms: "simulated-annealing",
+/// "genetic-algorithm", "nelder-mead", "pattern-search", "random-search",
+/// "particle-swarm", "differential-evolution". Default options; throws
+/// std::invalid_argument (name echoed) for anything else.
+std::shared_ptr<optimizer> make_optimizer(std::string_view name);
 
 }  // namespace ehdse::opt

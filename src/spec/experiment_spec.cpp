@@ -1,0 +1,139 @@
+#include "spec/experiment_spec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ehdse::spec {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+    throw std::invalid_argument("experiment_spec: " + message);
+}
+
+/// Shared schedule shape check: first entry at t = 0, strictly increasing
+/// times, non-negative times and values (harvester::vibration_source's
+/// contract, surfaced here with the offending field named).
+void validate_schedule(const std::vector<std::pair<double, double>>& schedule,
+                       const char* field, const char* value_name,
+                       bool value_positive) {
+    if (schedule.empty()) return;
+    if (schedule.front().first != 0.0)
+        fail(std::string(field) + "[0].time must be 0 (got " +
+             std::to_string(schedule.front().first) + ")");
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto& [t, v] = schedule[i];
+        const std::string at = std::string(field) + "[" + std::to_string(i) + "]";
+        if (!(t >= 0.0)) fail(at + ".time must be >= 0");
+        if (i > 0 && !(t > schedule[i - 1].first))
+            fail(at + ".time must be strictly increasing");
+        if (value_positive ? !(v > 0.0) : !(v >= 0.0))
+            fail(at + "." + value_name +
+                 (value_positive ? " must be > 0" : " must be >= 0"));
+    }
+}
+
+}  // namespace
+
+harvester::vibration_source scenario::make_vibration() const {
+    harvester::vibration_source src =
+        frequency_schedule.empty()
+            ? harvester::vibration_source::stepped_mg(
+                  accel_mg, f_start_hz, f_step_hz, step_period_s, step_count)
+            : harvester::vibration_source::from_schedule(
+                  accel_mg * 1e-3 * harvester::k_gravity, frequency_schedule);
+    if (!amplitude_schedule.empty())
+        src = src.with_amplitude_schedule(amplitude_schedule);
+    return src;
+}
+
+void scenario::validate() const {
+    if (!(duration_s > 0.0)) fail("scenario.duration_s must be > 0");
+    if (!(accel_mg >= 0.0)) fail("scenario.accel_mg must be >= 0");
+    if (!(v_initial >= 0.0)) fail("scenario.v_initial must be >= 0");
+    if (initial_position < -1) fail("scenario.initial_position must be >= -1");
+    if (frequency_schedule.empty()) {
+        if (!(f_start_hz > 0.0)) fail("scenario.f_start_hz must be > 0");
+        if (!(step_period_s > 0.0)) fail("scenario.step_period_s must be > 0");
+    }
+    validate_schedule(frequency_schedule, "scenario.frequency_schedule",
+                      "frequency_hz", /*value_positive=*/true);
+    validate_schedule(amplitude_schedule, "scenario.amplitude_schedule",
+                      "scale", /*value_positive=*/false);
+}
+
+scenario scenario::canonicalized() const {
+    scenario out = *this;
+    if (!frequency_schedule.empty()) {
+        const scenario defaults;
+        out.f_start_hz = defaults.f_start_hz;
+        out.f_step_hz = defaults.f_step_hz;
+        out.step_period_s = defaults.step_period_s;
+        out.step_count = defaults.step_count;
+    }
+    return out;
+}
+
+system_config system_config::from_vector(const numeric::vec& v) {
+    if (v.size() != 3)
+        throw std::invalid_argument("system_config::from_vector: need 3 entries");
+    system_config c;
+    c.mcu_clock_hz = v[0];
+    c.watchdog_period_s = v[1];
+    c.tx_interval_s = v[2];
+    return c;
+}
+
+void system_config::validate() const {
+    if (!(mcu_clock_hz > 0.0)) fail("config.mcu_clock_hz must be > 0");
+    if (!(watchdog_period_s > 0.0)) fail("config.watchdog_period_s must be > 0");
+    if (!(tx_interval_s > 0.0)) fail("config.tx_interval_s must be > 0");
+}
+
+void evaluation_options::validate() const {
+    if (!(trace_interval_s > 0.0)) fail("evaluation.trace_interval_s must be > 0");
+    if (!(frontend_efficiency > 0.0 && frontend_efficiency <= 1.0))
+        fail("evaluation.frontend_efficiency must be in (0, 1]");
+}
+
+evaluation_options evaluation_options::canonicalized() const {
+    evaluation_options out = *this;
+    const evaluation_options defaults;
+    if (!out.record_traces) out.trace_interval_s = defaults.trace_interval_s;
+    if (out.model == fidelity::transient) out.frontend = defaults.frontend;
+    if (out.model == fidelity::transient ||
+        out.frontend == frontend_kind::diode_bridge)
+        out.frontend_efficiency = defaults.frontend_efficiency;
+    return out;
+}
+
+void flow_spec::validate() const {
+    if (doe_runs < 1) fail("flow.doe_runs must be >= 1");
+    if (factorial_levels < 2) fail("flow.factorial_levels must be >= 2");
+    if (replicates < 1) fail("flow.replicates must be >= 1");
+    if (cache && cache_capacity < 1)
+        fail("flow.cache_capacity must be >= 1 when the cache is on");
+}
+
+flow_spec flow_spec::canonicalized() const {
+    flow_spec out = *this;
+    const flow_spec defaults;
+    if (!out.parallel) out.jobs = defaults.jobs;
+    if (!out.cache) out.cache_capacity = defaults.cache_capacity;
+    if (out.replicates <= 1) out.replicate_seed_base = defaults.replicate_seed_base;
+    return out;
+}
+
+void experiment_spec::validate() const {
+    scn.validate();
+    config.validate();
+    eval.validate();
+    flow.validate();
+}
+
+experiment_spec experiment_spec::canonicalized() const {
+    return {scn.canonicalized(), config, eval.canonicalized(),
+            flow.canonicalized()};
+}
+
+}  // namespace ehdse::spec

@@ -1,0 +1,188 @@
+// The canonical experiment specification — ONE serialisable description
+// of "a run" shared by every layer: the CLI builds one from flags or a
+// JSON file, system_evaluator consumes its pieces, cached_evaluator keys
+// on its content hash, run_rsm_flow echoes it into the run manifest. The
+// paper's methodology is a pipeline of named experiments (DOE points,
+// optimiser revisits, Table V/VI validation re-runs); this layer makes
+// each of them a value that can be stored, replayed, and content-addressed.
+//
+// The four parts:
+//   scenario            stimulus and initial conditions (paper section V)
+//   system_config       the design point x1..x3 under optimisation
+//   evaluation_options  fidelity / front-end / seeds of one simulation
+//   flow_spec           the serialisable knobs of run_rsm_flow
+//
+// Every struct is an aggregate with defaulted exact equality, a
+// validate() that throws std::invalid_argument naming the offending
+// field, and a canonicalized() form that resets fields the run cannot
+// observe (e.g. the stepped-profile knobs when an explicit frequency
+// schedule is present) to their defaults, so equivalent requests compare
+// and hash equal. JSON round-trip lives in spec/json_codec.hpp, the
+// 64-bit content hash in spec/spec_hash.hpp.
+//
+// Runtime-only concerns — thread pools, manifests, progress callbacks,
+// custom optimiser instances — are deliberately NOT here; they stay in
+// dse::flow_options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harvester/vibration.hpp"
+#include "numeric/matrix.hpp"
+
+namespace ehdse::spec {
+
+/// Analogue fidelity of a run.
+enum class fidelity {
+    envelope,   ///< cycle-averaged fast path (default; ~75 ms per hour)
+    transient,  ///< full nonlinear model, every vibration cycle resolved
+                ///< (~5000x slower; validation runs)
+};
+
+/// Power-conditioning front-end between coil and store.
+enum class frontend_kind {
+    /// Passive diode bridge straight into the store (the paper's circuit).
+    diode_bridge,
+    /// Idealised maximum-power-point front-end: a switching converter that
+    /// presents the coil's matched load and delivers the extracted power
+    /// to the store at a fixed conversion efficiency.
+    mppt,
+};
+
+/// Stimulus and initial conditions (paper section V: 60 mg, +5 Hz steps
+/// every 25 minutes, one-hour horizon).
+struct scenario {
+    double duration_s = 3600.0;
+    double accel_mg = 60.0;
+    double f_start_hz = 64.0;
+    double f_step_hz = 5.0;
+    double step_period_s = 1500.0;  ///< 25 minutes
+    std::size_t step_count = 2;     ///< 64 -> 69 -> 74 Hz within the hour
+    double v_initial = 2.80;        ///< storage starts at the band edge
+    /// Initial actuator position; -1 = tuned to f_start via the LUT.
+    int initial_position = -1;
+
+    /// Optional explicit frequency schedule [(time, Hz), ...] starting at
+    /// t = 0. When non-empty it replaces the stepped profile above (and
+    /// f_start for the initial-position lookup comes from its first entry).
+    std::vector<std::pair<double, double>> frequency_schedule;
+
+    /// Optional amplitude-scale schedule [(time, scale), ...] starting at
+    /// t = 0; scale 0 = vibration source off (machine duty cycles).
+    std::vector<std::pair<double, double>> amplitude_schedule;
+
+    /// Build the vibration source this scenario describes.
+    harvester::vibration_source make_vibration() const;
+
+    /// Throws std::invalid_argument naming the offending field: duration
+    /// and schedule entries must be positive / time-sorted (first entry at
+    /// t = 0, matching harvester::vibration_source's contract).
+    void validate() const;
+
+    /// Copy with unobservable fields reset: when an explicit frequency
+    /// schedule is present, the stepped-profile knobs (f_start_hz,
+    /// f_step_hz, step_period_s, step_count) do not influence the run and
+    /// return to their defaults.
+    scenario canonicalized() const;
+
+    bool operator==(const scenario&) const = default;
+};
+
+/// One point of the design space in natural units (paper section III,
+/// Table V).
+struct system_config {
+    double mcu_clock_hz = 4.0e6;      ///< x1: 125 kHz .. 8 MHz
+    double watchdog_period_s = 320.0; ///< x2: 60 .. 600 s
+    double tx_interval_s = 5.0;       ///< x3: 0.005 .. 10 s
+
+    /// The paper's original (unoptimised) design: 4 MHz / 320 s / 5 s.
+    static system_config original() { return {}; }
+
+    /// Natural-units vector [clock, watchdog, interval].
+    numeric::vec to_vector() const {
+        return {mcu_clock_hz, watchdog_period_s, tx_interval_s};
+    }
+
+    static system_config from_vector(const numeric::vec& v);
+
+    /// Throws std::invalid_argument naming the offending field.
+    void validate() const;
+
+    bool operator==(const system_config&) const = default;
+};
+
+/// Options controlling one evaluation.
+struct evaluation_options {
+    bool record_traces = false;
+    double trace_interval_s = 1.0;
+    std::uint64_t controller_seed = 0x5eed;  ///< measurement-noise stream
+    fidelity model = fidelity::envelope;
+    /// Power front-end (envelope fidelity only; the transient model always
+    /// resolves the physical diode bridge).
+    frontend_kind frontend = frontend_kind::diode_bridge;
+    double frontend_efficiency = 0.75;  ///< mppt front-end only
+
+    /// Throws std::invalid_argument naming the offending field.
+    void validate() const;
+
+    /// Copy with unobservable fields reset: trace_interval_s when traces
+    /// are off; the front-end kind under transient fidelity (the physical
+    /// bridge is always resolved); the efficiency whenever the mppt
+    /// front-end is not in effect.
+    evaluation_options canonicalized() const;
+
+    bool operator==(const evaluation_options&) const = default;
+};
+
+/// The serialisable subset of dse::flow_options — everything that decides
+/// WHAT run_rsm_flow computes. Pools, manifests, progress callbacks and
+/// custom optimiser instances are runtime wiring and stay out.
+struct flow_spec {
+    std::size_t doe_runs = 10;        ///< D-optimal design size (paper: 10)
+    std::size_t factorial_levels = 3; ///< candidate grid per axis (paper: 3)
+    std::uint64_t optimizer_seed = 0x0b7a1;
+    std::size_t replicates = 1;
+    std::uint64_t replicate_seed_base = 1;
+    bool parallel = false;
+    std::size_t jobs = 0;             ///< 0 = one worker per hardware thread
+    bool cache = true;
+    std::size_t cache_capacity = 128;
+    /// Optimisers by registry name (opt::make_optimizer); empty = the
+    /// paper's pair (simulated-annealing + genetic-algorithm).
+    std::vector<std::string> optimizers;
+
+    /// Throws std::invalid_argument naming the offending field.
+    void validate() const;
+
+    /// Copy with unobservable fields reset: jobs when not parallel,
+    /// cache_capacity when the cache is off, replicate_seed_base when
+    /// nothing is replicated.
+    flow_spec canonicalized() const;
+
+    bool operator==(const flow_spec&) const = default;
+};
+
+/// The complete, replayable description of one experiment. `config` is
+/// the design point a `simulate` request evaluates and the baseline row
+/// of a `flow` request's Table VI.
+struct experiment_spec {
+    scenario scn;
+    system_config config;
+    evaluation_options eval;
+    flow_spec flow;
+
+    /// Validates every part (std::invalid_argument, field named).
+    void validate() const;
+
+    /// Canonical form: every part canonicalized. Two specs describing the
+    /// same observable experiment compare equal — and therefore hash
+    /// equal — after this.
+    experiment_spec canonicalized() const;
+
+    bool operator==(const experiment_spec&) const = default;
+};
+
+}  // namespace ehdse::spec

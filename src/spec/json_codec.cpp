@@ -1,0 +1,301 @@
+#include "spec/json_codec.hpp"
+
+#include <cmath>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+
+namespace ehdse::spec {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+    throw std::invalid_argument("experiment_spec: " + message);
+}
+
+obs::json_value schedule_to_json(
+    const std::vector<std::pair<double, double>>& schedule) {
+    obs::json_array rows;
+    rows.reserve(schedule.size());
+    for (const auto& [t, v] : schedule)
+        rows.push_back(obs::json_array{obs::json_value(t), obs::json_value(v)});
+    return rows;
+}
+
+/// Strict object reader: every member must be consumed exactly once and
+/// every key must be known; `where` prefixes error messages ("scenario").
+class object_reader {
+public:
+    object_reader(const obs::json_value& value, std::string where)
+        : where_(std::move(where)) {
+        if (!value.is_object()) fail(where_ + " must be a JSON object");
+        object_ = &value.as_object();
+    }
+
+    double number(const char* key, double fallback) const {
+        const obs::json_value* v = find(key);
+        if (!v) return fallback;
+        if (!v->is_number()) fail(path(key) + " must be a number");
+        return v->as_number();
+    }
+
+    std::size_t size(const char* key, std::size_t fallback) const {
+        const double v = number(key, static_cast<double>(fallback));
+        if (v < 0.0 || v != std::floor(v))
+            fail(path(key) + " must be a non-negative integer");
+        return static_cast<std::size_t>(v);
+    }
+
+    std::uint64_t seed(const char* key, std::uint64_t fallback) const {
+        const double v = number(key, static_cast<double>(fallback));
+        if (v < 0.0 || v != std::floor(v))
+            fail(path(key) + " must be a non-negative integer");
+        return static_cast<std::uint64_t>(v);
+    }
+
+    int integer(const char* key, int fallback) const {
+        const double v = number(key, fallback);
+        if (v != std::floor(v)) fail(path(key) + " must be an integer");
+        return static_cast<int>(v);
+    }
+
+    bool boolean(const char* key, bool fallback) const {
+        const obs::json_value* v = find(key);
+        if (!v) return fallback;
+        if (!v->is_bool()) fail(path(key) + " must be a boolean");
+        return v->as_bool();
+    }
+
+    std::string string(const char* key, std::string fallback) const {
+        const obs::json_value* v = find(key);
+        if (!v) return fallback;
+        if (!v->is_string()) fail(path(key) + " must be a string");
+        return v->as_string();
+    }
+
+    std::vector<std::pair<double, double>> schedule(const char* key) const {
+        std::vector<std::pair<double, double>> out;
+        const obs::json_value* v = find(key);
+        if (!v) return out;
+        if (!v->is_array()) fail(path(key) + " must be an array of [t, v] pairs");
+        for (std::size_t i = 0; i < v->size(); ++i) {
+            const obs::json_value& row = v->at(i);
+            if (!row.is_array() || row.size() != 2 || !row.at(0).is_number() ||
+                !row.at(1).is_number())
+                fail(path(key) + "[" + std::to_string(i) +
+                     "] must be a [number, number] pair");
+            out.emplace_back(row.at(0).as_number(), row.at(1).as_number());
+        }
+        return out;
+    }
+
+    std::vector<std::string> strings(const char* key) const {
+        std::vector<std::string> out;
+        const obs::json_value* v = find(key);
+        if (!v) return out;
+        if (!v->is_array()) fail(path(key) + " must be an array of strings");
+        for (std::size_t i = 0; i < v->size(); ++i) {
+            if (!v->at(i).is_string())
+                fail(path(key) + "[" + std::to_string(i) + "] must be a string");
+            out.push_back(v->at(i).as_string());
+        }
+        return out;
+    }
+
+    const obs::json_value* object(const char* key) const { return find(key); }
+
+    /// Call after reading every expected key: rejects any member that was
+    /// never requested, naming the first offender.
+    void reject_unknown_keys() const {
+        for (const auto& [key, value] : *object_) {
+            bool seen = false;
+            for (const std::string& k : consumed_)
+                if (k == key) { seen = true; break; }
+            if (!seen) fail("unknown key '" + path(key.c_str()) + "'");
+        }
+    }
+
+private:
+    const obs::json_value* find(const char* key) const {
+        consumed_.emplace_back(key);
+        for (const auto& [k, v] : *object_)
+            if (k == key) return &v;
+        return nullptr;
+    }
+
+    std::string path(const char* key) const {
+        return where_.empty() ? std::string(key) : where_ + "." + key;
+    }
+
+    const obs::json_object* object_;
+    std::string where_;
+    mutable std::vector<std::string> consumed_;
+};
+
+scenario scenario_from_json(const obs::json_value& value) {
+    const object_reader r(value, "scenario");
+    scenario s;
+    s.duration_s = r.number("duration_s", s.duration_s);
+    s.accel_mg = r.number("accel_mg", s.accel_mg);
+    s.f_start_hz = r.number("f_start_hz", s.f_start_hz);
+    s.f_step_hz = r.number("f_step_hz", s.f_step_hz);
+    s.step_period_s = r.number("step_period_s", s.step_period_s);
+    s.step_count = r.size("step_count", s.step_count);
+    s.v_initial = r.number("v_initial", s.v_initial);
+    s.initial_position = r.integer("initial_position", s.initial_position);
+    s.frequency_schedule = r.schedule("frequency_schedule");
+    s.amplitude_schedule = r.schedule("amplitude_schedule");
+    r.reject_unknown_keys();
+    return s;
+}
+
+system_config config_from_json(const obs::json_value& value) {
+    const object_reader r(value, "config");
+    system_config c;
+    c.mcu_clock_hz = r.number("mcu_clock_hz", c.mcu_clock_hz);
+    c.watchdog_period_s = r.number("watchdog_period_s", c.watchdog_period_s);
+    c.tx_interval_s = r.number("tx_interval_s", c.tx_interval_s);
+    r.reject_unknown_keys();
+    return c;
+}
+
+evaluation_options evaluation_from_json(const obs::json_value& value) {
+    const object_reader r(value, "evaluation");
+    evaluation_options e;
+    e.record_traces = r.boolean("record_traces", e.record_traces);
+    e.trace_interval_s = r.number("trace_interval_s", e.trace_interval_s);
+    e.controller_seed = r.seed("controller_seed", e.controller_seed);
+    e.model = fidelity_from_string(r.string("fidelity", to_string(e.model)));
+    e.frontend = frontend_from_string(r.string("frontend", to_string(e.frontend)));
+    e.frontend_efficiency = r.number("frontend_efficiency", e.frontend_efficiency);
+    r.reject_unknown_keys();
+    return e;
+}
+
+flow_spec flow_from_json(const obs::json_value& value) {
+    const object_reader r(value, "flow");
+    flow_spec f;
+    f.doe_runs = r.size("doe_runs", f.doe_runs);
+    f.factorial_levels = r.size("factorial_levels", f.factorial_levels);
+    f.optimizer_seed = r.seed("optimizer_seed", f.optimizer_seed);
+    f.replicates = r.size("replicates", f.replicates);
+    f.replicate_seed_base = r.seed("replicate_seed_base", f.replicate_seed_base);
+    f.parallel = r.boolean("parallel", f.parallel);
+    f.jobs = r.size("jobs", f.jobs);
+    f.cache = r.boolean("cache", f.cache);
+    f.cache_capacity = r.size("cache_capacity", f.cache_capacity);
+    f.optimizers = r.strings("optimizers");
+    r.reject_unknown_keys();
+    return f;
+}
+
+}  // namespace
+
+obs::json_value to_json(const scenario& s) {
+    obs::json_value out{obs::json_object{}};
+    out.set("duration_s", s.duration_s);
+    out.set("accel_mg", s.accel_mg);
+    out.set("f_start_hz", s.f_start_hz);
+    out.set("f_step_hz", s.f_step_hz);
+    out.set("step_period_s", s.step_period_s);
+    out.set("step_count", s.step_count);
+    out.set("v_initial", s.v_initial);
+    out.set("initial_position", s.initial_position);
+    out.set("frequency_schedule", schedule_to_json(s.frequency_schedule));
+    out.set("amplitude_schedule", schedule_to_json(s.amplitude_schedule));
+    return out;
+}
+
+obs::json_value to_json(const system_config& c) {
+    obs::json_value out{obs::json_object{}};
+    out.set("mcu_clock_hz", c.mcu_clock_hz);
+    out.set("watchdog_period_s", c.watchdog_period_s);
+    out.set("tx_interval_s", c.tx_interval_s);
+    return out;
+}
+
+obs::json_value to_json(const evaluation_options& e) {
+    obs::json_value out{obs::json_object{}};
+    out.set("record_traces", e.record_traces);
+    out.set("trace_interval_s", e.trace_interval_s);
+    out.set("controller_seed", e.controller_seed);
+    out.set("fidelity", to_string(e.model));
+    out.set("frontend", to_string(e.frontend));
+    out.set("frontend_efficiency", e.frontend_efficiency);
+    return out;
+}
+
+obs::json_value to_json(const flow_spec& f) {
+    obs::json_value out{obs::json_object{}};
+    out.set("doe_runs", f.doe_runs);
+    out.set("factorial_levels", f.factorial_levels);
+    out.set("optimizer_seed", f.optimizer_seed);
+    out.set("replicates", f.replicates);
+    out.set("replicate_seed_base", f.replicate_seed_base);
+    out.set("parallel", f.parallel);
+    out.set("jobs", f.jobs);
+    out.set("cache", f.cache);
+    out.set("cache_capacity", f.cache_capacity);
+    obs::json_array names;
+    for (const std::string& name : f.optimizers) names.push_back(name);
+    out.set("optimizers", std::move(names));
+    return out;
+}
+
+obs::json_value to_json(const experiment_spec& spec) {
+    obs::json_value out{obs::json_object{}};
+    out.set("schema", k_spec_schema);
+    out.set("scenario", to_json(spec.scn));
+    out.set("config", to_json(spec.config));
+    out.set("evaluation", to_json(spec.eval));
+    out.set("flow", to_json(spec.flow));
+    return out;
+}
+
+std::string to_string(fidelity model) {
+    return model == fidelity::transient ? "transient" : "envelope";
+}
+
+std::string to_string(frontend_kind kind) {
+    return kind == frontend_kind::mppt ? "mppt" : "diode_bridge";
+}
+
+fidelity fidelity_from_string(std::string_view name) {
+    if (name == "envelope") return fidelity::envelope;
+    if (name == "transient") return fidelity::transient;
+    fail("fidelity must be 'envelope' or 'transient', got '" +
+         std::string(name) + "'");
+}
+
+frontend_kind frontend_from_string(std::string_view name) {
+    if (name == "diode_bridge") return frontend_kind::diode_bridge;
+    if (name == "mppt") return frontend_kind::mppt;
+    fail("frontend must be 'diode_bridge' or 'mppt', got '" +
+         std::string(name) + "'");
+}
+
+experiment_spec spec_from_json(const obs::json_value& doc) {
+    const object_reader r(doc, "");
+    const std::string schema = r.string("schema", k_spec_schema);
+    if (schema != k_spec_schema)
+        fail("unsupported schema '" + schema + "' (expected '" +
+             k_spec_schema + "')");
+    experiment_spec spec;
+    if (const obs::json_value* v = r.object("scenario"))
+        spec.scn = scenario_from_json(*v);
+    if (const obs::json_value* v = r.object("config"))
+        spec.config = config_from_json(*v);
+    if (const obs::json_value* v = r.object("evaluation"))
+        spec.eval = evaluation_from_json(*v);
+    if (const obs::json_value* v = r.object("flow"))
+        spec.flow = flow_from_json(*v);
+    r.reject_unknown_keys();
+    spec.validate();
+    return spec;
+}
+
+experiment_spec parse_spec(std::string_view text) {
+    return spec_from_json(obs::json_value::parse(text));
+}
+
+}  // namespace ehdse::spec

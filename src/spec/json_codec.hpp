@@ -1,0 +1,49 @@
+// JSON round-trip for experiment_spec via the obs JSON value model.
+//
+// The encoding is deliberately rigid so a spec document is a stable
+// artefact: fields are written in declaration order (obs::json_object
+// preserves insertion order), schedules as [[time, value], ...] pairs,
+// enums as strings, and a "schema" tag identifies the layout. Parsing is
+// strict — an unknown key anywhere throws std::invalid_argument naming
+// it, so a typo in a hand-edited spec file cannot silently fall back to
+// a default — and the parsed spec is validate()d before it is returned.
+//
+// serialise -> parse -> serialise is byte-identical (the golden-file
+// guarantee spec_test relies on): numbers survive exactly through the
+// shortest-round-trip double formatter. Seeds are stored as JSON numbers
+// and therefore exact up to 2^53, far beyond any seed this repo uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "spec/experiment_spec.hpp"
+
+namespace ehdse::spec {
+
+/// Schema identifier written into every spec document.
+inline constexpr const char* k_spec_schema = "ehdse.experiment_spec/1";
+
+obs::json_value to_json(const scenario& s);
+obs::json_value to_json(const system_config& c);
+obs::json_value to_json(const evaluation_options& e);
+obs::json_value to_json(const flow_spec& f);
+/// {"schema": ..., "scenario": ..., "config": ..., "evaluation": ...,
+///  "flow": ...}
+obs::json_value to_json(const experiment_spec& spec);
+
+std::string to_string(fidelity model);
+std::string to_string(frontend_kind kind);
+fidelity fidelity_from_string(std::string_view name);
+frontend_kind frontend_from_string(std::string_view name);
+
+/// Decode a spec document. Throws std::invalid_argument on a schema
+/// mismatch, an unknown key (named), a mistyped value, or a spec that
+/// fails validate().
+experiment_spec spec_from_json(const obs::json_value& doc);
+
+/// Parse JSON text and decode it (obs::json_value::parse + spec_from_json).
+experiment_spec parse_spec(std::string_view text);
+
+}  // namespace ehdse::spec

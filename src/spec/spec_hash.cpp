@@ -1,0 +1,122 @@
+#include "spec/spec_hash.hpp"
+
+#include <bit>
+
+namespace ehdse::spec {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+    // splitmix64 finaliser over a running combine.
+    v += 0x9e3779b97f4a7c15ULL + h;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31);
+}
+
+std::uint64_t bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+
+std::uint64_t mix_schedule(
+    std::uint64_t h,
+    const std::vector<std::pair<double, double>>& schedule) noexcept {
+    h = mix(h, schedule.size());
+    for (const auto& [t, v] : schedule) {
+        h = mix(h, bits(t));
+        h = mix(h, bits(v));
+    }
+    return h;
+}
+
+/// Domain-separated seed per struct so a scenario can never hash like a
+/// flow_spec that happens to share field values.
+constexpr std::uint64_t k_seed_scenario = 0x5ce7a21000000001ULL;
+constexpr std::uint64_t k_seed_config = 0x5ce7a21000000002ULL;
+constexpr std::uint64_t k_seed_evaluation = 0x5ce7a21000000003ULL;
+constexpr std::uint64_t k_seed_flow = 0x5ce7a21000000004ULL;
+constexpr std::uint64_t k_seed_spec = 0x5ce7a21000000005ULL;
+constexpr std::uint64_t k_seed_request = 0x5ce7a21000000006ULL;
+
+}  // namespace
+
+std::uint64_t spec_hash(const scenario& s) noexcept {
+    std::uint64_t h = mix(k_seed_scenario, k_spec_hash_version);
+    h = mix(h, bits(s.duration_s));
+    h = mix(h, bits(s.accel_mg));
+    h = mix(h, bits(s.f_start_hz));
+    h = mix(h, bits(s.f_step_hz));
+    h = mix(h, bits(s.step_period_s));
+    h = mix(h, s.step_count);
+    h = mix(h, bits(s.v_initial));
+    h = mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(s.initial_position)));
+    h = mix_schedule(h, s.frequency_schedule);
+    h = mix_schedule(h, s.amplitude_schedule);
+    return h;
+}
+
+std::uint64_t spec_hash(const system_config& c) noexcept {
+    std::uint64_t h = mix(k_seed_config, k_spec_hash_version);
+    h = mix(h, bits(c.mcu_clock_hz));
+    h = mix(h, bits(c.watchdog_period_s));
+    h = mix(h, bits(c.tx_interval_s));
+    return h;
+}
+
+std::uint64_t spec_hash(const evaluation_options& e) noexcept {
+    std::uint64_t h = mix(k_seed_evaluation, k_spec_hash_version);
+    h = mix(h, e.record_traces ? 1 : 0);
+    h = mix(h, bits(e.trace_interval_s));
+    h = mix(h, e.controller_seed);
+    h = mix(h, static_cast<std::uint64_t>(e.model));
+    h = mix(h, static_cast<std::uint64_t>(e.frontend));
+    h = mix(h, bits(e.frontend_efficiency));
+    return h;
+}
+
+std::uint64_t spec_hash(const flow_spec& f) noexcept {
+    std::uint64_t h = mix(k_seed_flow, k_spec_hash_version);
+    h = mix(h, f.doe_runs);
+    h = mix(h, f.factorial_levels);
+    h = mix(h, f.optimizer_seed);
+    h = mix(h, f.replicates);
+    h = mix(h, f.replicate_seed_base);
+    h = mix(h, f.parallel ? 1 : 0);
+    h = mix(h, f.jobs);
+    h = mix(h, f.cache ? 1 : 0);
+    h = mix(h, f.cache_capacity);
+    h = mix(h, f.optimizers.size());
+    for (const std::string& name : f.optimizers) {
+        h = mix(h, name.size());
+        for (const char ch : name)
+            h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+    }
+    return h;
+}
+
+std::uint64_t spec_hash(const experiment_spec& spec) noexcept {
+    std::uint64_t h = mix(k_seed_spec, k_spec_hash_version);
+    h = mix(h, spec_hash(spec.scn));
+    h = mix(h, spec_hash(spec.config));
+    h = mix(h, spec_hash(spec.eval));
+    h = mix(h, spec_hash(spec.flow));
+    return h;
+}
+
+std::uint64_t evaluation_request_hash(const system_config& config,
+                                      const evaluation_options& eval) noexcept {
+    std::uint64_t h = mix(k_seed_request, k_spec_hash_version);
+    h = mix(h, spec_hash(config));
+    h = mix(h, spec_hash(eval));
+    return h;
+}
+
+std::string spec_hash_hex(std::uint64_t hash) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+        hash >>= 4;
+    }
+    return out;
+}
+
+}  // namespace ehdse::spec

@@ -1,0 +1,47 @@
+// Stable 64-bit content hash over an experiment spec — the identity a
+// persistent cache, a request server, or a manifest can address a run
+// by. The hash is computed from the raw field values (doubles by bit
+// pattern, vectors length-prefixed, every field preceded by a fixed tag)
+// with a splitmix64-finalised combine, so it is independent of platform,
+// build, and process — the SAME spec always yields the SAME hash, and
+// spec_test pins reference values so an accidental change to the hashed
+// field set fails loudly.
+//
+// The hash does NOT canonicalise its input: hash the result of
+// canonicalized() when two observably-equivalent specs must collide
+// (cached_evaluator does exactly that). Hash inequality proves spec
+// inequality; equality is a 64-bit bucket route — callers needing
+// certainty compare the specs themselves (operator==).
+//
+// k_spec_hash_version bumps whenever the field set or encoding changes;
+// it is mixed into every hash so stale persisted keys can never alias a
+// new layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spec/experiment_spec.hpp"
+
+namespace ehdse::spec {
+
+inline constexpr std::uint64_t k_spec_hash_version = 1;
+
+std::uint64_t spec_hash(const scenario& s) noexcept;
+std::uint64_t spec_hash(const system_config& c) noexcept;
+std::uint64_t spec_hash(const evaluation_options& e) noexcept;
+std::uint64_t spec_hash(const flow_spec& f) noexcept;
+/// Combine of the four part hashes plus the version.
+std::uint64_t spec_hash(const experiment_spec& spec) noexcept;
+
+/// Hash of one evaluation request against a fixed scenario — what
+/// dse::cached_evaluator keys on: (config, evaluation options), version
+/// mixed in.
+std::uint64_t evaluation_request_hash(const system_config& config,
+                                      const evaluation_options& eval) noexcept;
+
+/// "0123456789abcdef"-style fixed-width lower-case hex, the form manifests
+/// and CLI output use (JSON numbers cannot carry 64 bits exactly).
+std::string spec_hash_hex(std::uint64_t hash);
+
+}  // namespace ehdse::spec

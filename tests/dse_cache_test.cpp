@@ -1,5 +1,6 @@
-// Memoising evaluator: hit/miss accounting, exact keying (no collisions
-// across any config/option field), single-flight concurrency, LRU
+// Memoising evaluator: hit/miss accounting, canonical keying (no
+// collisions across any observable config/option field, shared entries
+// for canonically equivalent requests), single-flight concurrency, LRU
 // eviction, and obs integration.
 #include <gtest/gtest.h>
 
@@ -45,8 +46,11 @@ TEST(CachedEvaluator, SecondEvaluationHitsCache) {
     EXPECT_DOUBLE_EQ(first.final_voltage_v, second.final_voltage_v);
 }
 
-// Every field of system_config and evaluation_options participates in the
-// key: perturbing any single one must be a miss, never a collision.
+// Every OBSERVABLE field of system_config and evaluation_options
+// participates in the key (spec::evaluation_request_hash over the
+// canonical forms): perturbing any single one in a configuration where
+// the run can see it must be a miss, never a collision — seeds,
+// fidelities and effective front-ends never alias.
 TEST(CachedEvaluator, DistinctKeysNeverCollide) {
     ed::system_evaluator inner(fast_scenario());
     ed::cached_evaluator cache(inner);
@@ -91,7 +95,9 @@ TEST(CachedEvaluator, DistinctKeysNeverCollide) {
         expect_miss(base_cfg, eval, "record_traces");
     }
     {
+        // Observable only while tracing is on.
         auto eval = base_eval;
+        eval.record_traces = true;
         eval.trace_interval_s *= 2.0;
         expect_miss(base_cfg, eval, "trace_interval_s");
     }
@@ -106,11 +112,62 @@ TEST(CachedEvaluator, DistinctKeysNeverCollide) {
         expect_miss(base_cfg, eval, "frontend");
     }
     {
+        // Observable only under the mppt front-end.
         auto eval = base_eval;
+        eval.frontend = ed::frontend_kind::mppt;
         eval.frontend_efficiency = 0.5;
         expect_miss(base_cfg, eval, "frontend_efficiency");
     }
     EXPECT_EQ(inner.runs(), expected_misses);
+}
+
+// The complement of DistinctKeysNeverCollide: requests differing only in
+// a field the run cannot observe canonicalise to the same key and share
+// one simulation.
+TEST(CachedEvaluator, EquivalentRequestsShareAnEntry) {
+    ed::system_evaluator inner(fast_scenario());
+    ed::cached_evaluator cache(inner);
+    const ed::system_config cfg = ed::system_config::original();
+
+    std::uint64_t expected_hits = 0;
+    const auto expect_hit = [&](const ed::evaluation_options& a,
+                                const ed::evaluation_options& b,
+                                const char* what) {
+        cache.evaluate(cfg, a);
+        cache.evaluate(cfg, b);
+        ++expected_hits;
+        EXPECT_EQ(cache.stats().hits, expected_hits) << what;
+    };
+
+    {
+        // Trace interval is inert while tracing is off.
+        ed::evaluation_options a;
+        a.controller_seed = 201;  // distinct base key per block
+        ed::evaluation_options b = a;
+        b.trace_interval_s = a.trace_interval_s * 4.0;
+        expect_hit(a, b, "trace_interval_s with tracing off");
+    }
+    {
+        // Mppt efficiency is inert behind the diode bridge.
+        ed::evaluation_options a;
+        a.controller_seed = 202;
+        a.frontend = ed::frontend_kind::diode_bridge;
+        ed::evaluation_options b = a;
+        b.frontend_efficiency = 0.5;
+        expect_hit(a, b, "frontend_efficiency under diode_bridge");
+    }
+    {
+        // The transient model always resolves the physical bridge, so the
+        // front-end selection (and its efficiency) is inert.
+        ed::evaluation_options a;
+        a.controller_seed = 203;
+        a.model = ed::fidelity::transient;
+        ed::evaluation_options b = a;
+        b.frontend = ed::frontend_kind::mppt;
+        b.frontend_efficiency = 0.3;
+        expect_hit(a, b, "frontend under transient fidelity");
+    }
+    EXPECT_EQ(inner.runs(), cache.stats().misses);
 }
 
 // Eight threads race over two distinct keys: single-flight means exactly

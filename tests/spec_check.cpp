@@ -1,0 +1,134 @@
+// spec_check — replay validator for the --dump-spec / --spec round trip.
+//
+//   spec_check <manifest_a.json> <manifest_b.json>
+//
+// Both manifests must embed an experiment spec ("spec" option) and its
+// content hash ("spec_hash"). The check passes (exit 0) when:
+//   1. each manifest's recorded spec_hash matches a fresh hash of its own
+//      embedded spec (decoded through the strict spec codec);
+//   2. the two manifests carry the same spec_hash and byte-identical
+//      canonical spec documents;
+//   3. the two runs produced the same responses: every sim_run agrees on
+//      (kind, seed, response) — the transmission counts of a replayed
+//      experiment are bitwise-reproducible.
+// Any mismatch prints a diagnostic and exits 1 (exit 2 on unreadable or
+// malformed input). Used by the spec_roundtrip ctest fixture.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+obs::json_value load_json(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "spec_check: cannot read '%s'\n", path);
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return obs::json_value::parse(text.str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "spec_check: '%s': %s\n", path, e.what());
+        std::exit(2);
+    }
+}
+
+/// Recorded spec_hash, after verifying it against a fresh hash of the
+/// embedded spec document.
+std::string verified_hash(const obs::json_value& manifest, const char* path) {
+    const obs::json_value* options = manifest.find("options");
+    if (!options || !options->find("spec") || !options->find("spec_hash")) {
+        std::fprintf(stderr, "spec_check: '%s' has no spec/spec_hash options\n",
+                     path);
+        std::exit(2);
+    }
+    const std::string recorded = options->at("spec_hash").as_string();
+    try {
+        const spec::experiment_spec embedded =
+            spec::spec_from_json(options->at("spec"));
+        const std::string fresh =
+            spec::spec_hash_hex(spec::spec_hash(embedded));
+        if (fresh != recorded) {
+            std::fprintf(stderr,
+                         "spec_check: '%s': recorded spec_hash %s but the "
+                         "embedded spec hashes to %s\n",
+                         path, recorded.c_str(), fresh.c_str());
+            std::exit(1);
+        }
+        if (embedded != embedded.canonicalized()) {
+            std::fprintf(stderr,
+                         "spec_check: '%s': embedded spec is not in "
+                         "canonical form\n",
+                         path);
+            std::exit(1);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "spec_check: '%s': embedded spec: %s\n", path,
+                     e.what());
+        std::exit(2);
+    }
+    return recorded;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: spec_check <manifest_a> <manifest_b>\n");
+        return 2;
+    }
+    const obs::json_value a = load_json(argv[1]);
+    const obs::json_value b = load_json(argv[2]);
+
+    const std::string hash_a = verified_hash(a, argv[1]);
+    const std::string hash_b = verified_hash(b, argv[2]);
+    if (hash_a != hash_b) {
+        std::fprintf(stderr, "spec_check: spec_hash differs: %s vs %s\n",
+                     hash_a.c_str(), hash_b.c_str());
+        return 1;
+    }
+    if (a.at("options").at("spec").dump() != b.at("options").at("spec").dump()) {
+        std::fprintf(stderr,
+                     "spec_check: equal hashes but different spec documents\n");
+        return 1;
+    }
+
+    const obs::json_array& runs_a = a.at("runs").as_array();
+    const obs::json_array& runs_b = b.at("runs").as_array();
+    if (runs_a.size() != runs_b.size()) {
+        std::fprintf(stderr, "spec_check: %zu vs %zu sim runs\n", runs_a.size(),
+                     runs_b.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < runs_a.size(); ++i) {
+        const obs::json_value& ra = runs_a[i];
+        const obs::json_value& rb = runs_b[i];
+        if (ra.at("kind").as_string() != rb.at("kind").as_string() ||
+            ra.at("seed").as_number() != rb.at("seed").as_number() ||
+            ra.at("response").as_number() != rb.at("response").as_number()) {
+            std::fprintf(stderr,
+                         "spec_check: run %zu differs: %s seed %.0f -> %.0f "
+                         "vs %s seed %.0f -> %.0f\n",
+                         i, ra.at("kind").as_string().c_str(),
+                         ra.at("seed").as_number(),
+                         ra.at("response").as_number(),
+                         rb.at("kind").as_string().c_str(),
+                         rb.at("seed").as_number(),
+                         rb.at("response").as_number());
+            return 1;
+        }
+    }
+
+    std::printf("spec_check: OK (%s, %zu runs)\n", hash_a.c_str(),
+                runs_a.size());
+    return 0;
+}

@@ -1,0 +1,218 @@
+// The canonical experiment spec: JSON round trip (byte-identical golden
+// document), content-hash stability against pinned reference values,
+// strict parsing (unknown keys named), validation (offending field
+// named), and canonical-form semantics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "spec/experiment_spec.hpp"
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
+
+namespace es = ehdse::spec;
+
+namespace {
+
+/// A spec exercising every optional part: schedules, transient fidelity,
+/// replication, named optimisers.
+es::experiment_spec rich_spec() {
+    es::experiment_spec s;
+    s.scn.duration_s = 1800.0;
+    s.scn.accel_mg = 80.0;
+    s.scn.v_initial = 3.0;
+    s.scn.initial_position = 4;
+    s.scn.frequency_schedule = {{0.0, 64.0}, {600.0, 69.0}, {1200.0, 74.0}};
+    s.scn.amplitude_schedule = {{0.0, 1.0}, {900.0, 0.0}, {1000.0, 1.0}};
+    s.config.mcu_clock_hz = 8.0e6;
+    s.config.watchdog_period_s = 60.0;
+    s.config.tx_interval_s = 0.25;
+    s.eval.record_traces = true;
+    s.eval.trace_interval_s = 0.5;
+    s.eval.controller_seed = 0xdead'beef;
+    s.eval.model = es::fidelity::envelope;
+    s.eval.frontend = es::frontend_kind::mppt;
+    s.eval.frontend_efficiency = 0.6;
+    s.flow.doe_runs = 12;
+    s.flow.optimizer_seed = 99;
+    s.flow.replicates = 3;
+    s.flow.replicate_seed_base = 1000;
+    s.flow.parallel = true;
+    s.flow.jobs = 4;
+    s.flow.optimizers = {"nelder-mead", "particle-swarm"};
+    return s;
+}
+
+std::string serialize(const es::experiment_spec& s) {
+    return es::to_json(s).dump();
+}
+
+}  // namespace
+
+// serialise -> parse -> serialise must reproduce the exact bytes: the
+// shortest-round-trip double formatter plus insertion-ordered objects
+// make a spec document a stable artefact.
+TEST(SpecJson, RoundTripIsByteIdentical) {
+    for (const es::experiment_spec& s :
+         {es::experiment_spec{}, rich_spec()}) {
+        const std::string text = serialize(s);
+        const es::experiment_spec parsed = es::parse_spec(text);
+        EXPECT_EQ(parsed, s);
+        EXPECT_EQ(serialize(parsed), text);
+    }
+}
+
+// Pretty-printed output parses back to the same value too (the form
+// `ehdse_cli --dump-spec` writes).
+TEST(SpecJson, IndentedFormParsesBack) {
+    const es::experiment_spec s = rich_spec();
+    EXPECT_EQ(es::parse_spec(es::to_json(s).dump(2)), s);
+}
+
+// The default spec's document, byte for byte. This golden string pins
+// the schema tag, field names, field order and number formatting; any
+// layout change must bump k_spec_schema and update this test knowingly.
+TEST(SpecJson, GoldenDefaultDocument) {
+    const std::string expected = std::string("{\"schema\":\"") +
+        es::k_spec_schema +
+        "\","
+        "\"scenario\":{\"duration_s\":3600,\"accel_mg\":60,"
+        "\"f_start_hz\":64,\"f_step_hz\":5,\"step_period_s\":1500,"
+        "\"step_count\":2,\"v_initial\":2.8,\"initial_position\":-1,"
+        "\"frequency_schedule\":[],\"amplitude_schedule\":[]},"
+        "\"config\":{\"mcu_clock_hz\":4000000,\"watchdog_period_s\":320,"
+        "\"tx_interval_s\":5},"
+        "\"evaluation\":{\"record_traces\":false,\"trace_interval_s\":1,"
+        "\"controller_seed\":24301,\"fidelity\":\"envelope\","
+        "\"frontend\":\"diode_bridge\",\"frontend_efficiency\":0.75},"
+        "\"flow\":{\"doe_runs\":10,\"factorial_levels\":3,"
+        "\"optimizer_seed\":47009,\"replicates\":1,"
+        "\"replicate_seed_base\":1,\"parallel\":false,\"jobs\":0,"
+        "\"cache\":true,\"cache_capacity\":128,\"optimizers\":[]}}";
+    EXPECT_EQ(serialize(es::experiment_spec{}), expected);
+}
+
+// Reference hashes, computed once and pinned. A change here means every
+// previously stored manifest/cache key stops matching — bump
+// k_spec_hash_version when that is intentional.
+TEST(SpecHash, ReferenceValuesAreStable) {
+    ASSERT_EQ(es::k_spec_hash_version, 1);
+    EXPECT_EQ(es::spec_hash_hex(es::spec_hash(es::experiment_spec{})),
+              "aa6fb7534b447dad");
+    EXPECT_EQ(es::spec_hash_hex(es::spec_hash(rich_spec())),
+              "5a953b13af441d0b");
+}
+
+// The hash sees every part: perturbing one field in any of the four
+// sub-structs changes the spec hash.
+TEST(SpecHash, EveryPartParticipates) {
+    const es::experiment_spec base = rich_spec();
+    const std::uint64_t h0 = es::spec_hash(base);
+
+    es::experiment_spec a = base;
+    a.scn.accel_mg += 1.0;
+    EXPECT_NE(es::spec_hash(a), h0);
+
+    es::experiment_spec b = base;
+    b.config.tx_interval_s += 0.125;
+    EXPECT_NE(es::spec_hash(b), h0);
+
+    es::experiment_spec c = base;
+    c.eval.controller_seed += 1;
+    EXPECT_NE(es::spec_hash(c), h0);
+
+    es::experiment_spec d = base;
+    d.flow.optimizers.push_back("random-search");
+    EXPECT_NE(es::spec_hash(d), h0);
+}
+
+// Canonically equivalent specs hash equal after canonicalized(); the
+// canonical form is idempotent.
+TEST(SpecHash, CanonicalFormsOfEquivalentSpecsAgree) {
+    es::experiment_spec a;
+    es::experiment_spec b;
+    b.eval.trace_interval_s = 7.0;       // inert: tracing is off
+    b.eval.frontend_efficiency = 0.31;   // inert: diode bridge
+    b.flow.jobs = 12;                    // inert: not parallel
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.canonicalized(), b.canonicalized());
+    EXPECT_EQ(es::spec_hash(a.canonicalized()),
+              es::spec_hash(b.canonicalized()));
+    EXPECT_EQ(b.canonicalized().canonicalized(), b.canonicalized());
+}
+
+TEST(SpecJson, UnknownKeyIsRejectedByName) {
+    std::string text = serialize(es::experiment_spec{});
+    // Smuggle an unknown key into the scenario object.
+    const std::string needle = "\"duration_s\"";
+    text.replace(text.find(needle), needle.size(), "\"duration_sec\"");
+    try {
+        es::parse_spec(text);
+        FAIL() << "unknown key was accepted";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("duration_sec"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpecJson, SchemaMismatchIsRejected) {
+    std::string text = serialize(es::experiment_spec{});
+    const std::string needle = es::k_spec_schema;
+    text.replace(text.find(needle), needle.size(), "ehdse.experiment_spec/99");
+    EXPECT_THROW(es::parse_spec(text), std::invalid_argument);
+}
+
+TEST(SpecJson, MalformedTextIsRejected) {
+    EXPECT_THROW(es::parse_spec("not json"), std::invalid_argument);
+    EXPECT_THROW(es::parse_spec("[1,2,3]"), std::invalid_argument);
+}
+
+// validate() names the offending field, for schedules down to the entry.
+TEST(SpecValidate, NamesTheOffendingField) {
+    const auto message_of = [](const es::experiment_spec& s) -> std::string {
+        try {
+            s.validate();
+        } catch (const std::invalid_argument& e) {
+            return e.what();
+        }
+        return "";
+    };
+
+    es::experiment_spec s;
+    s.scn.duration_s = 0.0;
+    EXPECT_NE(message_of(s).find("duration_s"), std::string::npos);
+
+    s = {};
+    s.scn.frequency_schedule = {{5.0, 64.0}};  // must start at t = 0
+    EXPECT_NE(message_of(s).find("frequency_schedule[0]"), std::string::npos);
+
+    s = {};
+    s.scn.frequency_schedule = {{0.0, 64.0}, {10.0, 69.0}, {10.0, 74.0}};
+    EXPECT_NE(message_of(s).find("frequency_schedule[2]"), std::string::npos);
+
+    s = {};
+    s.scn.amplitude_schedule = {{0.0, 1.0}, {10.0, -0.5}};
+    EXPECT_NE(message_of(s).find("amplitude_schedule[1]"), std::string::npos);
+
+    s = {};
+    s.eval.trace_interval_s = -1.0;
+    EXPECT_NE(message_of(s).find("trace_interval_s"), std::string::npos);
+
+    s = {};
+    s.config.watchdog_period_s = 0.0;
+    EXPECT_NE(message_of(s).find("watchdog_period_s"), std::string::npos);
+
+    s = {};
+    s.flow.factorial_levels = 1;
+    EXPECT_NE(message_of(s).find("factorial_levels"), std::string::npos);
+}
+
+// A parsed spec is validated: a well-formed document describing an
+// invalid experiment is rejected.
+TEST(SpecJson, ParsingValidates) {
+    es::experiment_spec s;
+    s.config.tx_interval_s = -2.0;
+    EXPECT_THROW(es::parse_spec(serialize(s)), std::invalid_argument);
+}

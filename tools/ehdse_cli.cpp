@@ -10,6 +10,13 @@
 //   ehdse_cli sweep    --param clock|watchdog|interval
 //                      [--from X] [--to X] [--points N] [--log]
 //
+// `simulate` and `flow` are spec-driven: every invocation first builds a
+// canonical spec::experiment_spec — defaults, overlaid by `--spec
+// FILE.json` when given, overlaid by explicit flags — and then runs it.
+// `--dump-spec FILE.json` writes that spec (canonical form) before the
+// run; feeding it back through `--spec` replays the identical experiment,
+// down to the spec_hash stamped in the manifest.
+//
 // Outputs are plain text; `--trace` writes the supercapacitor waveform
 // CSV; `--metrics-out` writes a run manifest (docs/observability.md) as
 // JSON, or as JSONL when the path ends in `.jsonl`. Unknown flags and
@@ -22,6 +29,7 @@
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,8 @@
 #include "dse/rsm_flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_manifest.hpp"
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
 
 namespace {
 
@@ -108,15 +118,20 @@ void print_usage() {
         "                     [--duration S] [--accel MG] [--seed N]\n"
         "                     [--fidelity envelope|transient] [--trace FILE]\n"
         "                     [--schedule FILE.csv] [--metrics-out FILE.json]\n"
+        "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
         "                     [--parallel] [--jobs N] [--no-cache]\n"
         "                     [--report FILE.md] [--progress]\n"
         "                     [--metrics-out FILE.json]\n"
+        "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
         "                     [--from X] [--to X] [--points N] [--log]\n"
         "\n"
-        "--metrics-out writes a run manifest (see docs/observability.md);\n"
-        "a .jsonl suffix selects one-record-per-line output.");
+        "--spec seeds the run from a canonical experiment-spec JSON file\n"
+        "(explicit flags still win); --dump-spec writes the spec a run\n"
+        "resolves to, for replay. --metrics-out writes a run manifest\n"
+        "(see docs/observability.md); a .jsonl suffix selects\n"
+        "one-record-per-line output.");
 }
 
 /// Open `path` for writing, exiting with a clear message when it cannot be
@@ -145,8 +160,8 @@ void write_manifest(std::ofstream& os, const std::string& path,
     std::printf("manifest written to %s\n", path.c_str());
 }
 
-dse::scenario scenario_from(const arg_map& args) {
-    dse::scenario s;
+/// Overlay scenario flags onto a base (the spec's scenario, or defaults).
+dse::scenario scenario_from(const arg_map& args, dse::scenario s = {}) {
     s.duration_s = args.num("duration", s.duration_s);
     s.accel_mg = args.num("accel", s.accel_mg);
     const std::string schedule_file = args.str("schedule", "");
@@ -162,23 +177,90 @@ dse::scenario scenario_from(const arg_map& args) {
     return s;
 }
 
-int cmd_simulate(const arg_map& args) {
-    dse::system_config cfg = dse::system_config::original();
-    cfg.mcu_clock_hz = args.num("clock", cfg.mcu_clock_hz);
-    cfg.watchdog_period_s = args.num("watchdog", cfg.watchdog_period_s);
-    cfg.tx_interval_s = args.num("interval", cfg.tx_interval_s);
+/// Base spec for a spec-driven command: defaults, or `--spec FILE` parsed
+/// strictly (schema check, unknown keys rejected, validated). The command
+/// builders overlay explicit flags on top, so precedence is
+/// defaults < spec file < flags.
+spec::experiment_spec load_spec(const arg_map& args) {
+    const std::string path = args.str("spec", "");
+    if (path.empty()) return {};
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read spec '%s'\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return spec::parse_spec(text.str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: spec '%s': %s\n", path.c_str(), e.what());
+        std::exit(2);
+    }
+}
 
-    dse::evaluation_options opts;
-    opts.controller_seed = static_cast<std::uint64_t>(args.num("seed", 0x5eed));
-    const std::string fid = args.str("fidelity", "envelope");
+/// Exit 2 with the validator's message (names the offending field) when
+/// the flag-assembled spec is inconsistent — before any simulation runs.
+void validate_or_die(const spec::experiment_spec& espec) {
+    try {
+        espec.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/// Honour --dump-spec FILE: write the canonical form of the request this
+/// invocation resolved to. `--spec` on that file replays it exactly.
+void dump_spec_if_requested(const arg_map& args,
+                            const spec::experiment_spec& espec) {
+    const std::string path = args.str("dump-spec", "");
+    if (path.empty()) return;
+    std::ofstream os = open_output_or_die(path, "spec file");
+    spec::to_json(espec.canonicalized()).write(os, 2);
+    os << '\n';
+    std::printf("spec written to %s\n", path.c_str());
+}
+
+/// Embed the canonical spec and its content hash into a manifest — the
+/// same two fields run_rsm_flow stamps, so every manifest identifies the
+/// experiment it records.
+void stamp_spec(obs::run_manifest& manifest,
+                const spec::experiment_spec& espec) {
+    const spec::experiment_spec canon = espec.canonicalized();
+    manifest.set_option("spec", spec::to_json(canon));
+    manifest.set_option(
+        "spec_hash",
+        obs::json_value(spec::spec_hash_hex(spec::spec_hash(canon))));
+}
+
+int cmd_simulate(const arg_map& args) {
+    spec::experiment_spec espec = load_spec(args);
+    espec.config.mcu_clock_hz = args.num("clock", espec.config.mcu_clock_hz);
+    espec.config.watchdog_period_s =
+        args.num("watchdog", espec.config.watchdog_period_s);
+    espec.config.tx_interval_s =
+        args.num("interval", espec.config.tx_interval_s);
+    espec.scn = scenario_from(args, espec.scn);
+
+    espec.eval.controller_seed = static_cast<std::uint64_t>(
+        args.num("seed", static_cast<double>(espec.eval.controller_seed)));
+    const std::string fid = args.str("fidelity", "");
     if (fid == "transient") {
-        opts.model = dse::fidelity::transient;
-    } else if (fid != "envelope") {
+        espec.eval.model = dse::fidelity::transient;
+    } else if (fid == "envelope") {
+        espec.eval.model = dse::fidelity::envelope;
+    } else if (!fid.empty()) {
         std::fprintf(stderr, "error: --fidelity must be envelope or transient\n");
         return 2;
     }
     const std::string trace_file = args.str("trace", "");
-    opts.record_traces = !trace_file.empty();
+    if (!trace_file.empty()) espec.eval.record_traces = true;
+
+    validate_or_die(espec);
+    dump_spec_if_requested(args, espec);
+    const dse::system_config& cfg = espec.config;
+    const dse::evaluation_options& opts = espec.eval;
 
     const std::string metrics_file = args.str("metrics-out", "");
     std::ofstream metrics_os;
@@ -188,13 +270,13 @@ int cmd_simulate(const arg_map& args) {
         obs::set_global_registry(&registry);
     }
 
-    dse::system_evaluator evaluator(scenario_from(args));
+    dse::system_evaluator evaluator(espec.scn);
     const auto r = evaluator.evaluate(cfg, opts);
 
     std::printf("config: clock=%.6g Hz, watchdog=%.6g s, interval=%.6g s "
                 "(fidelity: %s)\n",
                 cfg.mcu_clock_hz, cfg.watchdog_period_s, cfg.tx_interval_s,
-                fid.c_str());
+                spec::to_string(opts.model).c_str());
     std::printf("transmissions: %llu (low-band %llu, suppressed polls %llu)\n",
                 static_cast<unsigned long long>(r.transmissions),
                 static_cast<unsigned long long>(r.low_band_transmissions),
@@ -222,7 +304,9 @@ int cmd_simulate(const arg_map& args) {
         obs::run_manifest manifest;
         manifest.set_tool("ehdse_cli simulate", "1.0");
         manifest.set_option("seed", obs::json_value(opts.controller_seed));
-        manifest.set_option("fidelity", obs::json_value(fid));
+        manifest.set_option("fidelity",
+                            obs::json_value(spec::to_string(opts.model)));
+        stamp_spec(manifest, espec);
         manifest.add_sim_run(
             [&] {
                 obs::sim_run_record rec;
@@ -262,14 +346,23 @@ int cmd_simulate(const arg_map& args) {
 }
 
 int cmd_flow(const arg_map& args) {
-    dse::flow_options opts;
-    opts.doe_runs = static_cast<std::size_t>(args.num("runs", 10));
-    opts.optimizer_seed = static_cast<std::uint64_t>(args.num("seed", 0x0b7a1));
-    opts.replicates = static_cast<std::size_t>(args.num("replicates", 1));
-    opts.parallel = args.has("parallel");
-    opts.jobs = static_cast<std::size_t>(args.num("jobs", 0));
-    opts.cache = !args.has("no-cache");
+    spec::experiment_spec espec = load_spec(args);
+    espec.scn = scenario_from(args, espec.scn);
+    espec.flow.doe_runs = static_cast<std::size_t>(
+        args.num("runs", static_cast<double>(espec.flow.doe_runs)));
+    espec.flow.optimizer_seed = static_cast<std::uint64_t>(
+        args.num("seed", static_cast<double>(espec.flow.optimizer_seed)));
+    espec.flow.replicates = static_cast<std::size_t>(
+        args.num("replicates", static_cast<double>(espec.flow.replicates)));
+    if (args.has("parallel")) espec.flow.parallel = true;
+    espec.flow.jobs = static_cast<std::size_t>(
+        args.num("jobs", static_cast<double>(espec.flow.jobs)));
+    if (args.has("no-cache")) espec.flow.cache = false;
 
+    validate_or_die(espec);
+    dump_spec_if_requested(args, espec);
+
+    dse::flow_options opts;
     // Output paths are validated before the (potentially long) run.
     const std::string metrics_file = args.str("metrics-out", "");
     const std::string report_file = args.str("report", "");
@@ -291,8 +384,7 @@ int cmd_flow(const arg_map& args) {
             std::fprintf(stderr, "[flow] %s\n", line.c_str());
         };
 
-    dse::system_evaluator evaluator(scenario_from(args));
-    const auto flow = dse::run_rsm_flow(evaluator, opts);
+    const auto flow = dse::run_rsm_flow(espec, opts);
 
     if (!report_file.empty()) {
         dse::write_report(report_os, flow);
@@ -312,7 +404,7 @@ int cmd_flow(const arg_map& args) {
                 flow.fit.model.to_string(2).c_str());
     std::printf("original: %llu tx\n",
                 static_cast<unsigned long long>(flow.original_eval.transmissions));
-    if (opts.cache)
+    if (espec.flow.cache)
         std::printf("cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
                     static_cast<unsigned long long>(flow.cache.hits),
                     static_cast<unsigned long long>(flow.cache.misses),
@@ -372,10 +464,11 @@ int cmd_sweep(const arg_map& args) {
 
 const std::set<std::string> k_simulate_flags = {
     "clock", "watchdog", "interval", "duration", "accel", "seed",
-    "fidelity", "trace", "schedule", "metrics-out"};
+    "fidelity", "trace", "schedule", "metrics-out", "spec", "dump-spec"};
 const std::set<std::string> k_flow_flags = {
     "runs", "seed", "replicates", "parallel", "jobs", "no-cache", "report",
-    "duration", "accel", "schedule", "metrics-out", "progress"};
+    "duration", "accel", "schedule", "metrics-out", "progress", "spec",
+    "dump-spec"};
 const std::set<std::string> k_sweep_flags = {
     "param", "from", "to", "points", "log", "duration", "accel", "schedule"};
 
