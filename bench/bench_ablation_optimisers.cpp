@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "dse/rsm_flow.hpp"
+#include "rsm/quadratic_model.hpp"
 #include "opt/genetic_algorithm.hpp"
 #include "opt/nelder_mead.hpp"
 #include "opt/pattern_search.hpp"
@@ -40,7 +41,7 @@ int main() {
         const rsm::quadratic_model* model;
     };
     const surface surfaces[] = {{"paper eq. (9)", &paper_model},
-                                {"this repo's fit", &flow.fit.model}};
+                                {"this repo's fit", &flow.fit.quadratic()->model}};
 
     constexpr int seeds = 20;
     for (const auto& s : surfaces) {

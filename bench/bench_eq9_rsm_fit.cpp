@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "dse/rsm_flow.hpp"
+#include "rsm/quadratic_model.hpp"
 #include "paper_refs.hpp"
 
 int main() {
@@ -14,7 +15,8 @@ int main() {
 
     dse::system_evaluator evaluator;
     const auto flow = dse::run_rsm_flow(evaluator, {});
-    const auto& beta = flow.fit.model.coefficients();
+    const rsm::quadratic_model& model = flow.fit.quadratic()->model;
+    const auto& beta = model.coefficients();
 
     std::printf("=== eq. (9): fitted response surface (coded variables) ===\n\n");
     std::printf("%-8s %12s %12s %8s\n", "term", "paper", "this repo", "signs");
@@ -33,8 +35,7 @@ int main() {
     // Which linear effect dominates (paper: x3, the transmission interval).
     std::size_t dominant = 0;
     for (std::size_t i = 1; i < 3; ++i)
-        if (std::abs(flow.fit.model.linear(i)) >
-            std::abs(flow.fit.model.linear(dominant)))
+        if (std::abs(model.linear(i)) > std::abs(model.linear(dominant)))
             dominant = i;
     std::printf("dominant linear effect: x%zu (paper: x3)\n", dominant + 1);
 
@@ -43,7 +44,7 @@ int main() {
     std::printf("(10 runs, 10 terms: the paper's design is saturated too — the\n"
                 " polynomial interpolates its design points exactly.)\n");
 
-    std::printf("\nfitted model:\n  y = %s\n", flow.fit.model.to_string(2).c_str());
+    std::printf("\nfitted model:\n  y = %s\n", model.to_string(2).c_str());
 
     std::printf("\ndesign points (coded) and responses:\n");
     for (std::size_t i = 0; i < flow.design_coded.size(); ++i) {

@@ -48,7 +48,7 @@ int main() {
             const double coded = -1.0 + 0.2 * step;
             numeric::vec x{0.0, 0.0, 0.0};
             x[axis] = coded;
-            const double y_rsm = flow.fit.model.predict(x);
+            const double y_rsm = flow.fit.predict(x);
             rsm_series.push_back(y_rsm);
             // Validate with a true simulation at every other grid point.
             if (step % 2 == 0) {
@@ -67,7 +67,7 @@ int main() {
     }
 
     // Quantify "x3 dominates": analytic Sobol decomposition of the surface.
-    const auto sens = rsm::sobol_indices(flow.fit.model);
+    const auto sens = rsm::sobol_indices(flow.fit.quadratic()->model);
     std::printf("\n=== variance-based sensitivity of the fitted surface ===\n");
     std::printf("%6s %14s %14s\n", "var", "first-order S", "total ST");
     for (std::size_t i = 0; i < 3; ++i)

@@ -18,11 +18,12 @@ int main() {
     opts.doe_runs = 16;
     const auto flow = dse::run_rsm_flow(evaluator, opts);
 
-    const auto anova = rsm::analyse_fit(flow.design_coded, flow.responses, flow.fit);
+    const rsm::fit_result& fit = *flow.fit.quadratic();
+    const auto anova = rsm::analyse_fit(flow.design_coded, flow.responses, fit);
     std::printf("%s\n", rsm::format_anova(anova).c_str());
 
-    std::printf("PRESS RMSE (leave-one-out): %.1f transmissions\n\n",
-                flow.fit.press_rmse);
+    std::printf("LOO-CV RMSE (leave-one-out): %.1f transmissions\n\n",
+                flow.fit.loo_rmse);
 
     std::printf("prediction standard error across the space:\n");
     std::printf("%24s %12s %14s\n", "coded point", "y_hat", "std.err(y_hat)");
@@ -31,7 +32,7 @@ int main() {
         {0.5, -0.5, -0.5}};
     for (const auto& x : probes) {
         std::printf("      (%+.1f, %+.1f, %+.1f) %12.1f %14.1f\n", x[0], x[1],
-                    x[2], flow.fit.model.predict(x),
+                    x[2], fit.model.predict(x),
                     rsm::prediction_std_error(flow.design_coded, anova, x));
     }
 
@@ -42,8 +43,8 @@ int main() {
     rep_opts.doe_runs = 12;
     rep_opts.replicates = 2;
     const auto rep_flow = dse::run_rsm_flow(evaluator, rep_opts);
-    const auto lof =
-        rsm::lack_of_fit(rep_flow.design_coded, rep_flow.responses, rep_flow.fit);
+    const auto lof = rsm::lack_of_fit(rep_flow.design_coded, rep_flow.responses,
+                                      *rep_flow.fit.quadratic());
     if (lof.testable) {
         std::printf("SS lack-of-fit %.1f (df %zu), SS pure error %.1f (df %zu)\n",
                     lof.ss_lack_of_fit, lof.df_lack_of_fit, lof.ss_pure_error,

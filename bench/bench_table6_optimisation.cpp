@@ -26,8 +26,8 @@ int main() {
     const auto flow = dse::run_rsm_flow(evaluator, {});
 
     std::printf("\nD-optimal design: %zu of %zu candidate points, log det(X'X) = %.2f\n",
-                flow.selection.selected.size(), flow.candidates.size(),
-                flow.selection.log_det);
+                flow.design.selected.size(), flow.design.candidates.size(),
+                flow.design.log_det);
     std::printf("Surface fit: R^2 = %.4f (saturated design: exact interpolation)\n",
                 flow.fit.r_squared);
 

@@ -57,9 +57,14 @@ done
 
 require_section docs/architecture.md '^## .*[Ee]xperiment spec'
 require_section docs/architecture.md '^## .*[Dd]eterminism'
+require_section docs/architecture.md '^## .*[Pp]luggable pipeline'
+require_section docs/architecture.md 'make_surrogate'
+require_section docs/architecture.md 'make_design'
 require_section docs/observability.md '^### Manifest JSON schema'
 require_section docs/observability.md '\-\-dump\-spec'
 require_section docs/observability.md 'spec_hash'
+require_section docs/observability.md 'options\.fit'
+require_section docs/observability.md 'options\.surrogate'
 
 if [ "$status" -eq 0 ]; then
     echo "check_docs: $checked references ok"

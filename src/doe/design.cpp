@@ -1,0 +1,154 @@
+#include "doe/design.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "doe/d_optimal.hpp"
+#include "doe/designs.hpp"
+#include "doe/sampling.hpp"
+#include "numeric/rng.hpp"
+
+namespace ehdse::doe {
+
+namespace {
+
+enum class family { d_optimal, full_factorial, central_composite, box_behnken, lhs };
+
+struct family_entry {
+    family kind;
+    const char* name;
+    const char* description;
+    bool uses_runs;
+    bool uses_levels;
+};
+
+constexpr family_entry k_families[] = {
+    {family::d_optimal, "d_optimal",
+     "D-optimal selection from the factorial grid, Fedorov exchange "
+     "(paper default)",
+     true, true},
+    {family::full_factorial, "full_factorial",
+     "every point of the `levels`-per-axis grid", false, true},
+    {family::central_composite, "central_composite",
+     "face-centred CCD: corners + axial + centre (2^k + 2k + 1 runs)",
+     false, false},
+    {family::box_behnken, "box_behnken",
+     "edge midpoints + centre, k >= 3 (13 runs for k = 3)", false, false},
+    {family::lhs, "lhs", "maximin Latin hypercube sample of `runs` points",
+     true, false},
+};
+
+const family_entry& entry_of(std::string_view name, const char* who) {
+    for (const family_entry& e : k_families)
+        if (name == e.name) return e;
+    throw std::invalid_argument(std::string(who) + ": unknown design '" +
+                                std::string(name) + "' (valid: " +
+                                design_names() + ")");
+}
+
+void check_request(const design_request& request, const char* who) {
+    if (request.dimension == 0)
+        throw std::invalid_argument(std::string(who) +
+                                    ": dimension must be >= 1");
+}
+
+}  // namespace
+
+const std::vector<design_info>& design_registry() {
+    static const std::vector<design_info> registry = [] {
+        std::vector<design_info> out;
+        for (const family_entry& e : k_families)
+            out.push_back({e.name, e.description, e.uses_runs, e.uses_levels});
+        return out;
+    }();
+    return registry;
+}
+
+bool is_known_design(std::string_view name) noexcept {
+    for (const family_entry& e : k_families)
+        if (name == e.name) return true;
+    return false;
+}
+
+std::string design_names() {
+    std::string out;
+    for (const family_entry& e : k_families) {
+        if (!out.empty()) out += ", ";
+        out += e.name;
+    }
+    return out;
+}
+
+bool design_uses_runs(std::string_view name) {
+    return entry_of(name, "doe::design_uses_runs").uses_runs;
+}
+
+bool design_uses_levels(std::string_view name) {
+    return entry_of(name, "doe::design_uses_levels").uses_levels;
+}
+
+std::vector<numeric::vec> design_candidates(const design_request& request,
+                                            const design_options& options) {
+    const family_entry& e = entry_of(request.name, "doe::design_candidates");
+    check_request(request, "doe::design_candidates");
+    switch (e.kind) {
+        case family::d_optimal:
+        case family::full_factorial:
+            return full_factorial(request.dimension, request.factorial_levels);
+        case family::central_composite:
+            return central_composite(request.dimension);
+        case family::box_behnken:
+            return box_behnken(request.dimension);
+        case family::lhs: {
+            numeric::rng rng(options.seed);
+            return maximin_latin_hypercube(request.dimension, request.runs,
+                                           rng);
+        }
+    }
+    throw std::logic_error("doe::design_candidates: unhandled family");
+}
+
+design_result select_design(const design_request& request,
+                            std::vector<numeric::vec> candidates,
+                            const design_options& options) {
+    const family_entry& e = entry_of(request.name, "doe::select_design");
+    design_result out;
+    out.name = e.name;
+    out.candidates = std::move(candidates);
+
+    if (e.kind == family::d_optimal) {
+        if (!request.basis)
+            throw std::invalid_argument(
+                "doe::select_design: d_optimal requires a model basis");
+        d_optimal_options opts;
+        opts.restarts = options.restarts;
+        opts.max_passes = options.max_passes;
+        opts.seed = options.seed;
+        const d_optimal_result selection = d_optimal_design(
+            out.candidates, request.basis, request.runs, opts);
+        out.selected = selection.selected;
+        out.log_det = selection.log_det;
+        out.exchanges = selection.exchanges;
+        out.restarts_used = selection.restarts_used;
+    } else {
+        // Fixed-shape and sampled families take every candidate.
+        out.selected.resize(out.candidates.size());
+        std::iota(out.selected.begin(), out.selected.end(), std::size_t{0});
+        out.log_det = request.basis
+                          ? selection_log_det(out.candidates, request.basis,
+                                              out.selected)
+                          : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    out.points.reserve(out.selected.size());
+    for (std::size_t idx : out.selected) out.points.push_back(out.candidates[idx]);
+    return out;
+}
+
+design_result make_design(const design_request& request,
+                          const design_options& options) {
+    return select_design(request, design_candidates(request, options), options);
+}
+
+}  // namespace ehdse::doe

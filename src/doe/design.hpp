@@ -1,0 +1,104 @@
+// Named experimental-design families behind one interface — the design
+// stage of the paper's pipeline, selectable by name through the canonical
+// spec (spec::flow_spec::design) the same way surrogates and optimisers
+// are. make_design resolves a design_request to a coded point set:
+//
+//   d_optimal        candidate grid + Fedorov exchange (paper default)
+//   full_factorial   the whole `levels`-per-axis grid
+//   central_composite  face-centred CCD (corners + axial + centre)
+//   box_behnken      edge midpoints + centre (k >= 3)
+//   lhs              maximin Latin hypercube sample
+//
+// Two-step access (design_candidates then select_design) exists so the
+// flow can time candidate generation and run selection as separate
+// observability phases; make_design composes them for everyone else.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace ehdse::doe {
+
+/// What to build: the serialisable description of one design.
+struct design_request {
+    std::string name = "d_optimal";
+    std::size_t dimension = 3;
+    /// Run budget; read by d_optimal (selection size) and lhs (sample
+    /// size), ignored by the fixed-shape families.
+    std::size_t runs = 10;
+    /// Candidate grid levels per axis; read by d_optimal and
+    /// full_factorial only.
+    std::size_t factorial_levels = 3;
+    /// Model basis for information-matrix criteria (d_optimal selection,
+    /// log det reporting). Supplied by the caller so doe need not depend
+    /// on rsm; required for d_optimal, optional elsewhere.
+    std::function<numeric::vec(const numeric::vec&)> basis;
+};
+
+/// Algorithmic knobs shared by the stochastic families (d_optimal
+/// exchange restarts, lhs jitter); deterministic given the seed.
+struct design_options {
+    std::size_t restarts = 8;      ///< d_optimal random starts
+    std::size_t max_passes = 100;  ///< d_optimal exchange passes per start
+    std::uint64_t seed = 0xd0e5eedULL;
+};
+
+/// A resolved design: the candidate set it was drawn from, the selected
+/// indices, and the selected coded points (points[i] ==
+/// candidates[selected[i]]).
+struct design_result {
+    std::string name;
+    std::vector<numeric::vec> candidates;
+    std::vector<std::size_t> selected;
+    std::vector<numeric::vec> points;
+    /// log det(X'X) of the selection under request.basis; NaN when no
+    /// basis was supplied, -inf when the information matrix is singular.
+    double log_det = 0.0;
+    std::size_t exchanges = 0;      ///< d_optimal accepted swaps
+    std::size_t restarts_used = 0;  ///< d_optimal restarts taken
+};
+
+/// One registry row: the spellings --list-designs prints.
+struct design_info {
+    std::string name;
+    std::string description;
+    bool uses_runs = false;    ///< whether request.runs is observable
+    bool uses_levels = false;  ///< whether request.factorial_levels is
+};
+
+/// Registered design families, in presentation order.
+const std::vector<design_info>& design_registry();
+
+/// True when `name` is a registered design family.
+bool is_known_design(std::string_view name) noexcept;
+
+/// Comma-separated registered names, for error messages.
+std::string design_names();
+
+/// Whether the named family reads request.runs / request.factorial_levels
+/// (spec canonicalisation resets unread knobs). Throws for unknown names.
+bool design_uses_runs(std::string_view name);
+bool design_uses_levels(std::string_view name);
+
+/// The candidate set the named family draws from (the full grid for
+/// d_optimal / full_factorial, the design itself for the fixed-shape and
+/// sampled families). Throws std::invalid_argument for an unknown name
+/// (offender named, valid choices listed) or an infeasible request.
+std::vector<numeric::vec> design_candidates(const design_request& request,
+                                            const design_options& options = {});
+
+/// Select the runs from a candidate set produced by design_candidates
+/// (the d_optimal exchange; identity selection for every other family).
+design_result select_design(const design_request& request,
+                            std::vector<numeric::vec> candidates,
+                            const design_options& options = {});
+
+/// design_candidates + select_design in one call.
+design_result make_design(const design_request& request,
+                          const design_options& options = {});
+
+}  // namespace ehdse::doe

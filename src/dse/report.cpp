@@ -19,10 +19,12 @@ void write_header(std::ostream& os, const flow_result& flow,
         const auto& p = flow.space.parameter(i);
         os << (i ? "; " : "") << p.name << " in [" << p.min << ", " << p.max << "]";
     }
-    os << "\n* candidates: " << flow.candidates.size()
-       << "; D-optimal runs: " << flow.selection.selected.size()
-       << " (log det X'X = " << std::fixed << std::setprecision(2)
-       << flow.selection.log_det << ")\n";
+    os << "\n* candidates: " << flow.design.candidates.size() << "; "
+       << flow.design.name << " runs: " << flow.design.points.size();
+    if (std::isfinite(flow.design.log_det))
+        os << " (log det X'X = " << std::fixed << std::setprecision(2)
+           << flow.design.log_det << ")";
+    os << "\n";
     os << "* observations (incl. replicates): " << flow.responses.size() << "\n\n";
     os.unsetf(std::ios::fixed);
 }
@@ -46,25 +48,35 @@ void write_design_table(std::ostream& os, const flow_result& flow) {
 
 void write_fit(std::ostream& os, const flow_result& flow) {
     os << "## Fitted response surface\n\n";
-    os << "```\ny = " << flow.fit.model.to_string(3) << "\n```\n\n";
+    os << "Surrogate: `" << flow.fit.surrogate << "`\n\n";
+    os << "```\ny = " << flow.fit.surface->to_string(3) << "\n```\n\n";
     os << "R^2 = " << std::setprecision(6) << flow.fit.r_squared
        << ", adjusted R^2 = " << flow.fit.adj_r_squared;
-    if (std::isfinite(flow.fit.press_rmse))
-        os << ", PRESS RMSE = " << std::setprecision(4) << flow.fit.press_rmse;
+    if (std::isfinite(flow.fit.loo_rmse))
+        os << ", LOO-CV RMSE = " << std::setprecision(4) << flow.fit.loo_rmse;
     os << "\n\n";
 }
 
 void write_anova_section(std::ostream& os, const flow_result& flow) {
-    if (flow.design_coded.size() <= flow.fit.model.coefficients().size()) {
+    // The classical decomposition applies to the least-squares quadratic
+    // only; other surrogates report their own diagnostics via describe().
+    const rsm::fit_result* fit = flow.fit.quadratic();
+    if (fit == nullptr) {
+        os << "## Statistical assessment\n\nANOVA applies to the `quadratic` "
+              "surrogate only; the `" << flow.fit.surrogate
+           << "` fit reports R^2 / LOO-CV RMSE above.\n\n";
+        return;
+    }
+    if (flow.design_coded.size() <= fit->model.coefficients().size()) {
         os << "## Statistical assessment\n\nSaturated design (runs == terms): "
               "no residual degrees of freedom. Re-run with more runs or "
               "replicates to assess the model.\n\n";
         return;
     }
-    const auto anova = rsm::analyse_fit(flow.design_coded, flow.responses, flow.fit);
+    const auto anova = rsm::analyse_fit(flow.design_coded, flow.responses, *fit);
     os << "## Statistical assessment\n\n```\n" << rsm::format_anova(anova)
        << "```\n\n";
-    const auto lof = rsm::lack_of_fit(flow.design_coded, flow.responses, flow.fit);
+    const auto lof = rsm::lack_of_fit(flow.design_coded, flow.responses, *fit);
     if (lof.testable) {
         os << "Lack-of-fit: F = " << std::setprecision(3) << lof.f_statistic
            << " (p = " << std::setprecision(4) << lof.p_value << ") — the "
@@ -75,7 +87,9 @@ void write_anova_section(std::ostream& os, const flow_result& flow) {
 }
 
 void write_sensitivity(std::ostream& os, const flow_result& flow) {
-    const auto s = rsm::sobol_indices(flow.fit.model);
+    const rsm::fit_result* fit = flow.fit.quadratic();
+    if (fit == nullptr) return;  // closed-form Sobol needs the quadratic
+    const auto s = rsm::sobol_indices(fit->model);
     os << "## Sensitivity (Sobol indices)\n\n";
     os << "| variable | first-order | total |\n|---|---|---|\n";
     for (std::size_t i = 0; i < flow.space.dimension(); ++i)

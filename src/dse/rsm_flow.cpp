@@ -3,14 +3,15 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
-#include "doe/designs.hpp"
 #include "exec/batch.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timing.hpp"
 #include "opt/genetic_algorithm.hpp"
 #include "opt/simulated_annealing.hpp"
+#include "rsm/quadratic_model.hpp"
 #include "spec/json_codec.hpp"
 #include "spec/spec_hash.hpp"
 
@@ -109,6 +110,8 @@ spec::experiment_spec spec_of(const system_evaluator& evaluator,
     out.eval = options.eval;
     out.flow.doe_runs = options.doe_runs;
     out.flow.factorial_levels = options.factorial_levels;
+    out.flow.design = options.design;
+    out.flow.surrogate = options.surrogate;
     out.flow.optimizer_seed = options.optimizer_seed;
     out.flow.replicates = options.replicates;
     out.flow.replicate_seed_base = options.replicate_seed_base;
@@ -127,6 +130,8 @@ void echo_options(obs::run_manifest& manifest, const flow_options& options,
     manifest.set_option("doe_runs", obs::json_value(options.doe_runs));
     manifest.set_option("factorial_levels",
                         obs::json_value(options.factorial_levels));
+    manifest.set_option("design", obs::json_value(options.design));
+    manifest.set_option("surrogate", obs::json_value(options.surrogate));
     manifest.set_option("replicates", obs::json_value(options.replicates));
     manifest.set_option("parallel", obs::json_value(options.parallel));
     manifest.set_option("jobs", obs::json_value(resolved_jobs));
@@ -148,6 +153,15 @@ void echo_options(obs::run_manifest& manifest, const flow_options& options,
 
 flow_result run_rsm_flow(const system_evaluator& evaluator,
                          const flow_options& options) {
+    // Fail fast on unknown registry names — before any pool is spun up,
+    // manifest line written, or simulation run.
+    const std::shared_ptr<rsm::surrogate_model> surrogate =
+        rsm::make_surrogate(options.surrogate);
+    if (!doe::is_known_design(options.design))
+        throw std::invalid_argument("dse::run_rsm_flow: unknown design '" +
+                                    options.design + "' (valid: " +
+                                    doe::design_names() + ")");
+
     flow_observer obs_hook(options);
     if (options.manifest) {
         options.manifest->set_tool("ehdse.run_rsm_flow", "");
@@ -185,24 +199,41 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
             obs::json_value(spec::spec_hash_hex(spec::spec_hash(espec))));
     }
 
-    // 1. Candidate grid (paper: 3^3 = 27 feasible points).
+    // 1. Candidate set of the chosen design family (paper default:
+    //    d_optimal over the 3^3 = 27-point grid).
+    doe::design_request request;
+    request.name = options.design;
+    request.dimension = k;
+    request.runs = options.doe_runs;
+    request.factorial_levels = options.factorial_levels;
+    request.basis = [](const numeric::vec& x) {
+        return rsm::quadratic_basis(x);
+    };
     obs_hook.phase("candidates");
-    out.candidates = doe::full_factorial(k, options.factorial_levels);
-    obs_hook.set_phase_items(out.candidates.size());
-    obs_hook.note("candidates: " + std::to_string(out.candidates.size()) +
+    std::vector<numeric::vec> candidates =
+        doe::design_candidates(request, options.doe);
+    obs_hook.set_phase_items(candidates.size());
+    obs_hook.note("candidates: " + std::to_string(candidates.size()) +
                   " grid points");
 
-    // 2. D-optimal run selection for the quadratic basis.
-    obs_hook.phase("d_optimal");
-    out.selection = doe::d_optimal_design(
-        out.candidates, [](const numeric::vec& x) { return rsm::quadratic_basis(x); },
-        options.doe_runs, options.doe);
-    obs_hook.set_phase_items(out.selection.selected.size());
-    {
+    // 2. Run selection (the Fedorov exchange for d_optimal; every
+    //    candidate for the fixed-shape and sampled families). The phase
+    //    carries the design's registry name — "d_optimal" by default,
+    //    matching the pre-registry manifests.
+    obs_hook.phase(options.design);
+    out.design =
+        doe::select_design(request, std::move(candidates), options.doe);
+    obs_hook.set_phase_items(out.design.selected.size());
+    if (options.design == "d_optimal") {
         std::ostringstream msg;
-        msg << "d-optimal: selected " << out.selection.selected.size() << "/"
-            << out.candidates.size() << " (log det " << out.selection.log_det
+        msg << "d-optimal: selected " << out.design.selected.size() << "/"
+            << out.design.candidates.size() << " (log det " << out.design.log_det
             << ")";
+        obs_hook.note(msg.str());
+    } else {
+        std::ostringstream msg;
+        msg << "design[" << out.design.name << "]: " << out.design.points.size()
+            << " runs";
         obs_hook.note(msg.str());
     }
 
@@ -216,8 +247,7 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         evaluation_options eval;
     };
     std::vector<job> jobs;
-    for (std::size_t idx : out.selection.selected) {
-        const numeric::vec& coded = out.candidates[idx];
+    for (const numeric::vec& coded : out.design.points) {
         const system_config config = config_from_coded(out.space, coded);
         for (std::size_t rep = 0; rep < replicates; ++rep) {
             evaluation_options eval = options.eval;
@@ -247,9 +277,12 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
         obs_hook.note(msg.str());
     }
 
-    // 4. Fit the quadratic response surface (paper eq. 9).
+    // 4. Fit the chosen surrogate to the responses (paper default: the
+    //    least-squares quadratic of eq. 9).
     obs_hook.phase("fit");
-    out.fit = rsm::fit_quadratic(out.design_coded, out.responses);
+    out.fit = surrogate->fit(out.design_coded, out.responses);
+    if (options.manifest)
+        options.manifest->set_option("fit", out.fit.diagnostics());
     {
         std::ostringstream msg;
         msg << "fit: R^2 = " << out.fit.r_squared;
@@ -271,7 +304,7 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     }
     const opt::box_bounds bounds = opt::box_bounds::unit(k);
     const opt::objective_fn surface = [&](const numeric::vec& x) {
-        return out.fit.model.predict(x);
+        return out.fit.surface->predict(x);
     };
 
     obs_hook.phase("optimise", optimizers.size());
@@ -369,6 +402,8 @@ flow_options flow_options_from_spec(const spec::experiment_spec& spec,
     spec.validate();
     runtime.doe_runs = spec.flow.doe_runs;
     runtime.factorial_levels = spec.flow.factorial_levels;
+    runtime.design = spec.flow.design;
+    runtime.surrogate = spec.flow.surrogate;
     runtime.optimizer_seed = spec.flow.optimizer_seed;
     runtime.eval = spec.eval;
     runtime.baseline = spec.config;

@@ -1,12 +1,18 @@
 // The paper's end-to-end methodology in one call (sections II and V):
 //
-//   1. candidate set: 3-level full factorial over the coded box (27 points);
-//   2. D-optimal selection of n runs (10 in the paper);
-//   3. one mixed-signal simulation per selected design point;
-//   4. least-squares fit of the quadratic response surface (paper eq. 9);
-//   5. global maximisation of the fitted surface with Simulated Annealing
+//   1. experimental design: candidate set + run selection, by registry
+//      name (paper: 3-level full factorial, D-optimal pick of 10);
+//   2. one mixed-signal simulation per selected design point;
+//   3. surrogate fit of the response surface, by registry name (paper:
+//      least-squares quadratic, eq. 9);
+//   4. global maximisation of the fitted surface with Simulated Annealing
 //      and a Genetic Algorithm (paper Table VI);
-//   6. validation: re-simulate each optimiser's configuration.
+//   5. validation: re-simulate each optimiser's configuration.
+//
+// Every pipeline stage resolves through a name registry — the design via
+// doe::make_design, the surrogate via rsm::make_surrogate, the optimisers
+// via opt::make_optimizer — so the whole flow is described by the
+// canonical spec::experiment_spec and any stage swaps with one flag.
 #pragma once
 
 #include <functional>
@@ -14,12 +20,12 @@
 #include <string>
 #include <vector>
 
-#include "doe/d_optimal.hpp"
+#include "doe/design.hpp"
 #include "dse/cached_evaluator.hpp"
 #include "dse/system_evaluator.hpp"
 #include "obs/run_manifest.hpp"
 #include "opt/optimizer.hpp"
-#include "rsm/quadratic_model.hpp"
+#include "rsm/surrogate.hpp"
 #include "spec/experiment_spec.hpp"
 
 namespace ehdse::exec {
@@ -29,9 +35,17 @@ class thread_pool;
 namespace ehdse::dse {
 
 struct flow_options {
-    std::size_t doe_runs = 10;        ///< D-optimal design size (paper: 10)
+    std::size_t doe_runs = 10;        ///< design run budget (paper: 10)
     std::size_t factorial_levels = 3; ///< candidate grid per axis (paper: 3)
-    doe::d_optimal_options doe{};
+    /// Experimental design by registry name (doe::design_registry):
+    /// d_optimal (paper), full_factorial, central_composite, box_behnken,
+    /// lhs.
+    std::string design = "d_optimal";
+    /// Surrogate model by registry name (rsm::surrogate_registry):
+    /// quadratic (paper eq. 9), stepwise, gp.
+    std::string surrogate = "quadratic";
+    /// Stochastic-design knobs (d_optimal exchange restarts, lhs jitter).
+    doe::design_options doe{};
     std::uint64_t optimizer_seed = 0x0b7a1;
     evaluation_options eval{};
     /// Reference design simulated for Table VI row 1 (and recorded in the
@@ -66,11 +80,12 @@ struct flow_options {
 
     // -- Observability (all optional; zero cost when unset) ---------------
     /// When set, the flow records its full execution into this manifest:
-    /// option echo + seeds, per-phase wall times (candidates, d_optimal,
-    /// simulate, fit, baseline, optimise, validate), one sim_run_record
-    /// per simulation (design points — replicates included — baseline and
-    /// validation re-runs) and one optimizer_record per optimiser.
-    /// Caller-owned; must outlive the call. Works with `parallel` too.
+    /// option echo (design/surrogate names included) + seeds, per-phase
+    /// wall times, one sim_run_record per simulation (design points —
+    /// replicates included — baseline and validation re-runs), the uniform
+    /// fit diagnostics under "fit", and one optimizer_record per
+    /// optimiser. Caller-owned; must outlive the call. Works with
+    /// `parallel` too.
     obs::run_manifest* manifest = nullptr;
     /// When set, receives one human-readable line per flow milestone
     /// (phase completions, each design-point simulation, each optimiser).
@@ -84,7 +99,7 @@ struct optimizer_outcome {
     std::string name;
     numeric::vec coded;
     system_config config;
-    double predicted = 0.0;    ///< RSM value at the optimum
+    double predicted = 0.0;    ///< surrogate value at the optimum
     evaluation_result validated;
     std::size_t evaluations = 0;  ///< objective (surface) evaluations
     opt::opt_result details;   ///< full optimiser telemetry (acceptance, trajectory)
@@ -93,12 +108,11 @@ struct optimizer_outcome {
 
 struct flow_result {
     rsm::design_space space;
-    std::vector<numeric::vec> candidates;       ///< coded candidate grid
-    doe::d_optimal_result selection;             ///< indices into candidates
-    std::vector<numeric::vec> design_coded;      ///< the n selected points
+    doe::design_result design;                   ///< candidates + selection
+    std::vector<numeric::vec> design_coded;      ///< simulated points (incl. replicates)
     std::vector<system_config> design_configs;   ///< natural units
     numeric::vec responses;                      ///< y per design point
-    rsm::fit_result fit;                         ///< the response surface
+    rsm::surrogate_fit fit;                      ///< the fitted surface + diagnostics
     evaluation_result original_eval;             ///< baseline (Table VI row 1)
     std::vector<optimizer_outcome> outcomes;     ///< Table VI remaining rows
     /// Memoisation totals for this run (all zero when caching is off).
@@ -110,16 +124,18 @@ struct flow_result {
 /// from the evaluator's scenario plus the serialisable options — is
 /// embedded under the "spec" option together with its content hash
 /// ("spec_hash", 16 hex chars), so any manifest identifies the experiment
-/// it records and can be replayed via `ehdse_cli flow --spec`.
+/// it records and can be replayed via `ehdse_cli flow --spec`. Throws
+/// std::invalid_argument (offender named, valid choices listed) for an
+/// unknown design or surrogate name.
 flow_result run_rsm_flow(const system_evaluator& evaluator,
                          const flow_options& options = {});
 
 /// Translate a canonical spec into flow_options. `runtime` contributes the
 /// non-serialisable wiring only (pool, manifest, progress callback,
-/// d_optimal options); every serialisable field is taken from the spec —
-/// optimiser names resolve through opt::make_optimizer. Throws
-/// std::invalid_argument when the spec fails validation or names an
-/// unknown optimiser.
+/// design-algorithm knobs); every serialisable field is taken from the
+/// spec — optimiser / design / surrogate names resolve through their
+/// registries. Throws std::invalid_argument when the spec fails
+/// validation or names an unknown optimiser.
 flow_options flow_options_from_spec(const spec::experiment_spec& spec,
                                     flow_options runtime = {});
 

@@ -12,18 +12,74 @@
 
 namespace ehdse::opt {
 
+namespace {
+
+using factory_fn = std::shared_ptr<optimizer> (*)();
+
+struct optimizer_entry {
+    optimizer_info info;
+    factory_fn make;
+};
+
+template <class T>
+std::shared_ptr<optimizer> make_default() {
+    return std::make_shared<T>();
+}
+
+const std::vector<optimizer_entry>& entries() {
+    static const std::vector<optimizer_entry> table = {
+        {{"simulated-annealing",
+          "Metropolis annealing with geometric cooling (paper Table VI)"},
+         &make_default<simulated_annealing>},
+        {{"genetic-algorithm",
+          "real-coded GA: tournament selection, blend crossover (paper Table VI)"},
+         &make_default<genetic_algorithm>},
+        {{"nelder-mead", "derivative-free downhill simplex with restarts"},
+         &make_default<nelder_mead>},
+        {{"pattern-search", "coordinate pattern search with shrinking mesh"},
+         &make_default<pattern_search>},
+        {{"random-search", "uniform random sampling baseline"},
+         &make_default<random_search>},
+        {{"particle-swarm", "global-best particle swarm"},
+         &make_default<particle_swarm>},
+        {{"differential-evolution", "DE/rand/1/bin differential evolution"},
+         &make_default<differential_evolution>},
+    };
+    return table;
+}
+
+}  // namespace
+
+const std::vector<optimizer_info>& optimizer_registry() {
+    static const std::vector<optimizer_info> infos = [] {
+        std::vector<optimizer_info> out;
+        for (const optimizer_entry& e : entries()) out.push_back(e.info);
+        return out;
+    }();
+    return infos;
+}
+
+bool is_known_optimizer(std::string_view name) {
+    for (const optimizer_entry& e : entries())
+        if (e.info.name == name) return true;
+    return false;
+}
+
+std::string optimizer_names() {
+    std::string out;
+    for (const optimizer_entry& e : entries()) {
+        if (!out.empty()) out += ", ";
+        out += e.info.name;
+    }
+    return out;
+}
+
 std::shared_ptr<optimizer> make_optimizer(std::string_view name) {
-    if (name == "simulated-annealing")
-        return std::make_shared<simulated_annealing>();
-    if (name == "genetic-algorithm") return std::make_shared<genetic_algorithm>();
-    if (name == "nelder-mead") return std::make_shared<nelder_mead>();
-    if (name == "pattern-search") return std::make_shared<pattern_search>();
-    if (name == "random-search") return std::make_shared<random_search>();
-    if (name == "particle-swarm") return std::make_shared<particle_swarm>();
-    if (name == "differential-evolution")
-        return std::make_shared<differential_evolution>();
+    for (const optimizer_entry& e : entries())
+        if (e.info.name == name) return e.make();
     throw std::invalid_argument("opt::make_optimizer: unknown optimizer '" +
-                                std::string(name) + "'");
+                                std::string(name) + "' (valid: " +
+                                optimizer_names() + ")");
 }
 
 std::vector<double> optimizer::evaluate_all(

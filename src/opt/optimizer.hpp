@@ -108,12 +108,30 @@ private:
     exec::thread_pool* pool_ = nullptr;
 };
 
+/// One registry entry: a constructible optimiser name plus a one-line
+/// description (what `ehdse_cli --list-optimizers` prints).
+struct optimizer_info {
+    std::string name;
+    std::string description;
+};
+
+/// Every name make_optimizer accepts, in presentation order.
+const std::vector<optimizer_info>& optimizer_registry();
+
+/// True when `name` resolves through make_optimizer.
+bool is_known_optimizer(std::string_view name);
+
+/// Comma-separated registry names — the "valid: ..." list error messages
+/// and `--list-optimizers` share.
+std::string optimizer_names();
+
 /// Construct a single-objective optimiser from its name() string — the
 /// registry that lets a serialised experiment spec (spec::flow_spec::
 /// optimizers) name its algorithms: "simulated-annealing",
 /// "genetic-algorithm", "nelder-mead", "pattern-search", "random-search",
 /// "particle-swarm", "differential-evolution". Default options; throws
-/// std::invalid_argument (name echoed) for anything else.
+/// std::invalid_argument (name echoed, valid choices listed) for anything
+/// else.
 std::shared_ptr<optimizer> make_optimizer(std::string_view name);
 
 }  // namespace ehdse::opt

@@ -1,0 +1,329 @@
+#include "rsm/surrogate.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/stats.hpp"
+#include "rsm/kriging.hpp"
+#include "rsm/quadratic_model.hpp"
+#include "rsm/stepwise.hpp"
+
+namespace ehdse::rsm {
+
+namespace {
+
+void check_shapes(const std::vector<numeric::vec>& points,
+                  const numeric::vec& y, const char* who) {
+    if (points.empty())
+        throw std::invalid_argument(std::string(who) + ": no design points");
+    if (points.size() != y.size())
+        throw std::invalid_argument(std::string(who) +
+                                    ": observation count mismatch");
+    for (const auto& p : points)
+        if (p.size() != points.front().size())
+            throw std::invalid_argument(std::string(who) +
+                                        ": inconsistent point dimensions");
+}
+
+// ---- Fitted-surface adapters -------------------------------------------
+
+class quadratic_surface final : public fitted_surface {
+public:
+    explicit quadratic_surface(fit_result fit) : fit_(std::move(fit)) {}
+
+    std::size_t dimension() const noexcept override {
+        return fit_.model.dimension();
+    }
+    double predict(const numeric::vec& x) const override {
+        return fit_.model.predict(x);
+    }
+    std::string to_string(int precision) const override {
+        return fit_.model.to_string(precision);
+    }
+    obs::json_value describe() const override {
+        obs::json_value out{obs::json_object{}};
+        out.set("kind", "quadratic");
+        out.set("dimension", fit_.model.dimension());
+        obs::json_array coeffs;
+        for (double b : fit_.model.coefficients()) coeffs.push_back(b);
+        out.set("coefficients", std::move(coeffs));
+        return out;
+    }
+
+    const fit_result& result() const noexcept { return fit_; }
+
+private:
+    fit_result fit_;
+};
+
+class stepwise_surface final : public fitted_surface {
+public:
+    stepwise_surface(stepwise_result fit, std::size_t dimension)
+        : fit_(std::move(fit)), k_(dimension) {}
+
+    std::size_t dimension() const noexcept override { return k_; }
+    double predict(const numeric::vec& x) const override {
+        return fit_.model.predict(x);
+    }
+    std::string to_string(int precision) const override {
+        return fit_.model.to_string(precision);
+    }
+    obs::json_value describe() const override {
+        obs::json_value out{obs::json_object{}};
+        out.set("kind", "stepwise");
+        out.set("dimension", k_);
+        obs::json_array terms;
+        for (std::size_t t : fit_.model.active_terms())
+            terms.push_back(quadratic_term_name(k_, t));
+        out.set("active_terms", std::move(terms));
+        obs::json_array coeffs;
+        for (double b : fit_.model.coefficients()) coeffs.push_back(b);
+        out.set("coefficients", std::move(coeffs));
+        obs::json_array dropped;
+        for (const std::string& name : fit_.dropped) dropped.push_back(name);
+        out.set("dropped", std::move(dropped));
+        out.set("refits", fit_.refits);
+        return out;
+    }
+
+private:
+    stepwise_result fit_;
+    std::size_t k_;
+};
+
+class gp_surface final : public fitted_surface {
+public:
+    gp_surface(gp_model model, std::size_t dimension)
+        : model_(std::move(model)), k_(dimension) {}
+
+    std::size_t dimension() const noexcept override { return k_; }
+    double predict(const numeric::vec& x) const override {
+        return model_.predict(x);
+    }
+    bool has_variance() const noexcept override { return true; }
+    double predict_variance(const numeric::vec& x) const override {
+        return model_.predict_variance(x);
+    }
+    std::string to_string(int precision) const override {
+        std::ostringstream os;
+        os.precision(precision);
+        const gp_params& p = model_.params();
+        os << "GP(l = " << p.length_scale << ", s^2 = " << p.signal_variance
+           << ", nugget = " << p.noise_variance
+           << "; lml = " << model_.log_marginal_likelihood() << ")";
+        return os.str();
+    }
+    obs::json_value describe() const override {
+        obs::json_value out{obs::json_object{}};
+        out.set("kind", "gp");
+        out.set("dimension", k_);
+        out.set("length_scale", model_.params().length_scale);
+        out.set("signal_variance", model_.params().signal_variance);
+        out.set("noise_variance", model_.params().noise_variance);
+        out.set("log_marginal_likelihood", model_.log_marginal_likelihood());
+        out.set("training_size", model_.training_size());
+        return out;
+    }
+
+private:
+    gp_model model_;
+    std::size_t k_;
+};
+
+// ---- Surrogate families ------------------------------------------------
+
+class quadratic_surrogate final : public surrogate_model {
+public:
+    std::string name() const override { return "quadratic"; }
+    std::string description() const override {
+        return "full quadratic response surface, least squares (paper eq. 9)";
+    }
+
+    /// The quadratic fit reuses fit_quadratic's own diagnostics verbatim —
+    /// identical numbers to the pre-registry flow, and the hat-matrix PRESS
+    /// (exact leave-one-out for a linear model) instead of n refits.
+    surrogate_fit fit(const std::vector<numeric::vec>& points,
+                      const numeric::vec& y) const override {
+        check_shapes(points, y, "rsm::surrogate[quadratic]");
+        fit_result f = fit_quadratic(points, y);
+        surrogate_fit out;
+        out.surrogate = name();
+        out.fitted = f.fitted;
+        out.residuals = f.residuals;
+        out.sse = f.sse;
+        out.r_squared = f.r_squared;
+        out.adj_r_squared = f.adj_r_squared;
+        out.loo_rmse = f.press_rmse;
+        out.surface = std::make_shared<quadratic_surface>(std::move(f));
+        return out;
+    }
+
+protected:
+    std::shared_ptr<const fitted_surface> fit_surface(
+        const std::vector<numeric::vec>& points, const numeric::vec& y,
+        std::size_t& effective_terms) const override {
+        effective_terms = quadratic_term_count(points.front().size());
+        return std::make_shared<quadratic_surface>(fit_quadratic(points, y));
+    }
+};
+
+class stepwise_surrogate final : public surrogate_model {
+public:
+    std::string name() const override { return "stepwise"; }
+    std::string description() const override {
+        return "backward-eliminated quadratic (needs runs > term count)";
+    }
+
+protected:
+    std::shared_ptr<const fitted_surface> fit_surface(
+        const std::vector<numeric::vec>& points, const numeric::vec& y,
+        std::size_t& effective_terms) const override {
+        stepwise_result f = backward_eliminate(points, y);
+        effective_terms = f.model.active_terms().size();
+        return std::make_shared<stepwise_surface>(std::move(f),
+                                                  points.front().size());
+    }
+};
+
+class gp_surrogate final : public surrogate_model {
+public:
+    std::string name() const override { return "gp"; }
+    std::string description() const override {
+        return "Gaussian process, squared-exponential kernel, "
+               "likelihood-tuned hyperparameters";
+    }
+
+protected:
+    std::shared_ptr<const fitted_surface> fit_surface(
+        const std::vector<numeric::vec>& points, const numeric::vec& y,
+        std::size_t& effective_terms) const override {
+        // Nugget scaled to the response spread so counts in the hundreds
+        // and unit-scale responses condition the kernel matrix equally.
+        const double nugget =
+            std::max(1e-8, 1e-6 * numeric::sample_variance(y));
+        gp_model model = fit_gp_auto(points, y, nugget);
+        effective_terms = 3;  // length scale, signal variance, mean
+        return std::make_shared<gp_surface>(std::move(model),
+                                            points.front().size());
+    }
+};
+
+}  // namespace
+
+double fitted_surface::predict_variance(const numeric::vec&) const {
+    throw std::logic_error(
+        "fitted_surface::predict_variance: this surface has no variance "
+        "model (check has_variance())");
+}
+
+const fit_result* surrogate_fit::quadratic() const noexcept {
+    const auto* q = dynamic_cast<const quadratic_surface*>(surface.get());
+    return q ? &q->result() : nullptr;
+}
+
+obs::json_value surrogate_fit::diagnostics() const {
+    obs::json_value out{obs::json_object{}};
+    out.set("surrogate", surrogate);
+    out.set("r_squared", r_squared);
+    out.set("adj_r_squared", adj_r_squared);
+    out.set("sse", sse);
+    out.set("loo_rmse", loo_rmse);  // null in JSON when non-finite
+    if (surface) out.set("model", surface->describe());
+    return out;
+}
+
+surrogate_fit surrogate_model::fit(const std::vector<numeric::vec>& points,
+                                   const numeric::vec& y) const {
+    check_shapes(points, y, "rsm::surrogate_model::fit");
+    surrogate_fit out;
+    out.surrogate = name();
+    std::size_t effective_terms = 0;
+    out.surface = fit_surface(points, y, effective_terms);
+
+    const std::size_t n = y.size();
+    out.fitted.resize(n);
+    out.residuals.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.fitted[i] = out.surface->predict(points[i]);
+        out.residuals[i] = y[i] - out.fitted[i];
+    }
+    out.sse = numeric::residual_sum_squares(y, out.fitted);
+    out.r_squared = numeric::r_squared(y, out.fitted);
+    out.adj_r_squared = numeric::adjusted_r_squared(y, out.fitted,
+                                                    effective_terms);
+    out.loo_rmse = loo_rmse(points, y);
+    return out;
+}
+
+double surrogate_model::loo_rmse(const std::vector<numeric::vec>& points,
+                                 const numeric::vec& y) const {
+    const std::size_t n = y.size();
+    if (n < 3) return std::numeric_limits<double>::infinity();
+    double sum_sq = 0.0;
+    for (std::size_t holdout = 0; holdout < n; ++holdout) {
+        std::vector<numeric::vec> fold_points;
+        numeric::vec fold_y;
+        fold_points.reserve(n - 1);
+        fold_y.reserve(n - 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == holdout) continue;
+            fold_points.push_back(points[i]);
+            fold_y.push_back(y[i]);
+        }
+        try {
+            std::size_t terms = 0;
+            const auto surface = fit_surface(fold_points, fold_y, terms);
+            const double e = y[holdout] - surface->predict(points[holdout]);
+            sum_sq += e * e;
+        } catch (const std::exception&) {
+            // A fold this family cannot fit (too few runs, singular
+            // design): leave-one-out is undefined at this budget.
+            return std::numeric_limits<double>::infinity();
+        }
+    }
+    return std::sqrt(sum_sq / static_cast<double>(n));
+}
+
+const std::vector<surrogate_info>& surrogate_registry() {
+    static const std::vector<surrogate_info> registry = [] {
+        std::vector<surrogate_info> out;
+        for (const auto& model :
+             {std::shared_ptr<surrogate_model>(
+                  std::make_shared<quadratic_surrogate>()),
+              std::shared_ptr<surrogate_model>(
+                  std::make_shared<stepwise_surrogate>()),
+              std::shared_ptr<surrogate_model>(
+                  std::make_shared<gp_surrogate>())})
+            out.push_back({model->name(), model->description()});
+        return out;
+    }();
+    return registry;
+}
+
+bool is_known_surrogate(std::string_view name) noexcept {
+    for (const auto& info : surrogate_registry())
+        if (info.name == name) return true;
+    return false;
+}
+
+std::string surrogate_names() {
+    std::string out;
+    for (const auto& info : surrogate_registry()) {
+        if (!out.empty()) out += ", ";
+        out += info.name;
+    }
+    return out;
+}
+
+std::shared_ptr<surrogate_model> make_surrogate(std::string_view name) {
+    if (name == "quadratic") return std::make_shared<quadratic_surrogate>();
+    if (name == "stepwise") return std::make_shared<stepwise_surrogate>();
+    if (name == "gp") return std::make_shared<gp_surrogate>();
+    throw std::invalid_argument("rsm::make_surrogate: unknown surrogate '" +
+                                std::string(name) + "' (valid: " +
+                                surrogate_names() + ")");
+}
+
+}  // namespace ehdse::rsm

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "doe/design.hpp"
+#include "rsm/surrogate.hpp"
+
 namespace ehdse::spec {
 
 namespace {
@@ -110,6 +113,12 @@ evaluation_options evaluation_options::canonicalized() const {
 void flow_spec::validate() const {
     if (doe_runs < 1) fail("flow.doe_runs must be >= 1");
     if (factorial_levels < 2) fail("flow.factorial_levels must be >= 2");
+    if (!doe::is_known_design(design))
+        fail("flow.design: unknown design '" + design + "' (valid: " +
+             doe::design_names() + ")");
+    if (!rsm::is_known_surrogate(surrogate))
+        fail("flow.surrogate: unknown surrogate '" + surrogate +
+             "' (valid: " + rsm::surrogate_names() + ")");
     if (replicates < 1) fail("flow.replicates must be >= 1");
     if (cache && cache_capacity < 1)
         fail("flow.cache_capacity must be >= 1 when the cache is on");
@@ -121,6 +130,14 @@ flow_spec flow_spec::canonicalized() const {
     if (!out.parallel) out.jobs = defaults.jobs;
     if (!out.cache) out.cache_capacity = defaults.cache_capacity;
     if (out.replicates <= 1) out.replicate_seed_base = defaults.replicate_seed_base;
+    // Design knobs the chosen family never reads (e.g. doe_runs under
+    // box_behnken) cannot be observed; leave unknown names untouched so
+    // canonicalized() stays total — validate() rejects them separately.
+    if (doe::is_known_design(out.design)) {
+        if (!doe::design_uses_runs(out.design)) out.doe_runs = defaults.doe_runs;
+        if (!doe::design_uses_levels(out.design))
+            out.factorial_levels = defaults.factorial_levels;
+    }
     return out;
 }
 

@@ -141,8 +141,16 @@ struct evaluation_options {
 /// WHAT run_rsm_flow computes. Pools, manifests, progress callbacks and
 /// custom optimiser instances are runtime wiring and stay out.
 struct flow_spec {
-    std::size_t doe_runs = 10;        ///< D-optimal design size (paper: 10)
+    std::size_t doe_runs = 10;        ///< design run budget (paper: 10)
     std::size_t factorial_levels = 3; ///< candidate grid per axis (paper: 3)
+    /// Experimental design by registry name (doe::make_design):
+    /// d_optimal (paper), full_factorial, central_composite, box_behnken,
+    /// lhs. Families that ignore doe_runs / factorial_levels canonicalise
+    /// those knobs away.
+    std::string design = "d_optimal";
+    /// Surrogate model by registry name (rsm::make_surrogate): quadratic
+    /// (paper eq. 9), stepwise, gp.
+    std::string surrogate = "quadratic";
     std::uint64_t optimizer_seed = 0x0b7a1;
     std::size_t replicates = 1;
     std::uint64_t replicate_seed_base = 1;
@@ -159,7 +167,8 @@ struct flow_spec {
 
     /// Copy with unobservable fields reset: jobs when not parallel,
     /// cache_capacity when the cache is off, replicate_seed_base when
-    /// nothing is replicated.
+    /// nothing is replicated, doe_runs / factorial_levels when the chosen
+    /// design family does not read them.
     flow_spec canonicalized() const;
 
     bool operator==(const flow_spec&) const = default;

@@ -177,6 +177,8 @@ flow_spec flow_from_json(const obs::json_value& value) {
     flow_spec f;
     f.doe_runs = r.size("doe_runs", f.doe_runs);
     f.factorial_levels = r.size("factorial_levels", f.factorial_levels);
+    f.design = r.string("design", f.design);
+    f.surrogate = r.string("surrogate", f.surrogate);
     f.optimizer_seed = r.seed("optimizer_seed", f.optimizer_seed);
     f.replicates = r.size("replicates", f.replicates);
     f.replicate_seed_base = r.seed("replicate_seed_base", f.replicate_seed_base);
@@ -229,6 +231,8 @@ obs::json_value to_json(const flow_spec& f) {
     obs::json_value out{obs::json_object{}};
     out.set("doe_runs", f.doe_runs);
     out.set("factorial_levels", f.factorial_levels);
+    out.set("design", f.design);
+    out.set("surrogate", f.surrogate);
     out.set("optimizer_seed", f.optimizer_seed);
     out.set("replicates", f.replicates);
     out.set("replicate_seed_base", f.replicate_seed_base);
@@ -277,7 +281,7 @@ frontend_kind frontend_from_string(std::string_view name) {
 experiment_spec spec_from_json(const obs::json_value& doc) {
     const object_reader r(doc, "");
     const std::string schema = r.string("schema", k_spec_schema);
-    if (schema != k_spec_schema)
+    if (schema != k_spec_schema && schema != k_spec_schema_legacy)
         fail("unsupported schema '" + schema + "' (expected '" +
              k_spec_schema + "')");
     experiment_spec spec;

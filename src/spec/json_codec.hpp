@@ -22,8 +22,15 @@
 
 namespace ehdse::spec {
 
-/// Schema identifier written into every spec document.
-inline constexpr const char* k_spec_schema = "ehdse.experiment_spec/1";
+/// Schema identifier written into every spec document. /2 added the
+/// flow.design / flow.surrogate fields.
+inline constexpr const char* k_spec_schema = "ehdse.experiment_spec/2";
+
+/// The pre-registry layout, still accepted on parse: a /1 document never
+/// carries the /2 fields, and absent keys mean defaults (d_optimal +
+/// quadratic — exactly what /1 hardwired), so old dumped specs replay
+/// unchanged.
+inline constexpr const char* k_spec_schema_legacy = "ehdse.experiment_spec/1";
 
 obs::json_value to_json(const scenario& s);
 obs::json_value to_json(const system_config& c);

@@ -16,6 +16,13 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
 
 std::uint64_t bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
 
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) noexcept {
+    h = mix(h, s.size());
+    for (const char ch : s)
+        h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+    return h;
+}
+
 std::uint64_t mix_schedule(
     std::uint64_t h,
     const std::vector<std::pair<double, double>>& schedule) noexcept {
@@ -76,6 +83,8 @@ std::uint64_t spec_hash(const flow_spec& f) noexcept {
     std::uint64_t h = mix(k_seed_flow, k_spec_hash_version);
     h = mix(h, f.doe_runs);
     h = mix(h, f.factorial_levels);
+    h = mix_string(h, f.design);
+    h = mix_string(h, f.surrogate);
     h = mix(h, f.optimizer_seed);
     h = mix(h, f.replicates);
     h = mix(h, f.replicate_seed_base);
@@ -84,11 +93,7 @@ std::uint64_t spec_hash(const flow_spec& f) noexcept {
     h = mix(h, f.cache ? 1 : 0);
     h = mix(h, f.cache_capacity);
     h = mix(h, f.optimizers.size());
-    for (const std::string& name : f.optimizers) {
-        h = mix(h, name.size());
-        for (const char ch : name)
-            h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
-    }
+    for (const std::string& name : f.optimizers) h = mix_string(h, name);
     return h;
 }
 

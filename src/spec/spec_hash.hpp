@@ -25,7 +25,8 @@
 
 namespace ehdse::spec {
 
-inline constexpr std::uint64_t k_spec_hash_version = 1;
+/// Version 2: flow_spec gained design / surrogate (schema /2).
+inline constexpr std::uint64_t k_spec_hash_version = 2;
 
 std::uint64_t spec_hash(const scenario& s) noexcept;
 std::uint64_t spec_hash(const system_config& c) noexcept;

@@ -1,0 +1,150 @@
+// The design registry: doe::make_design resolves every registered name to
+// a coded point set with the documented shape, deterministically, and
+// unknown names fail listing the valid choices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "doe/d_optimal.hpp"
+#include "doe/design.hpp"
+#include "doe/designs.hpp"
+#include "rsm/quadratic_model.hpp"
+
+namespace ed = ehdse::doe;
+namespace nm = ehdse::numeric;
+
+namespace {
+
+ed::design_request request_for(const std::string& name, std::size_t k = 3,
+                               std::size_t runs = 10) {
+    ed::design_request r;
+    r.name = name;
+    r.dimension = k;
+    r.runs = runs;
+    r.basis = [](const nm::vec& x) { return ehdse::rsm::quadratic_basis(x); };
+    return r;
+}
+
+}  // namespace
+
+TEST(DesignRegistry, ListsTheFiveDesigns) {
+    const auto& registry = ed::design_registry();
+    ASSERT_EQ(registry.size(), 5u);
+    EXPECT_EQ(registry[0].name, "d_optimal");
+    EXPECT_EQ(registry[1].name, "full_factorial");
+    EXPECT_EQ(registry[2].name, "central_composite");
+    EXPECT_EQ(registry[3].name, "box_behnken");
+    EXPECT_EQ(registry[4].name, "lhs");
+    for (const auto& info : registry) {
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        EXPECT_TRUE(ed::is_known_design(info.name));
+    }
+    EXPECT_FALSE(ed::is_known_design("plackett_burman"));
+}
+
+TEST(DesignRegistry, UnknownNameListsValidChoices) {
+    try {
+        ed::make_design(request_for("taguchi"));
+        FAIL() << "unknown design was accepted";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("unknown design 'taguchi'"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("d_optimal"), std::string::npos) << message;
+        EXPECT_NE(message.find("box_behnken"), std::string::npos) << message;
+    }
+    EXPECT_THROW(ed::design_uses_runs("taguchi"), std::invalid_argument);
+    EXPECT_THROW(ed::design_uses_levels("taguchi"), std::invalid_argument);
+}
+
+TEST(DesignRegistry, RunAndLevelUsageFlags) {
+    EXPECT_TRUE(ed::design_uses_runs("d_optimal"));
+    EXPECT_TRUE(ed::design_uses_levels("d_optimal"));
+    EXPECT_FALSE(ed::design_uses_runs("full_factorial"));
+    EXPECT_TRUE(ed::design_uses_levels("full_factorial"));
+    EXPECT_FALSE(ed::design_uses_runs("central_composite"));
+    EXPECT_FALSE(ed::design_uses_levels("central_composite"));
+    EXPECT_FALSE(ed::design_uses_runs("box_behnken"));
+    EXPECT_FALSE(ed::design_uses_levels("box_behnken"));
+    EXPECT_TRUE(ed::design_uses_runs("lhs"));
+    EXPECT_FALSE(ed::design_uses_levels("lhs"));
+}
+
+TEST(DesignRegistry, ShapesMatchTheClassicalDesigns) {
+    // D-optimal: `runs` points picked from the 3^k grid.
+    const auto dopt = ed::make_design(request_for("d_optimal"));
+    EXPECT_EQ(dopt.candidates.size(), 27u);
+    EXPECT_EQ(dopt.points.size(), 10u);
+    EXPECT_TRUE(std::isfinite(dopt.log_det));
+
+    // Full factorial: every grid point, identity selection.
+    const auto full = ed::make_design(request_for("full_factorial"));
+    EXPECT_EQ(full.points.size(), 27u);
+    ASSERT_EQ(full.selected.size(), 27u);
+    for (std::size_t i = 0; i < full.selected.size(); ++i)
+        EXPECT_EQ(full.selected[i], i);
+
+    // Face-centred CCD for k = 3: 8 corners + 6 axial + 1 centre = 15.
+    const auto ccd = ed::make_design(request_for("central_composite"));
+    EXPECT_EQ(ccd.points.size(), 15u);
+
+    // Box-Behnken for k = 3: 12 edge midpoints + 1 centre = 13.
+    const auto bb = ed::make_design(request_for("box_behnken"));
+    EXPECT_EQ(bb.points.size(), 13u);
+
+    // LHS: exactly `runs` points inside the coded box.
+    const auto lhs = ed::make_design(request_for("lhs", 3, 12));
+    EXPECT_EQ(lhs.points.size(), 12u);
+    for (const nm::vec& x : lhs.points) {
+        ASSERT_EQ(x.size(), 3u);
+        for (double v : x) {
+            EXPECT_GE(v, -1.0);
+            EXPECT_LE(v, 1.0);
+        }
+    }
+}
+
+// Same request, same options -> identical points (the LHS draws from the
+// seeded rng in design_options, not from global state).
+TEST(DesignRegistry, DeterministicAcrossCalls) {
+    for (const auto& info : ed::design_registry()) {
+        const auto a = ed::make_design(request_for(info.name));
+        const auto b = ed::make_design(request_for(info.name));
+        ASSERT_EQ(a.points.size(), b.points.size()) << info.name;
+        for (std::size_t i = 0; i < a.points.size(); ++i)
+            EXPECT_EQ(a.points[i], b.points[i]) << info.name << " point " << i;
+    }
+    // A different seed moves the stochastic designs.
+    ed::design_options other;
+    other.seed = 123;
+    const auto lhs_a = ed::make_design(request_for("lhs"));
+    const auto lhs_b = ed::make_design(request_for("lhs"), other);
+    EXPECT_NE(lhs_a.points, lhs_b.points);
+}
+
+// The registry's d_optimal agrees with the legacy direct call it wraps.
+TEST(DesignRegistry, DOptimalMatchesLegacyEntryPoint) {
+    const auto request = request_for("d_optimal");
+    const auto via_registry = ed::make_design(request);
+    const auto candidates = ed::full_factorial(3, 3);
+    ed::d_optimal_options legacy_options;
+    const auto legacy =
+        ed::d_optimal_design(candidates, request.basis, 10, legacy_options);
+    EXPECT_EQ(via_registry.selected, legacy.selected);
+    EXPECT_DOUBLE_EQ(via_registry.log_det, legacy.log_det);
+}
+
+// d_optimal needs a basis to score information; asking for it without one
+// is a caller error, while basis-free designs work without it.
+TEST(DesignRegistry, BasisRequirement) {
+    ed::design_request bare;
+    bare.name = "d_optimal";
+    EXPECT_THROW(ed::make_design(bare), std::invalid_argument);
+
+    bare.name = "box_behnken";
+    const auto bb = ed::make_design(bare);
+    EXPECT_EQ(bb.points.size(), 13u);
+    EXPECT_TRUE(std::isnan(bb.log_det));  // no basis, no information score
+}

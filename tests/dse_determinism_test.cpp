@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "dse/rsm_flow.hpp"
+#include "rsm/quadratic_model.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace ed = ehdse::dse;
@@ -26,8 +27,12 @@ void expect_identical(const ed::flow_result& a, const ed::flow_result& b) {
     for (std::size_t i = 0; i < a.responses.size(); ++i)
         EXPECT_DOUBLE_EQ(a.responses[i], b.responses[i]) << "response " << i;
 
-    const auto& ca = a.fit.model.coefficients();
-    const auto& cb = b.fit.model.coefficients();
+    const ehdse::rsm::fit_result* fa = a.fit.quadratic();
+    const ehdse::rsm::fit_result* fb = b.fit.quadratic();
+    ASSERT_NE(fa, nullptr);
+    ASSERT_NE(fb, nullptr);
+    const auto& ca = fa->model.coefficients();
+    const auto& cb = fb->model.coefficients();
     ASSERT_EQ(ca.size(), cb.size());
     for (std::size_t i = 0; i < ca.size(); ++i)
         EXPECT_DOUBLE_EQ(ca[i], cb[i]) << "coefficient " << i;

@@ -32,8 +32,9 @@ const ed::flow_result& shared_flow() {
 
 TEST(Flow, DoeSelectsRequestedRunCount) {
     const auto& r = shared_flow();
-    EXPECT_EQ(r.candidates.size(), 27u);
-    EXPECT_EQ(r.selection.selected.size(), 10u);
+    EXPECT_EQ(r.design.candidates.size(), 27u);
+    EXPECT_EQ(r.design.selected.size(), 10u);
+    EXPECT_EQ(r.design.points.size(), 10u);
     EXPECT_EQ(r.design_coded.size(), 10u);
     EXPECT_EQ(r.design_configs.size(), 10u);
     EXPECT_EQ(r.responses.size(), 10u);
@@ -105,7 +106,9 @@ TEST(Flow, ReplicatedRunsEnableLackOfFit) {
     // Each consecutive pair shares a design point (replicate layout).
     for (std::size_t i = 0; i + 1 < r.design_coded.size(); i += 2)
         EXPECT_EQ(r.design_coded[i], r.design_coded[i + 1]);
-    const auto lof = ehdse::rsm::lack_of_fit(r.design_coded, r.responses, r.fit);
+    const ehdse::rsm::fit_result* fit = r.fit.quadratic();
+    ASSERT_NE(fit, nullptr);
+    const auto lof = ehdse::rsm::lack_of_fit(r.design_coded, r.responses, *fit);
     EXPECT_TRUE(lof.testable);
     EXPECT_EQ(lof.replicate_groups, 12u);
 }
@@ -265,6 +268,6 @@ TEST(Flow, ReducedDoeRunsStillWork) {
     opts.doe_runs = 14;
     const auto r = ed::run_rsm_flow(ev, opts);
     EXPECT_EQ(r.design_coded.size(), 14u);
-    // Over-determined fit: R^2 well-defined and PRESS finite.
-    EXPECT_TRUE(std::isfinite(r.fit.press_rmse));
+    // Over-determined fit: R^2 well-defined and LOO-CV RMSE finite.
+    EXPECT_TRUE(std::isfinite(r.fit.loo_rmse));
 }

@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "dse/rsm_flow.hpp"
+#include "rsm/quadratic_model.hpp"
 
 namespace ed = ehdse::dse;
 namespace em = ehdse::mcu;
@@ -53,7 +54,9 @@ TEST(PaperIntegration, TransmissionIntervalIsDominantEffect) {
     // Fig. 4 / eq. 9: the x3 linear coefficient dwarfs x1's and x2's.
     ed::system_evaluator ev;
     const auto flow = ed::run_rsm_flow(ev, {});
-    const auto& m = flow.fit.model;
+    const ehdse::rsm::fit_result* fit = flow.fit.quadratic();
+    ASSERT_NE(fit, nullptr);
+    const auto& m = fit->model;
     EXPECT_GT(std::abs(m.linear(2)), std::abs(m.linear(0)));
     EXPECT_GT(std::abs(m.linear(2)), std::abs(m.linear(1)));
     // And the sign matches: smaller interval -> more transmissions.

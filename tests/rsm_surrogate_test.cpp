@@ -1,0 +1,165 @@
+// The surrogate registry: every model rsm::make_surrogate builds must fit
+// the same (points, responses) pair through the same surrogate_fit shape —
+// deterministic predictions, uniform diagnostics (R^2, adjusted R^2,
+// LOO-CV RMSE) — and unknown names must fail naming the offender and the
+// valid choices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "doe/design.hpp"
+#include "rsm/quadratic_model.hpp"
+#include "rsm/surrogate.hpp"
+
+namespace er = ehdse::rsm;
+namespace nm = ehdse::numeric;
+
+namespace {
+
+/// Shared 10-run training set: a k = 2 LHS (6 quadratic terms, so the
+/// stepwise surrogate has residual degrees of freedom too) with a smooth
+/// deterministic response.
+struct training_set {
+    std::vector<nm::vec> points;
+    nm::vec y;
+};
+
+const training_set& shared_training() {
+    static const training_set data = [] {
+        ehdse::doe::design_request request;
+        request.name = "lhs";
+        request.dimension = 2;
+        request.runs = 10;
+        const auto design = ehdse::doe::make_design(request);
+        training_set out;
+        out.points = design.points;
+        for (const nm::vec& x : out.points)
+            out.y.push_back(5.0 + 2.0 * x[0] - 3.0 * x[1] + 1.5 * x[0] * x[1] -
+                            0.8 * x[0] * x[0] + std::sin(1.3 * x[1]));
+        return out;
+    }();
+    return data;
+}
+
+}  // namespace
+
+TEST(SurrogateRegistry, ListsTheThreeModels) {
+    const auto& registry = er::surrogate_registry();
+    ASSERT_EQ(registry.size(), 3u);
+    EXPECT_EQ(registry[0].name, "quadratic");
+    EXPECT_EQ(registry[1].name, "stepwise");
+    EXPECT_EQ(registry[2].name, "gp");
+    for (const auto& info : registry) {
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        EXPECT_TRUE(er::is_known_surrogate(info.name));
+        EXPECT_EQ(er::make_surrogate(info.name)->name(), info.name);
+    }
+    EXPECT_FALSE(er::is_known_surrogate("cubic"));
+}
+
+TEST(SurrogateRegistry, UnknownNameListsValidChoices) {
+    try {
+        er::make_surrogate("splines");
+        FAIL() << "unknown surrogate was accepted";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("unknown surrogate 'splines'"),
+                  std::string::npos) << message;
+        EXPECT_NE(message.find("quadratic"), std::string::npos) << message;
+        EXPECT_NE(message.find("stepwise"), std::string::npos) << message;
+        EXPECT_NE(message.find("gp"), std::string::npos) << message;
+    }
+}
+
+// Every registered surrogate fits the same 10-run design: predictions are
+// finite and deterministic across refits, and the uniform LOO-CV RMSE
+// diagnostic is populated.
+TEST(SurrogateRegistry, EveryModelFitsTheSharedDesign) {
+    const auto& data = shared_training();
+    for (const auto& info : er::surrogate_registry()) {
+        const auto model = er::make_surrogate(info.name);
+        const er::surrogate_fit a = model->fit(data.points, data.y);
+        const er::surrogate_fit b = model->fit(data.points, data.y);
+        EXPECT_EQ(a.surrogate, info.name);
+        ASSERT_NE(a.surface, nullptr) << info.name;
+        EXPECT_EQ(a.surface->dimension(), 2u) << info.name;
+        EXPECT_TRUE(std::isfinite(a.r_squared)) << info.name;
+        EXPECT_TRUE(std::isfinite(a.adj_r_squared)) << info.name;
+        EXPECT_TRUE(std::isfinite(a.loo_rmse)) << info.name;
+        EXPECT_GE(a.loo_rmse, 0.0) << info.name;
+        ASSERT_EQ(a.fitted.size(), data.y.size()) << info.name;
+        ASSERT_EQ(a.residuals.size(), data.y.size()) << info.name;
+        for (const nm::vec& x : data.points) {
+            const double pa = a.predict(x);
+            EXPECT_TRUE(std::isfinite(pa)) << info.name;
+            EXPECT_DOUBLE_EQ(pa, b.predict(x)) << info.name;
+        }
+        // The fit describes itself as JSON-able diagnostics.
+        const auto doc = a.diagnostics();
+        EXPECT_EQ(doc.at("surrogate").as_string(), info.name);
+        EXPECT_TRUE(doc.at("model").is_object()) << info.name;
+    }
+}
+
+// The quadratic adapter is the paper's least-squares fit verbatim: same
+// coefficients, and LOO-CV RMSE equal to the analytic PRESS RMSE.
+TEST(SurrogateRegistry, QuadraticAdapterMatchesFitQuadratic) {
+    const auto& data = shared_training();
+    const auto fit = er::make_surrogate("quadratic")->fit(data.points, data.y);
+    const er::fit_result direct = er::fit_quadratic(data.points, data.y);
+    const er::fit_result* via_accessor = fit.quadratic();
+    ASSERT_NE(via_accessor, nullptr);
+    ASSERT_EQ(via_accessor->model.coefficients().size(),
+              direct.model.coefficients().size());
+    for (std::size_t i = 0; i < direct.model.coefficients().size(); ++i)
+        EXPECT_DOUBLE_EQ(via_accessor->model.coefficients()[i],
+                         direct.model.coefficients()[i]);
+    EXPECT_DOUBLE_EQ(fit.r_squared, direct.r_squared);
+    EXPECT_DOUBLE_EQ(fit.adj_r_squared, direct.adj_r_squared);
+    EXPECT_DOUBLE_EQ(fit.sse, direct.sse);
+    EXPECT_DOUBLE_EQ(fit.loo_rmse, direct.press_rmse);
+}
+
+// Only the GP carries predictive variance; the polynomial surfaces say so
+// rather than returning garbage.
+TEST(SurrogateRegistry, VarianceOnlyOnTheGp) {
+    const auto& data = shared_training();
+    const auto gp = er::make_surrogate("gp")->fit(data.points, data.y);
+    EXPECT_TRUE(gp.surface->has_variance());
+    const double var = gp.surface->predict_variance({0.25, -0.5});
+    EXPECT_TRUE(std::isfinite(var));
+    EXPECT_GE(var, 0.0);
+
+    const auto quad = er::make_surrogate("quadratic")->fit(data.points, data.y);
+    EXPECT_FALSE(quad.surface->has_variance());
+    EXPECT_THROW(quad.surface->predict_variance({0.0, 0.0}), std::logic_error);
+
+    // The non-quadratic surfaces expose no fit_result.
+    EXPECT_EQ(gp.quadratic(), nullptr);
+}
+
+// A saturated design (k = 3, 10 runs = 10 terms) leaves no degrees of
+// freedom for cross-validation: the quadratic reports +inf, and the
+// stepwise surrogate (which needs runs > term count) refuses to fit.
+TEST(SurrogateRegistry, SaturatedDesignDiagnostics) {
+    ehdse::doe::design_request request;
+    request.dimension = 3;
+    request.runs = 10;
+    request.basis = [](const nm::vec& x) { return er::quadratic_basis(x); };
+    const auto design = ehdse::doe::make_design(request);
+    nm::vec y;
+    for (const nm::vec& x : design.points)
+        y.push_back(1.0 + x[0] + 2.0 * x[1] - x[2]);
+    const auto quad = er::make_surrogate("quadratic")->fit(design.points, y);
+    EXPECT_NEAR(quad.r_squared, 1.0, 1e-9);
+    EXPECT_TRUE(std::isinf(quad.loo_rmse));
+    EXPECT_THROW(er::make_surrogate("stepwise")->fit(design.points, y),
+                 std::exception);
+}
+
+TEST(SurrogateRegistry, ShapeMismatchRejected) {
+    const auto model = er::make_surrogate("quadratic");
+    EXPECT_THROW(model->fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(model->fit({{0.0, 0.0}}, {1.0, 2.0}), std::invalid_argument);
+}

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "doe/design.hpp"
+#include "opt/optimizer.hpp"
+#include "rsm/surrogate.hpp"
 #include "spec/experiment_spec.hpp"
 #include "spec/json_codec.hpp"
 #include "spec/spec_hash.hpp"
@@ -35,6 +38,8 @@ es::experiment_spec rich_spec() {
     s.eval.frontend = es::frontend_kind::mppt;
     s.eval.frontend_efficiency = 0.6;
     s.flow.doe_runs = 12;
+    s.flow.design = "lhs";
+    s.flow.surrogate = "gp";
     s.flow.optimizer_seed = 99;
     s.flow.replicates = 3;
     s.flow.replicate_seed_base = 1000;
@@ -87,6 +92,7 @@ TEST(SpecJson, GoldenDefaultDocument) {
         "\"controller_seed\":24301,\"fidelity\":\"envelope\","
         "\"frontend\":\"diode_bridge\",\"frontend_efficiency\":0.75},"
         "\"flow\":{\"doe_runs\":10,\"factorial_levels\":3,"
+        "\"design\":\"d_optimal\",\"surrogate\":\"quadratic\","
         "\"optimizer_seed\":47009,\"replicates\":1,"
         "\"replicate_seed_base\":1,\"parallel\":false,\"jobs\":0,"
         "\"cache\":true,\"cache_capacity\":128,\"optimizers\":[]}}";
@@ -97,11 +103,11 @@ TEST(SpecJson, GoldenDefaultDocument) {
 // previously stored manifest/cache key stops matching — bump
 // k_spec_hash_version when that is intentional.
 TEST(SpecHash, ReferenceValuesAreStable) {
-    ASSERT_EQ(es::k_spec_hash_version, 1);
+    ASSERT_EQ(es::k_spec_hash_version, 2);
     EXPECT_EQ(es::spec_hash_hex(es::spec_hash(es::experiment_spec{})),
-              "aa6fb7534b447dad");
+              "dcf9ec62065360f7");
     EXPECT_EQ(es::spec_hash_hex(es::spec_hash(rich_spec())),
-              "5a953b13af441d0b");
+              "5c5fa154f212b606");
 }
 
 // The hash sees every part: perturbing one field in any of the four
@@ -140,6 +146,16 @@ TEST(SpecHash, CanonicalFormsOfEquivalentSpecsAgree) {
     EXPECT_EQ(es::spec_hash(a.canonicalized()),
               es::spec_hash(b.canonicalized()));
     EXPECT_EQ(b.canonicalized().canonicalized(), b.canonicalized());
+
+    // Design-dependent knobs are unobservable for designs that ignore
+    // them: a CCD fixes its own run count and uses no candidate grid.
+    es::experiment_spec c;
+    c.flow.design = "central_composite";
+    es::experiment_spec d = c;
+    d.flow.doe_runs = 99;
+    d.flow.factorial_levels = 5;
+    EXPECT_NE(c, d);
+    EXPECT_EQ(c.canonicalized(), d.canonicalized());
 }
 
 TEST(SpecJson, UnknownKeyIsRejectedByName) {
@@ -154,6 +170,55 @@ TEST(SpecJson, UnknownKeyIsRejectedByName) {
         EXPECT_NE(std::string(e.what()).find("duration_sec"),
                   std::string::npos)
             << e.what();
+    }
+}
+
+// A document with non-default surrogate / design pins its own golden
+// bytes: the two fields serialise by name, in declaration order.
+TEST(SpecJson, GoldenNonDefaultSurrogateAndDesign) {
+    es::experiment_spec s;
+    s.flow.design = "box_behnken";
+    s.flow.surrogate = "gp";
+    const std::string text = serialize(s);
+    EXPECT_NE(text.find("\"design\":\"box_behnken\""), std::string::npos);
+    EXPECT_NE(text.find("\"surrogate\":\"gp\""), std::string::npos);
+    EXPECT_EQ(es::parse_spec(text), s);
+}
+
+// Pre-refactor documents carry schema /1 and no design / surrogate keys;
+// they must still load, with the absent fields meaning the defaults.
+TEST(SpecJson, LegacySchemaV1StillLoads) {
+    std::string text = serialize(es::experiment_spec{});
+    const std::string tag = es::k_spec_schema;
+    text.replace(text.find(tag), tag.size(), es::k_spec_schema_legacy);
+    const std::string design_field = "\"design\":\"d_optimal\",";
+    text.replace(text.find(design_field), design_field.size(), "");
+    const std::string surrogate_field = "\"surrogate\":\"quadratic\",";
+    text.replace(text.find(surrogate_field), surrogate_field.size(), "");
+    const es::experiment_spec parsed = es::parse_spec(text);
+    EXPECT_EQ(parsed, es::experiment_spec{});
+    EXPECT_EQ(parsed.flow.design, "d_optimal");
+    EXPECT_EQ(parsed.flow.surrogate, "quadratic");
+}
+
+// Every name each registry exports survives serialise -> parse inside a
+// spec — the property that makes --list-* output directly usable.
+TEST(SpecJson, RegistryNamesRoundTripThroughSpec) {
+    for (const auto& info : ehdse::rsm::surrogate_registry()) {
+        es::experiment_spec s;
+        s.flow.surrogate = info.name;
+        EXPECT_EQ(es::parse_spec(serialize(s)).flow.surrogate, info.name);
+    }
+    for (const auto& info : ehdse::doe::design_registry()) {
+        es::experiment_spec s;
+        s.flow.design = info.name;
+        EXPECT_EQ(es::parse_spec(serialize(s)).flow.design, info.name);
+    }
+    for (const auto& info : ehdse::opt::optimizer_registry()) {
+        es::experiment_spec s;
+        s.flow.optimizers = {info.name};
+        EXPECT_EQ(es::parse_spec(serialize(s)).flow.optimizers.front(),
+                  info.name);
     }
 }
 
@@ -207,6 +272,20 @@ TEST(SpecValidate, NamesTheOffendingField) {
     s = {};
     s.flow.factorial_levels = 1;
     EXPECT_NE(message_of(s).find("factorial_levels"), std::string::npos);
+
+    // Unknown registry names are rejected naming the offender AND the
+    // valid choices.
+    s = {};
+    s.flow.surrogate = "cubic";
+    EXPECT_NE(message_of(s).find("unknown surrogate 'cubic'"),
+              std::string::npos);
+    EXPECT_NE(message_of(s).find("quadratic"), std::string::npos);
+
+    s = {};
+    s.flow.design = "plackett_burman";
+    EXPECT_NE(message_of(s).find("unknown design 'plackett_burman'"),
+              std::string::npos);
+    EXPECT_NE(message_of(s).find("box_behnken"), std::string::npos);
 }
 
 // A parsed spec is validated: a well-formed document describing an

@@ -6,6 +6,7 @@
 //                      [--fidelity envelope|transient] [--trace FILE.csv]
 //                      [--metrics-out FILE.json]
 //   ehdse_cli flow     [--runs N] [--seed N] [--replicates N] [--parallel]
+//                      [--design NAME] [--surrogate NAME]
 //                      [--report FILE.md] [--metrics-out FILE.json] [--progress]
 //   ehdse_cli sweep    --param clock|watchdog|interval
 //                      [--from X] [--to X] [--points N] [--log]
@@ -33,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "doe/design.hpp"
 #include "dse/report.hpp"
 #include "dse/rsm_flow.hpp"
 #include "obs/metrics.hpp"
+#include "opt/optimizer.hpp"
+#include "rsm/surrogate.hpp"
 #include "obs/run_manifest.hpp"
 #include "spec/json_codec.hpp"
 #include "spec/spec_hash.hpp"
@@ -120,13 +124,17 @@ void print_usage() {
         "                     [--schedule FILE.csv] [--metrics-out FILE.json]\n"
         "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
+        "                     [--design NAME] [--surrogate NAME]\n"
         "                     [--parallel] [--jobs N] [--no-cache]\n"
         "                     [--report FILE.md] [--progress]\n"
         "                     [--metrics-out FILE.json]\n"
         "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
         "                     [--from X] [--to X] [--points N] [--log]\n"
+        "  ehdse_cli --list-designs | --list-surrogates | --list-optimizers\n"
         "\n"
+        "--list-* prints every registry name the flow accepts (one per\n"
+        "line with a short description) and exits 0.\n"
         "--spec seeds the run from a canonical experiment-spec JSON file\n"
         "(explicit flags still win); --dump-spec writes the spec a run\n"
         "resolves to, for replay. --metrics-out writes a run manifest\n"
@@ -354,6 +362,8 @@ int cmd_flow(const arg_map& args) {
         args.num("seed", static_cast<double>(espec.flow.optimizer_seed)));
     espec.flow.replicates = static_cast<std::size_t>(
         args.num("replicates", static_cast<double>(espec.flow.replicates)));
+    espec.flow.design = args.str("design", espec.flow.design);
+    espec.flow.surrogate = args.str("surrogate", espec.flow.surrogate);
     if (args.has("parallel")) espec.flow.parallel = true;
     espec.flow.jobs = static_cast<std::size_t>(
         args.num("jobs", static_cast<double>(espec.flow.jobs)));
@@ -397,11 +407,17 @@ int cmd_flow(const arg_map& args) {
         obs::set_global_registry(nullptr);
     }
 
-    std::printf("D-optimal: %zu of %zu candidates, log det = %.3f\n",
-                flow.selection.selected.size(), flow.candidates.size(),
-                flow.selection.log_det);
-    std::printf("fit: R^2 = %.4f\n  y = %s\n", flow.fit.r_squared,
-                flow.fit.model.to_string(2).c_str());
+    if (flow.design.name == "d_optimal")
+        std::printf("D-optimal: %zu of %zu candidates, log det = %.3f\n",
+                    flow.design.selected.size(), flow.design.candidates.size(),
+                    flow.design.log_det);
+    else
+        std::printf("design[%s]: %zu runs (of %zu candidates)\n",
+                    flow.design.name.c_str(), flow.design.points.size(),
+                    flow.design.candidates.size());
+    std::printf("fit[%s]: R^2 = %.4f, LOO-CV RMSE = %.4g\n  y = %s\n",
+                flow.fit.surrogate.c_str(), flow.fit.r_squared,
+                flow.fit.loo_rmse, flow.fit.surface->to_string(2).c_str());
     std::printf("original: %llu tx\n",
                 static_cast<unsigned long long>(flow.original_eval.transmissions));
     if (espec.flow.cache)
@@ -466,11 +482,33 @@ const std::set<std::string> k_simulate_flags = {
     "clock", "watchdog", "interval", "duration", "accel", "seed",
     "fidelity", "trace", "schedule", "metrics-out", "spec", "dump-spec"};
 const std::set<std::string> k_flow_flags = {
-    "runs", "seed", "replicates", "parallel", "jobs", "no-cache", "report",
-    "duration", "accel", "schedule", "metrics-out", "progress", "spec",
-    "dump-spec"};
+    "runs", "seed", "replicates", "design", "surrogate", "parallel", "jobs",
+    "no-cache", "report", "duration", "accel", "schedule", "metrics-out",
+    "progress", "spec", "dump-spec"};
 const std::set<std::string> k_sweep_flags = {
     "param", "from", "to", "points", "log", "duration", "accel", "schedule"};
+
+/// `--list-optimizers` / `--list-surrogates` / `--list-designs`: print each
+/// registry (name + one-line description) and exit 0. The names printed
+/// here are exactly the ones a spec's flow.optimizers / flow.surrogate /
+/// flow.design accept.
+int cmd_list(const std::string& which) {
+    if (which == "--list-optimizers") {
+        for (const opt::optimizer_info& info : opt::optimizer_registry())
+            std::printf("%-24s %s\n", info.name.c_str(),
+                        info.description.c_str());
+        return 0;
+    }
+    if (which == "--list-surrogates") {
+        for (const rsm::surrogate_info& info : rsm::surrogate_registry())
+            std::printf("%-24s %s\n", info.name.c_str(),
+                        info.description.c_str());
+        return 0;
+    }
+    for (const doe::design_info& info : doe::design_registry())
+        std::printf("%-24s %s\n", info.name.c_str(), info.description.c_str());
+    return 0;
+}
 
 }  // namespace
 
@@ -480,6 +518,9 @@ int main(int argc, char** argv) {
         return 2;
     }
     const std::string cmd = argv[1];
+    if (cmd == "--list-optimizers" || cmd == "--list-surrogates" ||
+        cmd == "--list-designs")
+        return cmd_list(cmd);
     if (cmd == "simulate")
         return cmd_simulate(parse_args(argc, argv, 2, k_simulate_flags));
     if (cmd == "flow") return cmd_flow(parse_args(argc, argv, 2, k_flow_flags));
