@@ -65,6 +65,12 @@ require_section docs/observability.md '\-\-dump\-spec'
 require_section docs/observability.md 'spec_hash'
 require_section docs/observability.md 'options\.fit'
 require_section docs/observability.md 'options\.surrogate'
+require_section docs/testing.md '^## Test taxonomy'
+require_section docs/testing.md '^## Seed-repro workflow'
+require_section docs/testing.md '^## Fault injection'
+require_section docs/testing.md 'EHDSE_TESTKIT_SEED'
+require_section docs/testing.md 'EHDSE_FUZZ_MS'
+require_section docs/testing.md 'ctest --test-dir build -L testkit'
 
 if [ "$status" -eq 0 ]; then
     echo "check_docs: $checked references ok"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# run_nightly_fuzz.sh — the deep randomised pass: run every
+# testkit-labelled suite with a fresh seed and a per-suite wall-time
+# budget instead of the fixed smoke-test case count.
+#
+# The chosen seed is printed FIRST, so a nightly failure is reproducible
+# even if only the tail of the log survives; each in-test failure also
+# prints its own one-line EHDSE_TESTKIT_SEED=... repro (docs/testing.md).
+#
+# Usage:
+#   scripts/run_nightly_fuzz.sh [build-dir]
+# Environment:
+#   EHDSE_TESTKIT_SEED   seed override (default: derived from date+RANDOM)
+#   EHDSE_FUZZ_MS        per-suite budget in ms (default 60000)
+#   EHDSE_TESTKIT_CASES  case-count floor override (default 1000)
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+if [ ! -d "$build" ]; then
+    cmake -B "$build" -S "$root"
+fi
+cmake --build "$build" -j
+
+seed="${EHDSE_TESTKIT_SEED:-$(( $(date +%s) ^ (RANDOM << 16) ^ RANDOM ))}"
+export EHDSE_TESTKIT_SEED="$seed"
+export EHDSE_FUZZ_MS="${EHDSE_FUZZ_MS:-60000}"
+export EHDSE_TESTKIT_CASES="${EHDSE_TESTKIT_CASES:-1000}"
+
+echo "run_nightly_fuzz: EHDSE_TESTKIT_SEED=$EHDSE_TESTKIT_SEED" \
+     "EHDSE_FUZZ_MS=$EHDSE_FUZZ_MS EHDSE_TESTKIT_CASES=$EHDSE_TESTKIT_CASES"
+
+ctest --test-dir "$build" -L testkit --output-on-failure -j

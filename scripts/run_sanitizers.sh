@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# run_sanitizers.sh — build and run the concurrency + property suites
+# under the sanitizer presets:
+#
+#   thread    TSan: the parallel flow / pool / cache code
+#   address   ASan+UBSan (-fsanitize=address,undefined): lifetime and UB
+#
+# Each preset gets its own build tree (build-<preset>) and runs
+#   ctest -L "testkit|exec|rsm"
+# Usage:
+#   scripts/run_sanitizers.sh              # both presets
+#   EHDSE_SANITIZE=address scripts/run_sanitizers.sh   # one preset
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+presets="${EHDSE_SANITIZE:-thread address}"
+labels='testkit|exec|rsm'
+status=0
+
+for preset in $presets; do
+    tree="build-$preset"
+    echo "== sanitizer pass: $preset (tree: $tree) =="
+    cmake -B "$tree" -S . -DEHDSE_SANITIZE="$preset" \
+          -DEHDSE_BUILD_BENCH=OFF -DEHDSE_BUILD_EXAMPLES=OFF
+    cmake --build "$tree" -j
+    if ! ctest --test-dir "$tree" -L "$labels" --output-on-failure -j; then
+        echo "run_sanitizers: $preset pass FAILED" >&2
+        status=1
+    fi
+done
+
+exit $status

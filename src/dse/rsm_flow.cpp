@@ -53,6 +53,9 @@ public:
         if (progress_) progress_(line);
     }
 
+    /// Name of the phase currently open ("" between phases).
+    std::string current_phase() const { return in_phase_ ? current_.name : ""; }
+
     void sim_run(obs::sim_run_record record) const {
         if (manifest_) manifest_->add_sim_run(std::move(record));
     }
@@ -151,22 +154,13 @@ void echo_options(obs::run_manifest& manifest, const flow_options& options,
 
 }  // namespace
 
-flow_result run_rsm_flow(const system_evaluator& evaluator,
-                         const flow_options& options) {
-    // Fail fast on unknown registry names — before any pool is spun up,
-    // manifest line written, or simulation run.
-    const std::shared_ptr<rsm::surrogate_model> surrogate =
-        rsm::make_surrogate(options.surrogate);
-    if (!doe::is_known_design(options.design))
-        throw std::invalid_argument("dse::run_rsm_flow: unknown design '" +
-                                    options.design + "' (valid: " +
-                                    doe::design_names() + ")");
-
-    flow_observer obs_hook(options);
-    if (options.manifest) {
-        options.manifest->set_tool("ehdse.run_rsm_flow", "");
-    }
-
+/// The flow body proper — everything after fail-fast validation. Runs
+/// inside run_rsm_flow's try scope so any phase failure lands in the
+/// manifest and rethrows as flow_error.
+static flow_result run_flow_phases(
+    const system_evaluator& evaluator, const flow_options& options,
+    const std::shared_ptr<rsm::surrogate_model>& surrogate,
+    flow_observer& obs_hook) {
     // Execution engine: use the caller's pool when provided; otherwise own
     // one for the duration of the call when `parallel` is requested. A null
     // pool means every phase runs inline on this thread.
@@ -395,6 +389,39 @@ flow_result run_rsm_flow(const system_evaluator& evaluator,
     }
 
     return out;
+}
+
+flow_result run_rsm_flow(const system_evaluator& evaluator,
+                         const flow_options& options) {
+    // Fail fast on unknown registry names — before any pool is spun up,
+    // manifest line written, or simulation run. Validation failures stay
+    // std::invalid_argument; only running phases produce flow_error.
+    const std::shared_ptr<rsm::surrogate_model> surrogate =
+        rsm::make_surrogate(options.surrogate);
+    if (!doe::is_known_design(options.design))
+        throw std::invalid_argument("dse::run_rsm_flow: unknown design '" +
+                                    options.design + "' (valid: " +
+                                    doe::design_names() + ")");
+
+    flow_observer obs_hook(options);
+    if (options.manifest) {
+        options.manifest->set_tool("ehdse.run_rsm_flow", "");
+    }
+
+    try {
+        return run_flow_phases(evaluator, options, surrogate, obs_hook);
+    } catch (const std::exception& e) {
+        std::string phase = obs_hook.current_phase();
+        if (phase.empty()) phase = "flow";
+        obs_hook.end_phase();
+        if (options.manifest) {
+            options.manifest->set_option("error",
+                                         obs::json_value(std::string(e.what())));
+            options.manifest->set_option("error_phase", obs::json_value(phase));
+        }
+        obs_hook.note("error[" + phase + "]: " + e.what());
+        throw flow_error(phase, e.what());
+    }
 }
 
 flow_options flow_options_from_spec(const spec::experiment_spec& spec,

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,27 @@ class thread_pool;
 }  // namespace ehdse::exec
 
 namespace ehdse::dse {
+
+/// Typed failure of a running flow: any exception thrown by a pipeline
+/// stage after validation (a failing evaluator, an unfittable surrogate
+/// design, an optimiser objective error) is recorded into the attached
+/// manifest ("error" + "error_phase" options) and rethrown as this type,
+/// so callers always see WHERE the flow died — and a fault-injected
+/// evaluator can never crash the flow with an untyped escape.
+/// Registry/spec validation errors keep throwing std::invalid_argument
+/// before any phase starts.
+class flow_error : public std::runtime_error {
+public:
+    flow_error(std::string phase, const std::string& message)
+        : std::runtime_error("run_rsm_flow[" + phase + "]: " + message),
+          phase_(std::move(phase)) {}
+
+    /// Name of the phase that failed ("simulate", "fit", "validate", ...).
+    const std::string& phase() const noexcept { return phase_; }
+
+private:
+    std::string phase_;
+};
 
 struct flow_options {
     std::size_t doe_runs = 10;        ///< design run budget (paper: 10)

@@ -119,13 +119,19 @@ evaluation_result system_evaluator::evaluate(const system_config& config,
     ctrl_params.rng_seed = options.controller_seed;
 
     const std::unique_ptr<node_system> system =
-        make_node_system(options, gen_, vib, storage_, cap_, rect_);
+        build_system(config, options, vib);
     evaluation_result out = run_simulation(*system, scenario_, table_,
                                            node_params, ctrl_params, options,
                                            start_position);
     out.wall_time_s = watch.seconds();
     record_run_metrics(out);
     return out;
+}
+
+std::unique_ptr<node_system> system_evaluator::build_system(
+    const system_config& /*config*/, const evaluation_options& options,
+    const harvester::vibration_source& vib) const {
+    return make_node_system(options, gen_, vib, storage_, cap_, rect_);
 }
 
 }  // namespace ehdse::dse

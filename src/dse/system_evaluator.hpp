@@ -56,6 +56,14 @@ struct evaluation_result {
 
 /// Reusable evaluator: fixed physics (microgenerator, scenario, node and
 /// controller base parameters), varying system_config per call.
+///
+/// Polymorphic by design: evaluate() and the build_system() factory hook
+/// are virtual so test harnesses can interpose on the whole-request level
+/// (inject an exception before any simulation starts) or on the analogue
+/// model level (wrap the node_system with a fault decorator) — see
+/// testkit::faulty_evaluator. Everything downstream (cached_evaluator,
+/// run_rsm_flow) takes `const system_evaluator&`, so a wrapper threads
+/// through the entire flow unchanged.
 class system_evaluator {
 public:
     /// Throws std::invalid_argument (offending field named) when the
@@ -66,6 +74,8 @@ public:
                               power::rectifier_params rect = {},
                               node::node_params node = {},
                               mcu::controller_params controller = {});
+
+    virtual ~system_evaluator() = default;
 
     const scenario& scene() const noexcept { return scenario_; }
     const harvester::microgenerator& generator() const noexcept { return gen_; }
@@ -80,8 +90,9 @@ public:
 
     /// Run the full mixed-signal simulation for `config`. The analogue
     /// model is chosen by options.model via make_node_system().
-    evaluation_result evaluate(const system_config& config,
-                               const evaluation_options& options = {}) const;
+    virtual evaluation_result evaluate(
+        const system_config& config,
+        const evaluation_options& options = {}) const;
 
     /// Number of evaluate() calls so far (DOE bookkeeping).
     std::size_t runs() const noexcept { return runs_.load(); }
@@ -89,7 +100,18 @@ public:
     /// evaluate() is safe to call concurrently from several threads: each
     /// call builds its own simulator/plant; the shared physics objects are
     /// only read. run_rsm_flow exploits this when flow_options::parallel
-    /// is set.
+    /// is set. Overrides must preserve both properties (wrappers keyed on
+    /// the request, never on call order, stay deterministic under a pool).
+
+protected:
+    /// Factory for the per-call analogue model; evaluate() runs the shared
+    /// simulation loop against whatever this returns. The default builds
+    /// the envelope / transient system `options` asks for; fault wrappers
+    /// override it to decorate that system, keyed on (config, options).
+    /// `vib` is the stimulus of the current call and outlives the run.
+    virtual std::unique_ptr<node_system> build_system(
+        const system_config& config, const evaluation_options& options,
+        const harvester::vibration_source& vib) const;
 
 private:
     scenario scenario_;

@@ -102,6 +102,10 @@ bool thread_pool::try_get_task(std::size_t index, detail::task_item& out) {
 }
 
 void thread_pool::run_task(detail::task_item& item) {
+    // Count before invoking: the task's future resolves inside fn(), so a
+    // thread joining on that future must already see the task accounted
+    // for — counting afterwards races the counter against the join.
+    executed_.fetch_add(1, std::memory_order_relaxed);
     if (wait_hist_)
         wait_hist_->observe(std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - item.enqueued)
@@ -116,7 +120,6 @@ void thread_pool::run_task(detail::task_item& item) {
         item.fn();
     }
     item.fn = nullptr;
-    executed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void thread_pool::worker_loop(std::size_t index) {

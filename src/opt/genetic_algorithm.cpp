@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -13,6 +14,13 @@ struct individual {
     numeric::vec genes;
     double fitness = 0.0;
 };
+
+/// Non-finite objective values (NaN harvest, failed run) become -inf so the
+/// sort/max_element comparators keep a strict weak ordering and a faulty
+/// individual can never win a tournament against any finite one.
+double sanitize_fitness(double v) {
+    return std::isfinite(v) ? v : -std::numeric_limits<double>::infinity();
+}
 
 std::size_t tournament_pick(const std::vector<individual>& pop,
                             std::size_t tournament_size, numeric::rng& rng) {
@@ -49,7 +57,7 @@ opt_result genetic_algorithm::maximize(const objective_fn& f,
         const std::vector<double> fitness = evaluate_all(f, genes);
         for (std::size_t i = 0; i < pop.size(); ++i) {
             pop[i].genes = std::move(genes[i]);
-            pop[i].fitness = fitness[i];
+            pop[i].fitness = sanitize_fitness(fitness[i]);
             ++out.evaluations;
         }
     }
@@ -99,7 +107,7 @@ opt_result genetic_algorithm::maximize(const objective_fn& f,
         }
         const std::vector<double> brood_fitness = evaluate_all(f, brood);
         for (std::size_t i = 0; i < brood.size(); ++i) {
-            next.push_back(individual{std::move(brood[i]), brood_fitness[i]});
+            next.push_back(individual{std::move(brood[i]), sanitize_fitness(brood_fitness[i])});
             ++out.evaluations;
         }
         pop = std::move(next);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ehdse::opt {
 
@@ -34,7 +35,11 @@ opt_result simulated_annealing::maximize(const objective_fn& f,
     double fx = f(x);
     ++out.evaluations;
     out.best_x = x;
-    out.best_value = fx;
+    // A non-finite objective (NaN harvest, failed run) must not poison the
+    // incumbent: every comparison against NaN is false, so an unguarded
+    // assignment here would freeze best_value for the whole anneal.
+    out.best_value =
+        std::isfinite(fx) ? fx : -std::numeric_limits<double>::infinity();
 
     double temperature = opt_.initial_temperature * spread;
     const double t_floor = opt_.min_temperature * spread;
@@ -51,8 +56,20 @@ opt_result simulated_annealing::maximize(const objective_fn& f,
             const double fy = f(y);
             ++out.evaluations;
             ++out.proposed_moves;
-            const double delta = fy - fx;  // maximisation: improvement is positive
-            if (delta >= 0.0 || rng.uniform() < std::exp(delta / temperature)) {
+            // Non-finite proposals are always rejected; a non-finite current
+            // point is always abandoned for a finite proposal. The
+            // finite/finite path is untouched so clean runs draw the exact
+            // same rng sequence as before.
+            bool accept;
+            if (!std::isfinite(fy)) {
+                accept = false;
+            } else if (!std::isfinite(fx)) {
+                accept = true;
+            } else {
+                const double delta = fy - fx;  // maximisation: improvement is positive
+                accept = delta >= 0.0 || rng.uniform() < std::exp(delta / temperature);
+            }
+            if (accept) {
                 x = std::move(y);
                 fx = fy;
                 ++accepted;

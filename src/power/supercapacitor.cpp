@@ -40,6 +40,9 @@ double supercapacitor::dv_dt(double v, double i_net_a) const {
     // Above the rating only discharge is allowed (a shunt protection
     // circuit would clamp a real board the same way).
     if (v >= params_.max_voltage_v && i_total > 0.0) return 0.0;
+    // At 0 V only charging is allowed: a depleted capacitor cannot be
+    // driven negative by the loads' constant-current terms.
+    if (v <= 0.0 && i_total < 0.0) return 0.0;
     return i_total / params_.capacitance_f;
 }
 

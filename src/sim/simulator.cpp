@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -64,6 +65,12 @@ void simulator::flush_event_count() {
     flushed_events_ = executed;
 }
 
+bool simulator::state_finite() const noexcept {
+    for (double v : state_)
+        if (!std::isfinite(v)) return false;
+    return true;
+}
+
 bool simulator::run_until(double t_end) {
     if (t_end < now_)
         throw std::invalid_argument("simulator::run_until: horizon in the past");
@@ -76,11 +83,22 @@ bool simulator::run_until(double t_end) {
         }
         // Fire every event due at te (new same-time events fire too: FIFO).
         while (!queue_.empty() && queue_.next_time() <= now_) queue_.pop_and_run();
+        // An event that corrupted the analogue state (a fault injector's
+        // NaN, a runaway withdrawal) must fail the run here, cleanly,
+        // instead of sending the integrator into a min_dt death spiral.
+        if (!state_finite()) {
+            last_status_.ok = false;
+            flush_event_count();
+            return false;
+        }
         notify_observers(now_);
     }
     const bool ok = integrate_to(t_end);
     flush_event_count();
-    if (!ok) return false;
+    if (!ok || !state_finite()) {
+        last_status_.ok = false;
+        return false;
+    }
     notify_observers(now_);
     return true;
 }

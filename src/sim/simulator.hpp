@@ -59,8 +59,13 @@ public:
 
     /// Advance simulation until `t_end`, executing all due events.
     /// Returns false if the analogue integrator failed (status reported by
-    /// last_ode_status()).
+    /// last_ode_status()) or any state variable became non-finite — a
+    /// corrupted state (e.g. an injected NaN) fails the run immediately
+    /// rather than stalling the error-controlled integrator.
     bool run_until(double t_end);
+
+    /// True while every analogue state variable is finite.
+    bool state_finite() const noexcept;
 
     const ode_status& last_ode_status() const noexcept { return last_status_; }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "doe/design.hpp"
+#include "opt/optimizer.hpp"
 #include "rsm/surrogate.hpp"
 
 namespace ehdse::spec {
@@ -119,6 +120,10 @@ void flow_spec::validate() const {
     if (!rsm::is_known_surrogate(surrogate))
         fail("flow.surrogate: unknown surrogate '" + surrogate +
              "' (valid: " + rsm::surrogate_names() + ")");
+    for (const std::string& name : optimizers)
+        if (!opt::is_known_optimizer(name))
+            fail("flow.optimizers: unknown optimizer '" + name +
+                 "' (valid: " + opt::optimizer_names() + ")");
     if (replicates < 1) fail("flow.replicates must be >= 1");
     if (cache && cache_capacity < 1)
         fail("flow.cache_capacity must be >= 1 when the cache is on");

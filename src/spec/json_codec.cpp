@@ -1,6 +1,9 @@
 #include "spec/json_codec.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <initializer_list>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +14,18 @@ namespace {
 
 [[noreturn]] void fail(const std::string& message) {
     throw std::invalid_argument("experiment_spec: " + message);
+}
+
+/// Seeds are full uint64 values but JSON numbers are double-backed, exact
+/// only up to 2^53; larger seeds are encoded as hex strings so every seed
+/// round-trips bit-exactly. The choice depends only on the value, keeping
+/// serialisation canonical.
+obs::json_value seed_to_json(std::uint64_t v) {
+    constexpr std::uint64_t k_exact_limit = 1ULL << 53;
+    if (v <= k_exact_limit) return obs::json_value(v);
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+    return obs::json_value(std::string(buf));
 }
 
 obs::json_value schedule_to_json(
@@ -47,10 +62,25 @@ public:
     }
 
     std::uint64_t seed(const char* key, std::uint64_t fallback) const {
-        const double v = number(key, static_cast<double>(fallback));
-        if (v < 0.0 || v != std::floor(v))
+        const obs::json_value* v = find(key);
+        if (!v) return fallback;
+        // Seeds above 2^53 cannot survive the double-backed JSON number
+        // representation, so they are written (and accepted) as "0x..."
+        // strings; plain numbers remain valid for the common small case.
+        if (v->is_string()) {
+            const std::string& s = v->as_string();
+            errno = 0;
+            char* end = nullptr;
+            const unsigned long long parsed = std::strtoull(s.c_str(), &end, 0);
+            if (s.empty() || errno != 0 || end != s.c_str() + s.size())
+                fail(path(key) + " must be a non-negative integer or \"0x...\" string");
+            return static_cast<std::uint64_t>(parsed);
+        }
+        if (!v->is_number()) fail(path(key) + " must be a number or string");
+        const double d = v->as_number();
+        if (d < 0.0 || d != std::floor(d))
             fail(path(key) + " must be a non-negative integer");
-        return static_cast<std::uint64_t>(v);
+        return static_cast<std::uint64_t>(d);
     }
 
     int integer(const char* key, int fallback) const {
@@ -220,7 +250,7 @@ obs::json_value to_json(const evaluation_options& e) {
     obs::json_value out{obs::json_object{}};
     out.set("record_traces", e.record_traces);
     out.set("trace_interval_s", e.trace_interval_s);
-    out.set("controller_seed", e.controller_seed);
+    out.set("controller_seed", seed_to_json(e.controller_seed));
     out.set("fidelity", to_string(e.model));
     out.set("frontend", to_string(e.frontend));
     out.set("frontend_efficiency", e.frontend_efficiency);
@@ -233,9 +263,9 @@ obs::json_value to_json(const flow_spec& f) {
     out.set("factorial_levels", f.factorial_levels);
     out.set("design", f.design);
     out.set("surrogate", f.surrogate);
-    out.set("optimizer_seed", f.optimizer_seed);
+    out.set("optimizer_seed", seed_to_json(f.optimizer_seed));
     out.set("replicates", f.replicates);
-    out.set("replicate_seed_base", f.replicate_seed_base);
+    out.set("replicate_seed_base", seed_to_json(f.replicate_seed_base));
     out.set("parallel", f.parallel);
     out.set("jobs", f.jobs);
     out.set("cache", f.cache);

@@ -1,0 +1,241 @@
+// Random-case generators for the whole pipeline: scenarios (stepped
+// profiles, explicit frequency/amplitude schedule waveforms), design
+// points, evaluation options, flow specs, and complete experiment specs.
+//
+// Invariants the generators promise:
+//   * every generated value passes its validate() — properties about
+//     VALID inputs never trip the validation layer by accident (the
+//     error-path suites corrupt documents deliberately instead);
+//   * durations are short (tens to hundreds of seconds) so a property
+//     suite of ~10^2 cases stays inside the testkit CTest budget;
+//   * everything is a pure function of the prng argument — case i of a
+//     seed regenerates bit-identically.
+//
+// Shrinkers move a failing value towards the default-constructed spec
+// one field group at a time, so a minimal counterexample reads as "the
+// default experiment except these two fields".
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doe/design.hpp"
+#include "numeric/matrix.hpp"
+#include "opt/optimizer.hpp"
+#include "rsm/surrogate.hpp"
+#include "spec/experiment_spec.hpp"
+#include "testkit/prng.hpp"
+
+namespace ehdse::testkit {
+
+/// Piecewise-constant waveform schedule [(t, value), ...]: first entry at
+/// t = 0, strictly increasing times within [0, duration), values drawn
+/// from [lo, hi). The shape every vibration frequency / amplitude
+/// schedule shares.
+inline std::vector<std::pair<double, double>> gen_schedule(
+    prng& rng, double duration_s, double lo, double hi,
+    std::size_t max_entries = 5) {
+    const std::size_t n = 1 + rng.index(max_entries);
+    std::vector<std::pair<double, double>> out;
+    out.reserve(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.emplace_back(t, rng.uniform(lo, hi));
+        t += rng.uniform(0.05, 0.45) * duration_s;
+        if (t >= duration_s) break;
+    }
+    return out;
+}
+
+/// Short, valid scenario: stepped profile by default, explicit frequency
+/// and/or amplitude schedules (the paper's machine duty cycles) with some
+/// probability. Frequencies stay inside the tuning table's usable band.
+inline spec::scenario gen_scenario(prng& rng) {
+    spec::scenario s;
+    s.duration_s = rng.uniform(60.0, 600.0);
+    s.accel_mg = rng.uniform(30.0, 90.0);
+    s.f_start_hz = rng.uniform(58.0, 72.0);
+    s.f_step_hz = rng.uniform(-5.0, 8.0);
+    s.step_period_s = rng.uniform(40.0, 400.0);
+    s.step_count = rng.index(3);
+    s.v_initial = rng.uniform(2.4, 3.1);
+    s.initial_position = rng.chance(0.2) ? static_cast<int>(rng.index(256)) : -1;
+    if (rng.chance(0.3))
+        s.frequency_schedule = gen_schedule(rng, s.duration_s, 58.0, 76.0);
+    if (rng.chance(0.25))
+        s.amplitude_schedule = gen_schedule(rng, s.duration_s, 0.0, 1.5);
+    return s;
+}
+
+/// A design point anywhere in Table V's box (clock log-uniform — the
+/// range spans 6 octaves).
+inline spec::system_config gen_system_config(prng& rng) {
+    spec::system_config c;
+    c.mcu_clock_hz = rng.log_uniform(125e3, 8e6);
+    c.watchdog_period_s = rng.uniform(60.0, 600.0);
+    c.tx_interval_s = rng.log_uniform(0.005, 10.0);
+    return c;
+}
+
+/// Evaluation options; transient fidelity only on request (it is ~5000x
+/// slower, so suites opt in with a short scenario).
+inline spec::evaluation_options gen_evaluation_options(
+    prng& rng, bool allow_transient = false) {
+    spec::evaluation_options e;
+    e.record_traces = rng.chance(0.2);
+    e.trace_interval_s = rng.uniform(0.5, 5.0);
+    e.controller_seed = rng.next();
+    e.model = (allow_transient && rng.chance(0.3)) ? spec::fidelity::transient
+                                                   : spec::fidelity::envelope;
+    e.frontend = rng.chance(0.25) ? spec::frontend_kind::mppt
+                                  : spec::frontend_kind::diode_bridge;
+    e.frontend_efficiency = rng.uniform(0.5, 1.0);
+    return e;
+}
+
+/// Flow spec with small budgets: designs/surrogates/optimisers drawn from
+/// the live registries, run counts sized so a whole flow stays ~100 ms.
+inline spec::flow_spec gen_flow_spec(prng& rng) {
+    spec::flow_spec f;
+    const auto& designs = doe::design_registry();
+    const auto& surrogates = rsm::surrogate_registry();
+    f.design = designs[rng.index(designs.size())].name;
+    f.surrogate = surrogates[rng.index(surrogates.size())].name;
+    // Quadratic in 3 coded variables has 10 coefficients; keep every
+    // run-count-honouring design fittable by every surrogate. Stepwise
+    // backward elimination additionally needs an over-determined design
+    // (n > 10), so it never pairs with a 10-run draw.
+    f.doe_runs = (f.surrogate == "stepwise" ? 11 : 10) + rng.index(6);
+    f.factorial_levels = 3;
+    f.optimizer_seed = rng.next();
+    f.replicates = rng.chance(0.2) ? 2 : 1;
+    f.replicate_seed_base = 1 + rng.index(1000);
+    f.parallel = rng.chance(0.5);
+    f.jobs = 1 + rng.index(4);
+    f.cache = rng.chance(0.8);
+    f.cache_capacity = 16 + rng.index(128);
+    if (rng.chance(0.5)) {
+        const auto& opts = opt::optimizer_registry();
+        const std::size_t count = 1 + rng.index(2);
+        for (std::size_t i = 0; i < count; ++i)
+            f.optimizers.push_back(opts[rng.index(opts.size())].name);
+    }
+    return f;
+}
+
+/// A complete, valid experiment spec (short scenario, small flow budget).
+inline spec::experiment_spec gen_experiment_spec(prng& rng,
+                                                 bool allow_transient = false) {
+    spec::experiment_spec s;
+    s.scn = gen_scenario(rng);
+    s.config = gen_system_config(rng);
+    s.eval = gen_evaluation_options(rng, allow_transient);
+    s.flow = gen_flow_spec(rng);
+    return s;
+}
+
+/// Coded point in [-1, 1]^k.
+inline numeric::vec gen_coded_point(prng& rng, std::size_t k) {
+    numeric::vec x(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) x[i] = rng.uniform(-1.0, 1.0);
+    return x;
+}
+
+/// Coefficients of a random full quadratic in k variables, in
+/// rsm::quadratic_basis layout: 1, x_i, x_i^2, x_i*x_j (i < j).
+inline numeric::vec gen_quadratic_coefficients(prng& rng, std::size_t k) {
+    const std::size_t terms = 1 + k + k + k * (k - 1) / 2;
+    numeric::vec beta(terms, 0.0);
+    for (std::size_t i = 0; i < terms; ++i) beta[i] = rng.uniform(-50.0, 50.0);
+    return beta;
+}
+
+/// Evaluate the quadratic described by gen_quadratic_coefficients at x.
+inline double eval_quadratic(const numeric::vec& beta, const numeric::vec& x) {
+    const std::size_t k = x.size();
+    std::size_t j = 0;
+    double y = beta[j++];
+    for (std::size_t i = 0; i < k; ++i) y += beta[j++] * x[i];
+    for (std::size_t i = 0; i < k; ++i) y += beta[j++] * x[i] * x[i];
+    for (std::size_t a = 0; a < k; ++a)
+        for (std::size_t b = a + 1; b < k; ++b) y += beta[j++] * x[a] * x[b];
+    return y;
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking towards the default spec, one field group at a time.
+
+namespace detail {
+
+/// Append `candidate` when it differs from `current`.
+template <typename T>
+void push_if_changed(std::vector<T>& out, const T& current, T candidate) {
+    if (!(candidate == current)) out.push_back(std::move(candidate));
+}
+
+}  // namespace detail
+
+/// Candidates with one part or field group reset to its default — a
+/// minimal counterexample keeps only the fields the failure needs.
+inline std::vector<spec::experiment_spec> shrink_spec(
+    const spec::experiment_spec& s) {
+    const spec::experiment_spec defaults;
+    std::vector<spec::experiment_spec> out;
+    // Whole parts first (biggest simplification steps).
+    {
+        spec::experiment_spec c = s;
+        c.scn = defaults.scn;
+        detail::push_if_changed(out, s, std::move(c));
+    }
+    {
+        spec::experiment_spec c = s;
+        c.config = defaults.config;
+        detail::push_if_changed(out, s, std::move(c));
+    }
+    {
+        spec::experiment_spec c = s;
+        c.eval = defaults.eval;
+        detail::push_if_changed(out, s, std::move(c));
+    }
+    {
+        spec::experiment_spec c = s;
+        c.flow = defaults.flow;
+        detail::push_if_changed(out, s, std::move(c));
+    }
+    // Then individual fields of each part.
+    const auto field = [&](auto mutate) {
+        spec::experiment_spec c = s;
+        mutate(c);
+        detail::push_if_changed(out, s, std::move(c));
+    };
+    field([&](spec::experiment_spec& c) { c.scn.duration_s = defaults.scn.duration_s; });
+    field([&](spec::experiment_spec& c) { c.scn.accel_mg = defaults.scn.accel_mg; });
+    field([&](spec::experiment_spec& c) { c.scn.frequency_schedule.clear(); });
+    field([&](spec::experiment_spec& c) { c.scn.amplitude_schedule.clear(); });
+    field([&](spec::experiment_spec& c) { c.scn.v_initial = defaults.scn.v_initial; });
+    field([&](spec::experiment_spec& c) { c.scn.initial_position = -1; });
+    field([&](spec::experiment_spec& c) { c.eval.record_traces = false; });
+    field([&](spec::experiment_spec& c) { c.eval.model = spec::fidelity::envelope; });
+    field([&](spec::experiment_spec& c) {
+        c.eval.frontend = spec::frontend_kind::diode_bridge;
+    });
+    field([&](spec::experiment_spec& c) { c.eval.controller_seed = defaults.eval.controller_seed; });
+    field([&](spec::experiment_spec& c) { c.flow.design = defaults.flow.design; });
+    field([&](spec::experiment_spec& c) { c.flow.surrogate = defaults.flow.surrogate; });
+    field([&](spec::experiment_spec& c) { c.flow.optimizers.clear(); });
+    field([&](spec::experiment_spec& c) { c.flow.replicates = defaults.flow.replicates; });
+    field([&](spec::experiment_spec& c) { c.flow.parallel = defaults.flow.parallel; });
+    field([&](spec::experiment_spec& c) { c.flow.cache = defaults.flow.cache; });
+    field([&](spec::experiment_spec& c) {
+        // Keep stepwise over-determined (n > 10) even when shrinking.
+        c.flow.doe_runs = c.flow.surrogate == "stepwise"
+                              ? std::max<std::size_t>(defaults.flow.doe_runs, 11)
+                              : defaults.flow.doe_runs;
+    });
+    field([&](spec::experiment_spec& c) { c.flow.optimizer_seed = defaults.flow.optimizer_seed; });
+    return out;
+}
+
+}  // namespace ehdse::testkit

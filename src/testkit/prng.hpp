@@ -1,0 +1,125 @@
+// Deterministic splitmix64 PRNG for the property-based test kit.
+//
+// Deliberately separate from numeric::rng (xoshiro256++): the production
+// engine is part of the system under test, so the kit draws its test
+// cases from an independent generator — a bug in one cannot mask a bug
+// in the other. splitmix64 is tiny, has a known-answer test vector, and
+// its state is a single word, which makes per-case and per-call streams
+// trivial to derive: every stream is stream(seed, tag) for a 64-bit tag,
+// so two runs with the same EHDSE_TESTKIT_SEED draw identical cases no
+// matter how many threads or in what order the cases execute.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+namespace ehdse::testkit {
+
+/// Default seed of every property run (overridden by EHDSE_TESTKIT_SEED).
+inline constexpr std::uint64_t k_default_seed = 0xeadd5e5eedULL;
+
+/// One splitmix64 step: advances `state` and returns the next output.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Stateless stream derivation: a fresh 64-bit value from (seed, tag).
+/// Used to key per-case, per-call and per-request fault streams so the
+/// draw order can never depend on thread scheduling.
+inline std::uint64_t mix(std::uint64_t seed, std::uint64_t tag) noexcept {
+    std::uint64_t state = seed ^ (0x94d049bb133111ebULL * (tag + 1));
+    return splitmix64_next(state);
+}
+
+/// splitmix64 generator with the uniform helpers the kit's generators
+/// need. Satisfies UniformRandomBitGenerator.
+class prng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit prng(std::uint64_t seed = k_default_seed) noexcept
+        : seed_(seed), state_(seed) {}
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+
+    std::uint64_t next() noexcept { return splitmix64_next(state_); }
+
+    /// The seed this stream started from (what a repro line reports).
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Derive an independent child stream without disturbing this one's
+    /// relationship to the draws already made.
+    prng fork() noexcept { return prng(next() ^ 0xa3ec647659359acdULL); }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform index in [0, n); n must be > 0.
+    std::size_t index(std::size_t n) noexcept {
+        return static_cast<std::size_t>(next() % n);
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::int64_t integer(std::int64_t lo, std::int64_t hi) noexcept {
+        return lo + static_cast<std::int64_t>(
+                        next() % static_cast<std::uint64_t>(hi - lo + 1));
+    }
+
+    /// True with probability p.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Log-uniform double in [lo, hi); both must be > 0. Natural for
+    /// parameters spanning orders of magnitude (clock 125 kHz..8 MHz).
+    double log_uniform(double lo, double hi) noexcept;
+
+private:
+    std::uint64_t seed_;
+    std::uint64_t state_;
+};
+
+/// The seed property runs use: EHDSE_TESTKIT_SEED when set (decimal or
+/// 0x-prefixed hex), k_default_seed otherwise. Every failure repro line
+/// prints the value in the same spelling this function parses.
+inline std::uint64_t env_seed() {
+    const char* env = std::getenv("EHDSE_TESTKIT_SEED");
+    if (env == nullptr || *env == '\0') return k_default_seed;
+    return std::strtoull(env, nullptr, 0);
+}
+
+/// Optional case-count override (nightly runs raise it): the value of
+/// EHDSE_TESTKIT_CASES when set and positive, `fallback` otherwise.
+inline std::size_t env_cases(std::size_t fallback) {
+    const char* env = std::getenv("EHDSE_TESTKIT_CASES");
+    if (env == nullptr || *env == '\0') return fallback;
+    const unsigned long long parsed = std::strtoull(env, nullptr, 0);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Time budget in milliseconds for fuzz-style suites: EHDSE_FUZZ_MS when
+/// set, `fallback` otherwise. 0 = no time budget (run the fixed case
+/// count only).
+inline double env_fuzz_ms(double fallback = 0.0) {
+    const char* env = std::getenv("EHDSE_FUZZ_MS");
+    if (env == nullptr || *env == '\0') return fallback;
+    return std::strtod(env, nullptr);
+}
+
+inline double prng::log_uniform(double lo, double hi) noexcept {
+    return lo * std::exp(uniform() * std::log(hi / lo));
+}
+
+}  // namespace ehdse::testkit

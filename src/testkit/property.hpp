@@ -1,0 +1,245 @@
+// Property harness: run a predicate over ~10^2 generated cases, shrink
+// the first failure to a minimal counterexample, and report a one-line
+// repro the developer can paste into a shell.
+//
+// Contract with the test:
+//   * the generator is a pure function of the prng it is handed — case i
+//     of seed S always generates the same value;
+//   * the property signals failure by throwing (property_failure via
+//     fail()/require(), or any std::exception — an unexpected
+//     invalid_argument is as much a counterexample as an explicit one);
+//   * shrinking re-runs the property on simpler candidates, so the
+//     property must be safe to call repeatedly.
+//
+// On failure, check_result::report() contains
+//     EHDSE_TESTKIT_SEED=0x... <binary> --gtest_filter=<Suite.Test>
+// and re-running exactly that line regenerates case i verbatim: the
+// case stream is keyed by mix(seed, i), independent of execution order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <errno.h>  // program_invocation_short_name
+#endif
+
+#include "testkit/prng.hpp"
+
+namespace ehdse::testkit {
+
+/// What fail()/require() throw; any other std::exception counts as a
+/// failure too (the kit distinguishes them only in the report text).
+class property_failure : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void fail(const std::string& message) {
+    throw property_failure(message);
+}
+
+inline void require(bool condition, const std::string& message) {
+    if (!condition) fail(message);
+}
+
+/// require() for approximate equality with a relative + absolute floor.
+inline void require_near(double actual, double expected, double tol,
+                         const std::string& what) {
+    const double diff = actual > expected ? actual - expected : expected - actual;
+    const double mag = expected > 0 ? expected : -expected;
+    if (!(diff <= tol + tol * mag)) {
+        std::ostringstream os;
+        os << what << ": " << actual << " != " << expected << " (tol " << tol
+           << ")";
+        fail(os.str());
+    }
+}
+
+struct property_options {
+    /// Cases per run; EHDSE_TESTKIT_CASES raises/lowers it globally.
+    std::size_t cases = 100;
+    /// Stream seed; EHDSE_TESTKIT_SEED overrides.
+    std::uint64_t seed = 0;  ///< 0 = env_seed()
+    /// Candidate evaluations spent shrinking a failure.
+    std::size_t max_shrink_steps = 500;
+    /// When > 0, keep generating cases past `cases` until this much wall
+    /// time has elapsed (EHDSE_FUZZ_MS feeds this for fuzz suites).
+    double budget_ms = 0.0;
+
+    std::size_t effective_cases() const { return env_cases(cases); }
+    std::uint64_t effective_seed() const { return seed ? seed : env_seed(); }
+};
+
+template <typename T>
+struct property_def {
+    /// The --gtest_filter value of the owning test ("Suite.Test").
+    std::string name;
+    std::function<T(prng&)> generate;
+    /// Throws to signal failure.
+    std::function<void(const T&)> property;
+    /// Optional: simpler candidates for a failing value, tried in order;
+    /// shrinking restarts from every candidate that still fails.
+    std::function<std::vector<T>(const T&)> shrink;
+    /// Optional: render a counterexample for the failure report.
+    std::function<std::string(const T&)> show;
+};
+
+template <typename T>
+struct check_result {
+    bool ok = true;
+    std::size_t cases_run = 0;
+    std::uint64_t seed = 0;
+    /// Failing case details (meaningful when !ok).
+    std::size_t failing_case = 0;
+    std::optional<T> counterexample;
+    std::size_t shrink_steps = 0;
+    std::string message;
+    std::string repro;
+
+    /// Multi-line failure report for EXPECT_TRUE(result.ok) << report().
+    std::string report() const {
+        if (ok) return "ok (" + std::to_string(cases_run) + " cases)";
+        std::string out = "property failed at case " +
+                          std::to_string(failing_case) + ": " + message +
+                          "\n  repro: " + repro;
+        if (!shown.empty()) out += "\n  counterexample: " + shown;
+        return out;
+    }
+
+    std::string shown;  ///< rendered counterexample (empty without show)
+};
+
+namespace detail {
+
+inline std::string hex_seed(std::uint64_t seed) {
+    std::ostringstream os;
+    os << "0x" << std::hex << seed;
+    return os.str();
+}
+
+inline std::string binary_name() {
+#if defined(__GLIBC__)
+    return program_invocation_short_name;
+#else
+    return "<test-binary>";
+#endif
+}
+
+inline std::string repro_line(std::uint64_t seed, const std::string& name) {
+    return "EHDSE_TESTKIT_SEED=" + hex_seed(seed) + " ./" + binary_name() +
+           " --gtest_filter=" + name;
+}
+
+}  // namespace detail
+
+/// Run the property. Never throws out of the harness itself: a failing
+/// (or throwing) property lands in the returned check_result.
+template <typename T>
+check_result<T> run_property(const property_def<T>& def,
+                             property_options options = {}) {
+    check_result<T> out;
+    out.seed = options.effective_seed();
+    const std::size_t min_cases = options.effective_cases();
+    const double budget = options.budget_ms > 0.0
+                              ? options.budget_ms
+                              : 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed_ms = [&t0] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    for (std::size_t i = 0;; ++i) {
+        // A time budget, when set, governs alone (at least one case runs):
+        // nightly runs raise EHDSE_FUZZ_MS to fuzz for minutes, smoke runs
+        // lower it to cap wall time. Without one, the case count governs.
+        if (budget > 0.0 ? (i > 0 && elapsed_ms() >= budget)
+                         : i >= min_cases)
+            break;
+        ++out.cases_run;
+        prng rng(mix(out.seed, i));
+        T value = def.generate(rng);
+        std::string message;
+        try {
+            def.property(value);
+            continue;
+        } catch (const property_failure& e) {
+            message = e.what();
+        } catch (const std::exception& e) {
+            message = std::string("unexpected exception: ") + e.what();
+        }
+
+        // Shrink: greedily adopt the first simpler candidate that still
+        // fails, restarting the candidate walk from it.
+        T best = std::move(value);
+        if (def.shrink) {
+            bool improved = true;
+            while (improved && out.shrink_steps < options.max_shrink_steps) {
+                improved = false;
+                for (T& candidate : def.shrink(best)) {
+                    if (++out.shrink_steps > options.max_shrink_steps) break;
+                    try {
+                        def.property(candidate);
+                    } catch (const std::exception& e) {
+                        best = std::move(candidate);
+                        message = e.what();
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        out.ok = false;
+        out.failing_case = i;
+        out.message = std::move(message);
+        out.repro = detail::repro_line(out.seed, def.name);
+        if (def.show) out.shown = def.show(best);
+        out.counterexample = std::move(best);
+        return out;
+    }
+    return out;
+}
+
+/// Generic sequence shrinker (delta debugging): drop large chunks first,
+/// then single elements. Element-level simplification can be layered by
+/// the caller after the sequence is minimal.
+template <typename T>
+std::vector<std::vector<T>> shrink_sequence(const std::vector<T>& xs) {
+    std::vector<std::vector<T>> out;
+    const std::size_t n = xs.size();
+    if (n == 0) return out;
+    for (std::size_t chunk = n / 2; chunk >= 1; chunk /= 2) {
+        for (std::size_t start = 0; start < n; start += chunk) {
+            std::vector<T> candidate;
+            candidate.reserve(n - chunk);
+            for (std::size_t i = 0; i < n; ++i)
+                if (i < start || i >= start + chunk) candidate.push_back(xs[i]);
+            if (candidate.size() < n) out.push_back(std::move(candidate));
+        }
+        if (chunk == 1) break;
+    }
+    return out;
+}
+
+/// Scalar shrinker: candidates between `origin` (the simplest value) and
+/// x, nearest-to-origin first.
+inline std::vector<double> shrink_double(double x, double origin = 0.0) {
+    std::vector<double> out;
+    if (x == origin) return out;
+    out.push_back(origin);
+    out.push_back(origin + (x - origin) / 2.0);
+    const double rounded = static_cast<double>(static_cast<long long>(x));
+    if (rounded != x && rounded != origin) out.push_back(rounded);
+    return out;
+}
+
+}  // namespace ehdse::testkit

@@ -1,15 +1,23 @@
-// Randomised differential test: the event queue against a reference model
-// (std::multimap ordered by (time, sequence)) under thousands of random
-// schedule/cancel/pop operations; plus simulator edge cases.
+// Randomised differential test, on the testkit harness: the event queue
+// against a reference model (std::multimap ordered by (time, sequence))
+// under random schedule/cancel/pop operation tapes; plus simulator edge
+// cases. EHDSE_TESTKIT_SEED reseeds the tapes, EHDSE_FUZZ_MS trades the
+// fixed case count for a wall-time budget (the nightly fuzz knob), and a
+// failure shrinks to a minimal op tape and prints a one-line repro.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
-#include "numeric/rng.hpp"
 #include "sim/simulator.hpp"
+#include "testkit/property.hpp"
+#include "testkit/prng.hpp"
 
 namespace es = ehdse::sim;
+namespace tk = ehdse::testkit;
 
 namespace {
 
@@ -40,46 +48,80 @@ struct reference_queue {
     }
 };
 
-}  // namespace
+/// One step of an operation tape. Times are coarse so ties are common
+/// (the interesting case for a (time, sequence)-ordered queue).
+struct fuzz_op {
+    enum kind_t { schedule, cancel, pop } kind = schedule;
+    double t = 0.0;       ///< schedule time
+    std::size_t pick = 0; ///< cancel target (mod live id count)
 
-class EventQueueFuzz : public ::testing::TestWithParam<int> {};
+    bool operator==(const fuzz_op&) const = default;
+};
 
-TEST_P(EventQueueFuzz, MatchesReferenceModel) {
-    ehdse::numeric::rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 5);
+std::vector<fuzz_op> gen_op_tape(tk::prng& rng) {
+    const std::size_t n = 500 + rng.index(1500);
+    std::vector<fuzz_op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        fuzz_op op;
+        const double dice = rng.uniform();
+        op.kind = dice < 0.5    ? fuzz_op::schedule
+                  : dice < 0.65 ? fuzz_op::cancel
+                                : fuzz_op::pop;
+        op.t = static_cast<double>(rng.index(50));
+        op.pick = rng.index(1024);
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/// Replay a tape against queue + reference; throws property_failure on
+/// the first divergence.
+void run_op_tape(const std::vector<fuzz_op>& ops) {
     es::event_queue queue;
     reference_queue reference;
-
     std::vector<int> fired;
     std::vector<es::event_id> live_ids;
     int next_payload = 0;
 
-    for (int op = 0; op < 5000; ++op) {
-        const double dice = rng.uniform();
-        if (dice < 0.5 || queue.empty()) {
-            // Schedule at a coarse-grained time so ties are common.
-            const double t = static_cast<double>(rng.uniform_index(50));
-            const int payload = next_payload++;
-            const es::event_id id =
-                queue.schedule(t, [payload, &fired] { fired.push_back(payload); });
-            reference.schedule(t, id, payload);
-            live_ids.push_back(id);
-        } else if (dice < 0.65 && !live_ids.empty()) {
-            // Cancel a random (possibly already-fired) id.
-            const es::event_id id = live_ids[rng.uniform_index(live_ids.size())];
-            const bool ours = queue.cancel(id);
-            const bool refs = reference.cancel(id);
-            ASSERT_EQ(ours, refs);
-        } else {
-            // Pop: payload order must match the reference exactly.
-            ASSERT_EQ(queue.size(), reference.entries.size());
-            const auto expected = reference.pop();
-            fired.clear();
-            queue.pop_and_run();
-            ASSERT_EQ(fired.size(), 1u);
-            ASSERT_EQ(fired[0], expected.payload);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const fuzz_op& op = ops[i];
+        const std::string at = " (op " + std::to_string(i) + ")";
+        switch (op.kind) {
+            case fuzz_op::schedule: {
+                const int payload = next_payload++;
+                const es::event_id id = queue.schedule(
+                    op.t, [payload, &fired] { fired.push_back(payload); });
+                reference.schedule(op.t, id, payload);
+                live_ids.push_back(id);
+                break;
+            }
+            case fuzz_op::cancel: {
+                if (live_ids.empty()) break;
+                const es::event_id id =
+                    live_ids[op.pick % live_ids.size()];
+                const bool ours = queue.cancel(id);
+                const bool refs = reference.cancel(id);
+                tk::require(ours == refs, "cancel result diverged" + at);
+                break;
+            }
+            case fuzz_op::pop: {
+                tk::require(queue.empty() == reference.entries.empty(),
+                            "emptiness diverged before pop" + at);
+                if (queue.empty()) break;
+                const auto expected = reference.pop();
+                fired.clear();
+                queue.pop_and_run();
+                tk::require(fired.size() == 1,
+                            "pop fired " + std::to_string(fired.size()) +
+                                " events" + at);
+                tk::require(fired[0] == expected.payload,
+                            "pop order diverged from the reference" + at);
+                break;
+            }
         }
-        ASSERT_EQ(queue.size(), reference.entries.size());
-        ASSERT_EQ(queue.empty(), reference.entries.empty());
+        tk::require(queue.size() == reference.entries.size(),
+                    "size diverged" + at);
     }
 
     // Drain both: total order identical.
@@ -87,12 +129,40 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
         const auto expected = reference.pop();
         fired.clear();
         queue.pop_and_run();
-        ASSERT_EQ(fired[0], expected.payload);
+        tk::require(!fired.empty() && fired[0] == expected.payload,
+                    "drain order diverged from the reference");
     }
-    EXPECT_TRUE(reference.entries.empty());
+    tk::require(reference.entries.empty(),
+                "reference still holds entries after the drain");
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz, ::testing::Range(0, 6));
+}  // namespace
+
+TEST(SimFuzz, EventQueueMatchesReferenceModel) {
+    tk::property_def<std::vector<fuzz_op>> def;
+    def.name = "SimFuzz.EventQueueMatchesReferenceModel";
+    def.generate = gen_op_tape;
+    def.property = run_op_tape;
+    def.shrink = [](const std::vector<fuzz_op>& ops) {
+        return tk::shrink_sequence(ops);
+    };
+    def.show = [](const std::vector<fuzz_op>& ops) {
+        std::ostringstream os;
+        os << ops.size() << " ops:";
+        for (const fuzz_op& op : ops)
+            os << (op.kind == fuzz_op::schedule ? " s@"
+                   : op.kind == fuzz_op::cancel ? " c#"
+                                                : " p@")
+               << (op.kind == fuzz_op::cancel ? static_cast<double>(op.pick)
+                                              : op.t);
+        return os.str();
+    };
+    tk::property_options options;
+    options.cases = 12;
+    options.budget_ms = tk::env_fuzz_ms(0.0);  // nightly: fuzz by wall time
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+}
 
 // --- simulator edge cases -------------------------------------------------
 
@@ -146,4 +216,18 @@ TEST(SimulatorEdge, ManyZeroSpacedEventsTerminate) {
     sim.at(0.5, chain);
     ASSERT_TRUE(sim.run_until(1.0));
     EXPECT_EQ(count, 1000);
+}
+
+TEST(SimulatorEdge, NonFiniteStateFailsTheRunCleanly) {
+    // An event corrupting the state to NaN (what the fault-injection
+    // wrappers do deliberately) must fail run_until instead of stalling
+    // the error-controlled integrator.
+    still_system sys;
+    es::simulator sim(sys, {1.0});
+    sim.at(0.5, [&] {
+        sim.set_state(0, std::numeric_limits<double>::quiet_NaN());
+    });
+    EXPECT_TRUE(sim.state_finite());
+    EXPECT_FALSE(sim.run_until(1.0));
+    EXPECT_FALSE(sim.state_finite());
 }

@@ -1,0 +1,32 @@
+// Metamorphic property: memoisation is invisible. For any valid request,
+// the cached evaluator answers bit-identically to the uncached one, a
+// repeated request hits, and requests equal after canonicalisation share
+// one entry.
+#include <gtest/gtest.h>
+
+#include "testkit_oracles.hpp"
+
+namespace tk = ehdse::testkit;
+
+TEST(TestkitCacheProperty, CachedEqualsUncachedBitForBit) {
+    tk::property_def<ehdse::spec::experiment_spec> def;
+    def.name = "TestkitCacheProperty.CachedEqualsUncachedBitForBit";
+    def.generate = [](tk::prng& r) {
+        ehdse::spec::experiment_spec s = tk::gen_experiment_spec(r);
+        // Keep the evaluation itself short: the property needs four runs
+        // per case, and the invariant is fidelity-independent.
+        s.scn.duration_s = r.uniform(60.0, 180.0);
+        return s;
+    };
+    def.property = tk::oracles::check_cache_bit_equality;
+    def.shrink = [](const ehdse::spec::experiment_spec& s) {
+        return tk::shrink_spec(s);
+    };
+    def.show = [](const ehdse::spec::experiment_spec& s) {
+        return ehdse::spec::to_json(s).dump();
+    };
+    tk::property_options options;
+    options.cases = 60;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+}

@@ -1,0 +1,77 @@
+// Optimiser properties: a bigger budget under the same seed never
+// reports a worse optimum (the smaller run is an iteration prefix and
+// the incumbent is best-ever), and PRNG-injected NaN objective values
+// can never displace a finite incumbent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testkit/fault_injection.hpp"
+#include "testkit_oracles.hpp"
+
+namespace tk = ehdse::testkit;
+namespace opt = ehdse::opt;
+
+TEST(TestkitOptimizerProperty, BudgetIncreaseIsMonotone) {
+    tk::property_def<std::uint64_t> def;
+    def.name = "TestkitOptimizerProperty.BudgetIncreaseIsMonotone";
+    def.generate = [](tk::prng& r) { return r.next(); };
+    def.property = [](const std::uint64_t& seed) {
+        tk::oracles::check_budget_monotonicity(seed);
+    };
+    tk::property_options options;
+    options.cases = 30;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitOptimizerProperty, NanObjectiveNeverWinsOrEscapes) {
+    tk::property_def<std::uint64_t> def;
+    def.name = "TestkitOptimizerProperty.NanObjectiveNeverWinsOrEscapes";
+    def.generate = [](tk::prng& r) { return r.next(); };
+    def.property = [](const std::uint64_t& seed) {
+        tk::prng r(seed);
+        const ehdse::numeric::vec beta = tk::gen_quadratic_coefficients(r, 3);
+        const opt::objective_fn clean = [beta](const ehdse::numeric::vec& x) {
+            return tk::eval_quadratic(beta, x);
+        };
+        opt::box_bounds bounds;
+        bounds.lo = ehdse::numeric::vec(3, -1.0);
+        bounds.hi = ehdse::numeric::vec(3, 1.0);
+        const std::uint64_t opt_seed = r.next();
+        const double nan_p = r.uniform(0.05, 0.4);
+        {
+            opt::sa_options o;
+            o.max_epochs = 40;
+            o.steps_per_epoch = 10;
+            o.calibration_samples = 8;
+            ehdse::numeric::rng orng(opt_seed);
+            const opt::opt_result res =
+                opt::simulated_annealing(o).maximize(
+                    tk::faulty_objective(clean, r.next(), nan_p), bounds,
+                    orng);
+            tk::require(std::isfinite(res.best_value),
+                        "SA reported a non-finite optimum under NaN faults");
+            tk::require(bounds.contains(res.best_x),
+                        "SA optimum escaped the box under NaN faults");
+        }
+        {
+            opt::ga_options o;
+            o.population = 16;
+            o.generations = 15;
+            ehdse::numeric::rng orng(opt_seed);
+            const opt::opt_result res =
+                opt::genetic_algorithm(o).maximize(
+                    tk::faulty_objective(clean, r.next(), nan_p), bounds,
+                    orng);
+            tk::require(std::isfinite(res.best_value),
+                        "GA reported a non-finite optimum under NaN faults");
+            tk::require(bounds.contains(res.best_x),
+                        "GA optimum escaped the box under NaN faults");
+        }
+    };
+    tk::property_options options;
+    options.cases = 25;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+}

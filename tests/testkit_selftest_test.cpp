@@ -1,0 +1,247 @@
+// The kit tests itself: PRNG known-answer vectors, env plumbing, the
+// property runner's pass/fail/shrink/repro behaviour on planted bugs,
+// and the validity promise of every generator.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testkit/generators.hpp"
+#include "testkit/property.hpp"
+#include "testkit/prng.hpp"
+
+namespace tk = ehdse::testkit;
+
+// Restores one environment variable on scope exit so env-driven tests
+// cannot leak state into later suites.
+class env_guard {
+public:
+    explicit env_guard(const char* name) : name_(name) {
+        const char* value = std::getenv(name);
+        if (value) saved_ = value;
+    }
+    ~env_guard() {
+        if (saved_)
+            ::setenv(name_, saved_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+private:
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+TEST(TestkitPrng, SplitmixKnownAnswer) {
+    // Reference vector for splitmix64 seeded with 0 (Vigna's test values).
+    std::uint64_t state = 0;
+    EXPECT_EQ(tk::splitmix64_next(state), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(tk::splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(tk::splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(TestkitPrng, StreamsAreDeterministicAndSeedSensitive) {
+    tk::prng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    tk::prng a2(42);
+    for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+    EXPECT_NE(tk::mix(42, 0), tk::mix(42, 1));
+    EXPECT_NE(tk::mix(42, 0), tk::mix(43, 0));
+    EXPECT_EQ(tk::mix(42, 7), tk::mix(42, 7));
+}
+
+TEST(TestkitPrng, UniformHelpersRespectBounds) {
+    tk::prng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = r.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+        const double w = r.log_uniform(125e3, 8e6);
+        EXPECT_GE(w, 125e3);
+        EXPECT_LE(w, 8e6);
+        EXPECT_LT(r.index(10), 10u);
+        const std::int64_t n = r.integer(-3, 4);
+        EXPECT_GE(n, -3);
+        EXPECT_LE(n, 4);
+    }
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(TestkitPrng, EnvSeedParsesDecimalAndHex) {
+    env_guard guard("EHDSE_TESTKIT_SEED");
+    ::unsetenv("EHDSE_TESTKIT_SEED");
+    EXPECT_EQ(tk::env_seed(), tk::k_default_seed);
+    ::setenv("EHDSE_TESTKIT_SEED", "12345", 1);
+    EXPECT_EQ(tk::env_seed(), 12345u);
+    ::setenv("EHDSE_TESTKIT_SEED", "0x2a", 1);
+    EXPECT_EQ(tk::env_seed(), 42u);
+}
+
+TEST(TestkitPrng, EnvCasesOverridesFallback) {
+    env_guard guard("EHDSE_TESTKIT_CASES");
+    ::unsetenv("EHDSE_TESTKIT_CASES");
+    EXPECT_EQ(tk::env_cases(100), 100u);
+    ::setenv("EHDSE_TESTKIT_CASES", "7", 1);
+    EXPECT_EQ(tk::env_cases(100), 7u);
+    ::setenv("EHDSE_TESTKIT_CASES", "0", 1);
+    EXPECT_EQ(tk::env_cases(100), 100u);
+}
+
+TEST(TestkitProperty, PassingPropertyRunsAllCases) {
+    // The exact-count assertion must not see a nightly depth override.
+    env_guard guard("EHDSE_TESTKIT_CASES");
+    ::unsetenv("EHDSE_TESTKIT_CASES");
+    tk::property_def<double> def;
+    def.name = "TestkitProperty.PassingPropertyRunsAllCases";
+    def.generate = [](tk::prng& r) { return r.uniform(); };
+    def.property = [](const double& x) {
+        tk::require(x >= 0.0 && x < 1.0, "uniform out of range");
+    };
+    tk::property_options options;
+    options.cases = 50;
+    options.seed = 1;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+    EXPECT_EQ(result.cases_run, 50u);
+}
+
+TEST(TestkitProperty, PlantedBugIsFoundShrunkAndReproducible) {
+    tk::property_def<double> def;
+    def.name = "TestkitProperty.PlantedBugIsFoundShrunkAndReproducible";
+    def.generate = [](tk::prng& r) { return r.uniform(0.0, 1000.0); };
+    def.property = [](const double& x) {
+        tk::require(x <= 50.0, "planted bug: value exceeds 50");
+    };
+    def.shrink = [](const double& x) { return tk::shrink_double(x); };
+    tk::property_options options;
+    options.cases = 100;
+    options.seed = 99;
+    const auto first = tk::run_property(def, options);
+    ASSERT_FALSE(first.ok);
+    ASSERT_TRUE(first.counterexample.has_value());
+    // Greedy halving towards 0 cannot stop above twice the threshold.
+    EXPECT_GT(*first.counterexample, 50.0);
+    EXPECT_LE(*first.counterexample, 101.0);
+    // The repro line names the seed and the gtest filter.
+    EXPECT_NE(first.repro.find("EHDSE_TESTKIT_SEED=0x"), std::string::npos)
+        << first.repro;
+    EXPECT_NE(first.repro.find("--gtest_filter=" + def.name),
+              std::string::npos)
+        << first.repro;
+    // Same seed -> byte-identical failure (case index and counterexample).
+    const auto second = tk::run_property(def, options);
+    ASSERT_FALSE(second.ok);
+    EXPECT_EQ(first.failing_case, second.failing_case);
+    EXPECT_EQ(*first.counterexample, *second.counterexample);
+}
+
+TEST(TestkitProperty, UnexpectedExceptionsCountAsFailures) {
+    tk::property_def<int> def;
+    def.name = "TestkitProperty.UnexpectedExceptionsCountAsFailures";
+    def.generate = [](tk::prng& r) { return static_cast<int>(r.index(10)); };
+    def.property = [](const int& x) {
+        if (x == 3) throw std::invalid_argument("boom");
+    };
+    tk::property_options options;
+    options.cases = 100;
+    options.seed = 5;
+    const auto result = tk::run_property(def, options);
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.message.find("unexpected exception"), std::string::npos);
+    EXPECT_NE(result.message.find("boom"), std::string::npos);
+}
+
+TEST(TestkitProperty, TimeBudgetGovernsWhenSet) {
+    int calls = 0;
+    tk::property_def<int> def;
+    def.name = "TestkitProperty.TimeBudgetGovernsWhenSet";
+    def.generate = [&](tk::prng& r) {
+        ++calls;
+        return static_cast<int>(r.index(10));
+    };
+    def.property = [](const int&) {};
+    tk::property_options options;
+    options.cases = 3;
+    options.seed = 2;
+    options.budget_ms = 30.0;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+    // A cheap property inside a 30 ms budget runs far past the case floor.
+    EXPECT_GT(result.cases_run, 3u);
+    EXPECT_EQ(static_cast<std::size_t>(calls), result.cases_run);
+}
+
+TEST(TestkitProperty, SequenceShrinkerDropsChunksThenElements) {
+    const std::vector<int> xs{1, 2, 3, 4};
+    const auto candidates = tk::shrink_sequence(xs);
+    ASSERT_FALSE(candidates.empty());
+    // Every candidate is strictly shorter and a subsequence of xs.
+    for (const auto& c : candidates) {
+        EXPECT_LT(c.size(), xs.size());
+        std::size_t j = 0;
+        for (const int v : c) {
+            while (j < xs.size() && xs[j] != v) ++j;
+            ASSERT_LT(j, xs.size()) << "candidate is not a subsequence";
+            ++j;
+        }
+    }
+    // The first candidates remove the biggest chunks (delta debugging).
+    EXPECT_EQ(candidates.front().size(), xs.size() / 2);
+    EXPECT_TRUE(tk::shrink_sequence(std::vector<int>{}).empty());
+}
+
+TEST(TestkitGenerators, EveryGeneratedSpecValidates) {
+    tk::property_def<ehdse::spec::experiment_spec> def;
+    def.name = "TestkitGenerators.EveryGeneratedSpecValidates";
+    def.generate = [](tk::prng& r) { return tk::gen_experiment_spec(r); };
+    def.property = [](const ehdse::spec::experiment_spec& s) { s.validate(); };
+    const auto result = tk::run_property(def);
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitGenerators, SchedulesStartAtZeroAndIncrease) {
+    tk::property_def<std::vector<std::pair<double, double>>> def;
+    def.name = "TestkitGenerators.SchedulesStartAtZeroAndIncrease";
+    def.generate = [](tk::prng& r) {
+        return tk::gen_schedule(r, 300.0, 58.0, 76.0);
+    };
+    def.property = [](const std::vector<std::pair<double, double>>& sched) {
+        tk::require(!sched.empty(), "schedule is empty");
+        tk::require(sched.front().first == 0.0,
+                    "schedule does not start at t = 0");
+        for (std::size_t i = 1; i < sched.size(); ++i)
+            tk::require(sched[i].first > sched[i - 1].first,
+                        "schedule times are not strictly increasing");
+        for (const auto& [t, v] : sched) {
+            tk::require(t < 300.0, "schedule entry beyond the horizon");
+            tk::require(v >= 58.0 && v < 76.0, "schedule value out of range");
+        }
+    };
+    const auto result = tk::run_property(def);
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitGenerators, CasesAreIndexKeyedNotOrderKeyed) {
+    // Case i is a pure function of (seed, i): generating case 7 alone
+    // yields the same spec as generating cases 0..9 in order.
+    const std::uint64_t seed = 0xabcddcba;
+    tk::prng direct(tk::mix(seed, 7));
+    const auto lone = tk::gen_experiment_spec(direct);
+    ehdse::spec::experiment_spec in_order;
+    for (std::size_t i = 0; i < 10; ++i) {
+        tk::prng r(tk::mix(seed, i));
+        if (i == 7) in_order = tk::gen_experiment_spec(r);
+        else (void)tk::gen_experiment_spec(r);
+    }
+    EXPECT_TRUE(lone == in_order);
+}

@@ -1,0 +1,177 @@
+// Property suite over the canonical spec layer: JSON round-trip
+// identity, canonicalisation idempotence, hash stability and
+// sensitivity, typed rejection of corrupted documents, legacy /1
+// acceptance, and unknown registry names.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
+#include "testkit_oracles.hpp"
+
+namespace tk = ehdse::testkit;
+namespace spec = ehdse::spec;
+
+namespace {
+
+tk::property_def<spec::experiment_spec> spec_property(
+    std::string name, std::function<void(const spec::experiment_spec&)> body) {
+    tk::property_def<spec::experiment_spec> def;
+    def.name = std::move(name);
+    def.generate = [](tk::prng& r) { return tk::gen_experiment_spec(r); };
+    def.property = std::move(body);
+    def.shrink = [](const spec::experiment_spec& s) {
+        return tk::shrink_spec(s);
+    };
+    def.show = [](const spec::experiment_spec& s) {
+        return spec::to_json(s).dump();
+    };
+    return def;
+}
+
+}  // namespace
+
+TEST(TestkitSpecProperty, JsonRoundTripIsIdentity) {
+    const auto result = tk::run_property(spec_property(
+        "TestkitSpecProperty.JsonRoundTripIsIdentity",
+        tk::oracles::check_spec_roundtrip));
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitSpecProperty, CanonicalizeIsIdempotentAndHashStable) {
+    const auto result = tk::run_property(spec_property(
+        "TestkitSpecProperty.CanonicalizeIsIdempotentAndHashStable",
+        tk::oracles::check_canonical_idempotence));
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitSpecProperty, HashSeesEveryObservableField) {
+    const auto result = tk::run_property(spec_property(
+        "TestkitSpecProperty.HashSeesEveryObservableField",
+        [](const spec::experiment_spec& s) {
+            const std::uint64_t base = spec::spec_hash(s);
+            spec::experiment_spec t = s;
+            t.scn.duration_s += 1.0;
+            tk::require(spec::spec_hash(t) != base,
+                        "duration change did not change the hash");
+            t = s;
+            t.config.mcu_clock_hz += 1.0;
+            tk::require(spec::spec_hash(t) != base,
+                        "clock change did not change the hash");
+            t = s;
+            t.eval.controller_seed ^= 1;
+            tk::require(spec::spec_hash(t) != base,
+                        "controller seed change did not change the hash");
+            t = s;
+            t.flow.optimizer_seed ^= 1;
+            tk::require(spec::spec_hash(t) != base,
+                        "optimizer seed change did not change the hash");
+        }));
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitSpecProperty, CorruptedDocumentsFailTyped) {
+    // Whatever the corruption, parse_spec must answer with
+    // std::invalid_argument — never another exception type, never a crash,
+    // never silent acceptance of an unknown key.
+    tk::property_def<spec::experiment_spec> def;
+    def.name = "TestkitSpecProperty.CorruptedDocumentsFailTyped";
+    def.generate = [](tk::prng& r) { return tk::gen_experiment_spec(r); };
+    def.property = [](const spec::experiment_spec& s) {
+        const std::string text = spec::to_json(s).dump();
+        // One corruption per sub-check, all derived from the same document.
+        const auto expect_invalid = [](const std::string& doc,
+                                       const std::string& what) {
+            try {
+                (void)spec::parse_spec(doc);
+            } catch (const std::invalid_argument&) {
+                return;  // the typed rejection we demand
+            } catch (const std::exception& e) {
+                tk::fail(what + ": wrong exception type: " + e.what());
+            }
+            tk::fail(what + ": corrupted document was accepted");
+        };
+        // Truncation (broken JSON).
+        expect_invalid(text.substr(0, text.size() / 2), "truncated");
+        // Unknown key injected at the top level.
+        std::string unknown = text;
+        unknown.insert(1, "\"frobnicate\": 1, ");
+        expect_invalid(unknown, "unknown key");
+        // Wrong schema tag.
+        std::string bad_schema = text;
+        const std::string tag = spec::k_spec_schema;
+        const std::size_t pos = bad_schema.find(tag);
+        tk::require(pos != std::string::npos, "schema tag not found");
+        bad_schema.replace(pos, tag.size(), "ehdse.experiment_spec/99");
+        expect_invalid(bad_schema, "bad schema");
+        // Not JSON at all.
+        expect_invalid("cmake_minimum_required(VERSION 3.20)", "not json");
+    };
+    const auto result = tk::run_property(def);
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitSpecProperty, LegacySchemaOneStillParses) {
+    // A /1 document never carries flow.design / flow.surrogate; stripping
+    // them and retagging must parse to the same spec with the registry
+    // defaults (d_optimal + quadratic — what /1 hardwired).
+    tk::property_def<spec::experiment_spec> def;
+    def.name = "TestkitSpecProperty.LegacySchemaOneStillParses";
+    def.generate = [](tk::prng& r) {
+        spec::experiment_spec s = tk::gen_experiment_spec(r);
+        s.flow.design = "d_optimal";
+        s.flow.surrogate = "quadratic";
+        return s;
+    };
+    def.property = [](const spec::experiment_spec& s) {
+        ehdse::obs::json_value doc = spec::to_json(s);
+        auto& root = doc.as_object();
+        for (auto& [key, value] : root) {
+            if (key == "schema") value = spec::k_spec_schema_legacy;
+            if (key == "flow") {
+                auto& flow = value.as_object();
+                std::erase_if(flow, [](const auto& member) {
+                    return member.first == "design" ||
+                           member.first == "surrogate";
+                });
+            }
+        }
+        const spec::experiment_spec parsed = spec::parse_spec(doc.dump());
+        tk::require(parsed == s, "legacy /1 document did not parse to the "
+                                 "equivalent /2 spec");
+    };
+    const auto result = tk::run_property(def);
+    EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(TestkitSpecProperty, UnknownRegistryNamesAreRejectedByName) {
+    const auto result = tk::run_property(spec_property(
+        "TestkitSpecProperty.UnknownRegistryNamesAreRejectedByName",
+        [](const spec::experiment_spec& s) {
+            const auto expect_named_rejection = [](spec::experiment_spec bad,
+                                                   const std::string& name) {
+                try {
+                    bad.validate();
+                } catch (const std::invalid_argument& e) {
+                    tk::require(std::string(e.what()).find(name) !=
+                                    std::string::npos,
+                                "rejection does not name the offender: " +
+                                    std::string(e.what()));
+                    return;
+                }
+                tk::fail("unknown name '" + name + "' validated");
+            };
+            spec::experiment_spec bad = s;
+            bad.flow.design = "taguchi";
+            expect_named_rejection(bad, "taguchi");
+            bad = s;
+            bad.flow.surrogate = "cubic";
+            expect_named_rejection(bad, "cubic");
+            bad = s;
+            bad.flow.optimizers.push_back("gradient_descent");
+            expect_named_rejection(bad, "gradient_descent");
+        }));
+    EXPECT_TRUE(result.ok) << result.report();
+}

@@ -1,0 +1,70 @@
+// Differential oracle: the quadratic surrogate must interpolate a
+// synthetic quadratic EXACTLY, whatever registered design family
+// produced the training points — least squares on an exact model has
+// zero residual. One property per family so a failure names its design.
+#include <gtest/gtest.h>
+
+#include "testkit_oracles.hpp"
+
+namespace tk = ehdse::testkit;
+
+namespace {
+
+void run_exactness_property(const std::string& design) {
+    tk::property_def<std::uint64_t> def;
+    def.name = "TestkitSurrogateProperty.QuadraticExactOnEveryDesign";
+    def.generate = [](tk::prng& r) { return r.next(); };
+    def.property = [design](const std::uint64_t& seed) {
+        tk::oracles::check_quadratic_exactness(design, seed);
+    };
+    tk::property_options options;
+    options.cases = 25;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << "design '" << design << "': "
+                           << result.report();
+}
+
+}  // namespace
+
+TEST(TestkitSurrogateProperty, QuadraticExactOnEveryDesign) {
+    const auto& registry = ehdse::doe::design_registry();
+    ASSERT_FALSE(registry.empty());
+    for (const auto& family : registry) run_exactness_property(family.name);
+}
+
+TEST(TestkitSurrogateProperty, FitReproducesTrainingResponsesExactly) {
+    // The fitted values at the training points equal the synthetic
+    // responses (residuals ~ 0) for every family in one sweep.
+    tk::property_def<std::uint64_t> def;
+    def.name = "TestkitSurrogateProperty.FitReproducesTrainingResponsesExactly";
+    def.generate = [](tk::prng& r) { return r.next(); };
+    def.property = [](const std::uint64_t& seed) {
+        tk::prng r(seed);
+        const auto& registry = ehdse::doe::design_registry();
+        const std::string design = registry[r.index(registry.size())].name;
+        const ehdse::numeric::vec beta = tk::gen_quadratic_coefficients(r, 3);
+        ehdse::doe::design_request request;
+        request.name = design;
+        request.dimension = 3;
+        request.runs = 14;
+        request.factorial_levels = 3;
+        request.basis = [](const ehdse::numeric::vec& x) {
+            return ehdse::rsm::quadratic_basis(x);
+        };
+        const ehdse::doe::design_result d = ehdse::doe::make_design(request);
+        ehdse::numeric::vec y(d.points.size(), 0.0);
+        for (std::size_t i = 0; i < d.points.size(); ++i)
+            y[i] = tk::eval_quadratic(beta, d.points[i]);
+        const ehdse::rsm::surrogate_fit fit =
+            ehdse::rsm::make_surrogate("quadratic")->fit(d.points, y);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            tk::require_near(fit.fitted[i], y[i], 1e-4,
+                             design + ": training residual not ~0");
+        tk::require(fit.r_squared > 1.0 - 1e-8,
+                    design + ": R^2 below 1 on an exact quadratic");
+    };
+    tk::property_options options;
+    options.cases = 40;
+    const auto result = tk::run_property(def, options);
+    EXPECT_TRUE(result.ok) << result.report();
+}
