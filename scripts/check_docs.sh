@@ -65,6 +65,15 @@ require_section docs/observability.md '\-\-dump\-spec'
 require_section docs/observability.md 'spec_hash'
 require_section docs/observability.md 'options\.fit'
 require_section docs/observability.md 'options\.surrogate'
+require_section docs/service.md '^## Framing'
+require_section docs/service.md '^## Messages'
+require_section docs/service.md '^## Error codes'
+require_section docs/service.md '^## Cancellation'
+require_section docs/service.md '^## Quotas'
+require_section docs/service.md '^## Graceful drain'
+require_section docs/service.md 'ehdse\.svc/1'
+require_section docs/service.md 'frame_too_large'
+require_section docs/service.md 'k_max_frame_bytes'
 require_section docs/testing.md '^## Test taxonomy'
 require_section docs/testing.md '^## Seed-repro workflow'
 require_section docs/testing.md '^## Fault injection'

@@ -6,7 +6,10 @@
 #   address   ASan+UBSan (-fsanitize=address,undefined): lifetime and UB
 #
 # Each preset gets its own build tree (build-<preset>) and runs
-#   ctest -L "testkit|exec|rsm"
+#   ctest -L "testkit|exec|rsm|svc"
+# The svc label includes the service soak (svc_soak_test), so the TSan
+# pass exercises hundreds of concurrent submissions through the server's
+# reader threads, runner tasks and shared caches.
 # Usage:
 #   scripts/run_sanitizers.sh              # both presets
 #   EHDSE_SANITIZE=address scripts/run_sanitizers.sh   # one preset
@@ -16,7 +19,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
 presets="${EHDSE_SANITIZE:-thread address}"
-labels='testkit|exec|rsm'
+labels='testkit|exec|rsm|svc'
 status=0
 
 for preset in $presets; do

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# run_soak.sh — drive the experiment-service soak (svc_soak_test) at a
+# configurable scale: N concurrent client connections pipelining M spec
+# submissions each against one server, asserting zero lost responses and
+# cross-client cache hits (docs/service.md, docs/testing.md).
+#
+# Usage:
+#   scripts/run_soak.sh                      # 8 clients x 25 specs
+#   scripts/run_soak.sh --clients 16 --specs 100 --configs 20
+#   scripts/run_soak.sh --duration 60        # repeat for ~60 seconds
+#   scripts/run_soak.sh --tsan               # run in the TSan build tree
+#
+# The soak binary scales through EHDSE_SOAK_CLIENTS / EHDSE_SOAK_SPECS /
+# EHDSE_SOAK_CONFIGS; this script builds the right tree, exports them,
+# and loops the test until the requested wall-clock duration has passed
+# (at least one iteration always runs).
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+clients=8
+specs=25
+configs=10
+duration=0
+tree=build
+cmake_args=()
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --clients)  clients="$2"; shift 2 ;;
+        --specs)    specs="$2"; shift 2 ;;
+        --configs)  configs="$2"; shift 2 ;;
+        --duration) duration="$2"; shift 2 ;;
+        --tsan)     tree=build-thread
+                    cmake_args=(-DEHDSE_SANITIZE=thread
+                                -DEHDSE_BUILD_BENCH=OFF
+                                -DEHDSE_BUILD_EXAMPLES=OFF)
+                    shift ;;
+        *) echo "run_soak: unknown argument '$1'" >&2
+           echo "usage: $0 [--clients N] [--specs M] [--configs K]" >&2
+           echo "          [--duration SECONDS] [--tsan]" >&2
+           exit 2 ;;
+    esac
+done
+
+cmake -B "$tree" -S . "${cmake_args[@]+"${cmake_args[@]}"}"
+cmake --build "$tree" -j --target svc_soak_test
+
+export EHDSE_SOAK_CLIENTS="$clients"
+export EHDSE_SOAK_SPECS="$specs"
+export EHDSE_SOAK_CONFIGS="$configs"
+
+total=$((clients * specs))
+echo "== soak: $clients clients x $specs specs = $total submissions" \
+     "over $configs design points (tree: $tree) =="
+
+start=$(date +%s)
+iteration=0
+while :; do
+    iteration=$((iteration + 1))
+    echo "-- soak iteration $iteration --"
+    "$tree/tests/svc_soak_test"
+    elapsed=$(( $(date +%s) - start ))
+    [ "$elapsed" -ge "$duration" ] && break
+done
+
+echo "run_soak: $iteration iteration(s) passed in ${elapsed}s"

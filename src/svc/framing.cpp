@@ -1,0 +1,29 @@
+#include "svc/framing.hpp"
+
+namespace ehdse::svc {
+
+frame_splitter::status frame_splitter::next(std::string& out) {
+    if (poisoned_) return status::overflow;
+    while (true) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl == std::string::npos) {
+            if (buffer_.size() >= max_frame_) {
+                poisoned_ = true;
+                return status::overflow;
+            }
+            return status::need_more;
+        }
+        if (nl + 1 > max_frame_) {  // terminator arrived past the limit
+            poisoned_ = true;
+            return status::overflow;
+        }
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;  // keep-alive padding
+        out = std::move(line);
+        return status::frame;
+    }
+}
+
+}  // namespace ehdse::svc

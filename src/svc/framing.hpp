@@ -1,0 +1,56 @@
+// Frame layer of the ehdse.svc/1 wire protocol (docs/service.md §Framing):
+// one frame = one complete JSON document on one line, terminated by '\n'.
+// The compact JSON serialiser never emits a raw newline (strings are
+// escaped), so the mapping is exact in both directions, and a session is
+// inspectable with nothing fancier than `nc -U` and `jq`.
+//
+// frame_splitter is the incremental decoder: feed it whatever the socket
+// delivered, pull complete frames out. It is transport-agnostic and
+// allocation-bounded — a line that exceeds the frame limit without a
+// terminator poisons the splitter (resynchronisation inside a giant frame
+// is guesswork; the server responds `frame_too_large` and closes instead).
+// Blank lines are tolerated as keep-alive padding; a trailing '\r' is
+// stripped so `nc -C` style clients work.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ehdse::svc {
+
+/// Upper bound on one frame (terminator included). A canonical
+/// experiment-spec document is ~2 KB; 1 MiB leaves two orders of
+/// magnitude for embedded manifests while still bounding a hostile
+/// client's buffer to something harmless.
+inline constexpr std::size_t k_max_frame_bytes = 1u << 20;
+
+class frame_splitter {
+public:
+    explicit frame_splitter(std::size_t max_frame = k_max_frame_bytes)
+        : max_frame_(max_frame) {}
+
+    enum class status {
+        frame,      ///< `out` holds one complete frame (newline stripped)
+        need_more,  ///< no complete frame buffered yet
+        overflow,   ///< frame limit exceeded before a terminator; poisoned
+    };
+
+    /// Append raw bytes from the transport.
+    void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+    /// Extract the next complete frame into `out`. Empty lines are
+    /// skipped. Once poisoned, always returns overflow.
+    status next(std::string& out);
+
+    /// True after an overflow: byte-stream framing is lost for good.
+    bool poisoned() const noexcept { return poisoned_; }
+
+    std::size_t buffered() const noexcept { return buffer_.size(); }
+
+private:
+    std::string buffer_;
+    std::size_t max_frame_;
+    bool poisoned_ = false;
+};
+
+}  // namespace ehdse::svc

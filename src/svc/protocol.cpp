@@ -1,0 +1,250 @@
+#include "svc/protocol.hpp"
+
+#include <utility>
+
+#include "spec/json_codec.hpp"
+
+namespace ehdse::svc {
+
+namespace {
+
+/// Member lookup with a typed failure instead of std::out_of_range, so
+/// a malformed frame reports the missing field, not a stack trace.
+const obs::json_value& require(const obs::json_value& doc,
+                               std::string_view key) {
+    const obs::json_value* member = doc.find(key);
+    if (!member)
+        throw protocol_error(error_code::bad_type,
+                             "missing field '" + std::string(key) + "'");
+    return *member;
+}
+
+std::string require_string(const obs::json_value& doc, std::string_view key) {
+    const obs::json_value& member = require(doc, key);
+    if (!member.is_string())
+        throw protocol_error(error_code::bad_type,
+                             "field '" + std::string(key) +
+                                 "' must be a string");
+    return member.as_string();
+}
+
+std::string require_id(const obs::json_value& doc) {
+    std::string id = require_string(doc, "id");
+    if (id.empty())
+        throw protocol_error(error_code::bad_type, "field 'id' must be non-empty");
+    if (id.size() > k_max_request_id)
+        throw protocol_error(error_code::bad_type,
+                             "field 'id' exceeds " +
+                                 std::to_string(k_max_request_id) + " bytes");
+    return id;
+}
+
+spec::experiment_spec decode_spec(const obs::json_value& doc) {
+    const obs::json_value& spec_doc = require(doc, "spec");
+    if (!spec_doc.is_object())
+        throw protocol_error(error_code::bad_type,
+                             "field 'spec' must be an object");
+    // Distinguish "a schema this server does not speak" from "a document
+    // this server cannot decode": clients probing a newer spec layout get
+    // bad_schema and can downgrade; everything else is bad_spec.
+    const obs::json_value* schema = spec_doc.find("schema");
+    if (schema && schema->is_string() &&
+        schema->as_string() != spec::k_spec_schema &&
+        schema->as_string() != spec::k_spec_schema_legacy)
+        throw protocol_error(error_code::bad_schema,
+                             "unknown spec schema '" + schema->as_string() +
+                                 "' (this server speaks " +
+                                 spec::k_spec_schema + " and " +
+                                 spec::k_spec_schema_legacy + ")");
+    try {
+        return spec::spec_from_json(spec_doc);
+    } catch (const std::exception& e) {
+        throw protocol_error(error_code::bad_spec, e.what());
+    }
+}
+
+obs::json_value make_typed(const char* type) {
+    obs::json_object doc;
+    doc.emplace_back("type", obs::json_value(type));
+    return obs::json_value(std::move(doc));
+}
+
+}  // namespace
+
+std::string to_string(error_code code) {
+    switch (code) {
+        case error_code::bad_frame: return "bad_frame";
+        case error_code::frame_too_large: return "frame_too_large";
+        case error_code::bad_type: return "bad_type";
+        case error_code::bad_schema: return "bad_schema";
+        case error_code::bad_spec: return "bad_spec";
+        case error_code::duplicate_id: return "duplicate_id";
+        case error_code::unknown_id: return "unknown_id";
+        case error_code::too_late: return "too_late";
+        case error_code::queue_full: return "queue_full";
+        case error_code::quota_exceeded: return "quota_exceeded";
+        case error_code::draining: return "draining";
+        case error_code::internal: return "internal";
+    }
+    return "internal";
+}
+
+error_code error_code_from_string(std::string_view name) {
+    for (const error_code code :
+         {error_code::bad_frame, error_code::frame_too_large,
+          error_code::bad_type, error_code::bad_schema, error_code::bad_spec,
+          error_code::duplicate_id, error_code::unknown_id,
+          error_code::too_late, error_code::queue_full,
+          error_code::quota_exceeded, error_code::draining,
+          error_code::internal}) {
+        if (to_string(code) == name) return code;
+    }
+    throw std::invalid_argument("unknown error code '" + std::string(name) +
+                                "'");
+}
+
+std::string to_string(workload work) {
+    return work == workload::flow ? "flow" : "simulate";
+}
+
+workload workload_from_string(std::string_view name) {
+    if (name == "simulate") return workload::simulate;
+    if (name == "flow") return workload::flow;
+    throw std::invalid_argument("unknown workload '" + std::string(name) +
+                                "' (valid: simulate, flow)");
+}
+
+client_request parse_request(const obs::json_value& doc) {
+    if (!doc.is_object())
+        throw protocol_error(error_code::bad_frame,
+                             "frame must be a JSON object");
+    const std::string type = require_string(doc, "type");
+    client_request request;
+    if (type == "submit") {
+        request.kind = request_kind::submit;
+        request.id = require_id(doc);
+        if (const obs::json_value* kind = doc.find("kind")) {
+            if (!kind->is_string())
+                throw protocol_error(error_code::bad_type,
+                                     "field 'kind' must be a string");
+            try {
+                request.work = workload_from_string(kind->as_string());
+            } catch (const std::invalid_argument& e) {
+                throw protocol_error(error_code::bad_type, e.what());
+            }
+        }
+        request.spec = decode_spec(doc);
+        return request;
+    }
+    if (type == "cancel") {
+        request.kind = request_kind::cancel;
+        request.id = require_id(doc);
+        return request;
+    }
+    if (type == "ping") {
+        request.kind = request_kind::ping;
+        return request;
+    }
+    if (type == "stats") {
+        request.kind = request_kind::stats;
+        return request;
+    }
+    throw protocol_error(error_code::bad_type,
+                         "unknown message type '" + type + "'");
+}
+
+obs::json_value make_submit(const std::string& id, workload work,
+                            const spec::experiment_spec& spec) {
+    obs::json_value doc = make_typed("submit");
+    doc.set("id", obs::json_value(id));
+    doc.set("kind", obs::json_value(to_string(work)));
+    doc.set("spec", spec::to_json(spec));
+    return doc;
+}
+
+obs::json_value make_cancel(const std::string& id) {
+    obs::json_value doc = make_typed("cancel");
+    doc.set("id", obs::json_value(id));
+    return doc;
+}
+
+obs::json_value make_ping() { return make_typed("ping"); }
+
+obs::json_value make_stats_request() { return make_typed("stats"); }
+
+obs::json_value make_accepted(const std::string& id,
+                              const std::string& spec_hash,
+                              std::size_t queue_depth) {
+    obs::json_value doc = make_typed("accepted");
+    doc.set("id", obs::json_value(id));
+    doc.set("spec_hash", obs::json_value(spec_hash));
+    doc.set("queue_depth", obs::json_value(queue_depth));
+    return doc;
+}
+
+obs::json_value make_rejected(const std::string& id, error_code code,
+                              const std::string& message) {
+    obs::json_value doc = make_typed("rejected");
+    doc.set("id", obs::json_value(id));
+    doc.set("code", obs::json_value(to_string(code)));
+    doc.set("message", obs::json_value(message));
+    return doc;
+}
+
+obs::json_value make_event(const std::string& id, const std::string& event,
+                           const std::string& detail) {
+    obs::json_value doc = make_typed("event");
+    doc.set("id", obs::json_value(id));
+    doc.set("event", obs::json_value(event));
+    doc.set("detail", obs::json_value(detail));
+    return doc;
+}
+
+obs::json_value make_result(const std::string& id, bool ok,
+                            obs::json_value response,
+                            obs::json_value manifest) {
+    obs::json_value doc = make_typed("result");
+    doc.set("id", obs::json_value(id));
+    doc.set("status", obs::json_value(ok ? "ok" : "failed"));
+    doc.set("response", std::move(response));
+    doc.set("manifest", std::move(manifest));
+    return doc;
+}
+
+obs::json_value make_cancelled(const std::string& id) {
+    obs::json_value doc = make_typed("cancelled");
+    doc.set("id", obs::json_value(id));
+    return doc;
+}
+
+obs::json_value make_error(error_code code, const std::string& message,
+                           const std::string& id) {
+    obs::json_value doc = make_typed("error");
+    if (!id.empty()) doc.set("id", obs::json_value(id));
+    doc.set("code", obs::json_value(to_string(code)));
+    doc.set("message", obs::json_value(message));
+    return doc;
+}
+
+obs::json_value make_pong(const std::string& server_name) {
+    obs::json_value doc = make_typed("pong");
+    doc.set("server", obs::json_value(server_name));
+    doc.set("protocol", obs::json_value(k_protocol));
+    return doc;
+}
+
+obs::json_value make_goodbye(const std::string& reason) {
+    obs::json_value doc = make_typed("goodbye");
+    doc.set("reason", obs::json_value(reason));
+    return doc;
+}
+
+obs::json_value make_stats_reply(obs::json_value server_stats,
+                                 obs::json_value cache_stats) {
+    obs::json_value doc = make_typed("stats");
+    doc.set("server", std::move(server_stats));
+    doc.set("cache", std::move(cache_stats));
+    return doc;
+}
+
+}  // namespace ehdse::svc

@@ -1,0 +1,118 @@
+// Message layer of the ehdse.svc/1 wire protocol (docs/service.md): the
+// typed request a client frame decodes to, the builders for every frame
+// either side sends, and the closed error-code vocabulary. The payload of
+// a submit IS the canonical experiment spec — the spec layer's strict
+// JSON codec (src/spec/json_codec.hpp) does the heavy parsing, so the
+// service adds connection/scheduling/lifecycle semantics, not a second
+// serialisation format.
+//
+// Parsing is strict in the same spirit as the spec codec: an unknown
+// message type, a missing/ill-typed field, an unknown spec schema or an
+// invalid spec all throw protocol_error carrying one of the enumerated
+// codes, which the server maps 1:1 onto `rejected` / `error` frames — a
+// client can switch on `code` without parsing prose.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "spec/experiment_spec.hpp"
+
+namespace ehdse::svc {
+
+/// Protocol identifier, echoed in `pong` frames. Bumps only when a
+/// frame's shape changes incompatibly; new spec schema versions ride on
+/// the spec codec's own "schema" tag instead.
+inline constexpr const char* k_protocol = "ehdse.svc/1";
+
+/// Longest accepted client-chosen request id. Ids are opaque to the
+/// server; the bound only keeps echo frames small.
+inline constexpr std::size_t k_max_request_id = 128;
+
+/// The closed vocabulary of `rejected.code` / `error.code` values
+/// (docs/service.md §Error codes).
+enum class error_code {
+    bad_frame,        ///< frame is not a JSON object
+    frame_too_large,  ///< frame limit exceeded; connection closes
+    bad_type,         ///< unknown "type", or a missing/ill-typed field
+    bad_schema,       ///< spec "schema" tag is not a version this server speaks
+    bad_spec,         ///< spec failed strict decode or validate()
+    duplicate_id,     ///< submit id collides with a live request on this connection
+    unknown_id,       ///< cancel names no live request on this connection
+    too_late,         ///< cancel arrived after execution started
+    queue_full,       ///< global admission queue is at capacity
+    quota_exceeded,   ///< this connection's in-flight quota is spent
+    draining,         ///< server is draining; no new work accepted
+    internal,         ///< unexpected server-side failure
+};
+
+std::string to_string(error_code code);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+error_code error_code_from_string(std::string_view name);
+
+class protocol_error : public std::runtime_error {
+public:
+    protocol_error(error_code code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+
+    error_code code() const noexcept { return code_; }
+
+private:
+    error_code code_;
+};
+
+enum class request_kind { submit, cancel, ping, stats };
+
+/// What a submit asks the server to run with the spec.
+enum class workload {
+    simulate,  ///< one evaluation of spec.config (through the shared cache)
+    flow,      ///< the full RSM pipeline the spec's flow part describes
+};
+
+std::string to_string(workload work);
+workload workload_from_string(std::string_view name);
+
+/// One decoded client frame.
+struct client_request {
+    request_kind kind = request_kind::ping;
+    std::string id;                        ///< submit / cancel only
+    workload work = workload::simulate;    ///< submit only
+    spec::experiment_spec spec;            ///< submit only, validated
+};
+
+/// Decode one client frame (an already-parsed JSON document). Throws
+/// protocol_error: bad_frame (not an object), bad_type (unknown type /
+/// missing field), bad_schema (spec schema tag unknown), bad_spec (spec
+/// fails the strict codec or validation).
+client_request parse_request(const obs::json_value& doc);
+
+// -- client -> server builders (ehdse_client, tests) ----------------------
+obs::json_value make_submit(const std::string& id, workload work,
+                            const spec::experiment_spec& spec);
+obs::json_value make_cancel(const std::string& id);
+obs::json_value make_ping();
+obs::json_value make_stats_request();
+
+// -- server -> client builders --------------------------------------------
+obs::json_value make_accepted(const std::string& id,
+                              const std::string& spec_hash,
+                              std::size_t queue_depth);
+obs::json_value make_rejected(const std::string& id, error_code code,
+                              const std::string& message);
+obs::json_value make_event(const std::string& id, const std::string& event,
+                           const std::string& detail);
+obs::json_value make_result(const std::string& id, bool ok,
+                            obs::json_value response,
+                            obs::json_value manifest);
+obs::json_value make_cancelled(const std::string& id);
+/// Connection- or request-scoped error; empty id = connection-scoped.
+obs::json_value make_error(error_code code, const std::string& message,
+                           const std::string& id = "");
+obs::json_value make_pong(const std::string& server_name);
+obs::json_value make_goodbye(const std::string& reason);
+obs::json_value make_stats_reply(obs::json_value server_stats,
+                                 obs::json_value cache_stats);
+
+}  // namespace ehdse::svc

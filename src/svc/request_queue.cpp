@@ -1,0 +1,129 @@
+#include "svc/request_queue.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ehdse::svc {
+
+request_queue::request_queue(queue_limits limits) : limits_(limits) {}
+
+request_queue::admit request_queue::enqueue(job j, std::size_t* queue_depth) {
+    std::lock_guard lock(mutex_);
+    if (draining_) return admit::draining;
+    auto& client = clients_[j.client];
+    if (client.live.count(j.id)) return admit::duplicate_id;
+    if (client.live.size() >= limits_.max_per_client)
+        return admit::quota_exceeded;
+    if (pending_.size() >= limits_.max_queued) return admit::queue_full;
+    client.live.insert(j.id);
+    pending_.push_back(std::move(j));
+    if (queue_depth) *queue_depth = pending_.size();
+    return admit::accepted;
+}
+
+request_queue::cancel_outcome request_queue::cancel(std::uint64_t client,
+                                                    const std::string& id) {
+    job removed;
+    {
+        std::lock_guard lock(mutex_);
+        const auto client_it = clients_.find(client);
+        if (client_it == clients_.end() || !client_it->second.live.count(id))
+            return cancel_outcome::not_found;
+        const auto it = std::find_if(
+            pending_.begin(), pending_.end(), [&](const job& j) {
+                return j.client == client && j.id == id;
+            });
+        if (it == pending_.end()) return cancel_outcome::running;
+        removed = std::move(*it);
+        pending_.erase(it);
+        release_locked(client, id);
+    }
+    if (removed.cancelled) removed.cancelled(true);
+    return cancel_outcome::cancelled;
+}
+
+std::size_t request_queue::cancel_all() {
+    std::deque<job> removed;
+    {
+        std::lock_guard lock(mutex_);
+        removed.swap(pending_);
+        for (const job& j : removed) release_locked(j.client, j.id);
+    }
+    for (job& j : removed)
+        if (j.cancelled) j.cancelled(true);
+    idle_.notify_all();
+    return removed.size();
+}
+
+std::size_t request_queue::drop_client(std::uint64_t client) {
+    std::vector<job> removed;
+    {
+        std::lock_guard lock(mutex_);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->client == client) {
+                removed.push_back(std::move(*it));
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        for (const job& j : removed) release_locked(client, j.id);
+    }
+    for (job& j : removed)
+        if (j.cancelled) j.cancelled(false);
+    idle_.notify_all();
+    return removed.size();
+}
+
+std::optional<request_queue::job> request_queue::pop() {
+    std::lock_guard lock(mutex_);
+    if (pending_.empty()) return std::nullopt;
+    job j = std::move(pending_.front());
+    pending_.pop_front();
+    ++running_;
+    return j;
+}
+
+void request_queue::finish(std::uint64_t client, const std::string& id) {
+    {
+        std::lock_guard lock(mutex_);
+        release_locked(client, id);
+        if (running_ > 0) --running_;
+    }
+    idle_.notify_all();
+}
+
+void request_queue::begin_drain() {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+}
+
+bool request_queue::draining() const {
+    std::lock_guard lock(mutex_);
+    return draining_;
+}
+
+void request_queue::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+}
+
+std::size_t request_queue::queued() const {
+    std::lock_guard lock(mutex_);
+    return pending_.size();
+}
+
+std::size_t request_queue::running() const {
+    std::lock_guard lock(mutex_);
+    return running_;
+}
+
+void request_queue::release_locked(std::uint64_t client,
+                                   const std::string& id) {
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    it->second.live.erase(id);
+    if (it->second.live.empty()) clients_.erase(it);
+}
+
+}  // namespace ehdse::svc

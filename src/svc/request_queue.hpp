@@ -1,0 +1,124 @@
+// Admission-controlled FIFO between the connection readers and the shared
+// exec pool — the piece that turns "many concurrent clients" into "a
+// bounded amount of promised work". Three invariants:
+//
+//   * Bounded admission. A submit is either accepted (and will receive
+//     exactly one terminal frame: result or cancelled) or rejected
+//     immediately (queue_full / quota_exceeded / draining / duplicate_id).
+//     Nothing is silently dropped between those outcomes.
+//   * Cancellable while queued. A request that has not been handed to a
+//     runner can be cancelled or swept away by its client's disconnect;
+//     once pop() returns it, it runs to completion (cancel answers
+//     too_late — the evaluators have no safe preemption point).
+//   * Drainable. begin_drain() stops admissions; wait_idle() returns when
+//     every already-accepted request has reached a terminal state — the
+//     SIGTERM half of the server's graceful shutdown.
+//
+// The queue knows nothing about sockets or specs: a job is two callbacks
+// (run / cancelled) plus (client, id) identity, so it unit-tests without
+// a server around it. Two locking rules make it compose with the server:
+// callbacks are always invoked OUTSIDE the queue lock (they take the
+// connection write lock), and enqueue() itself never invokes a callback —
+// so the reader thread may hold the connection write lock across
+// enqueue(), which is exactly how the server keeps the `accepted` frame
+// ahead of any frame a runner sends (see server.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace ehdse::svc {
+
+struct queue_limits {
+    std::size_t max_queued = 256;     ///< global pending-request bound
+    std::size_t max_per_client = 64;  ///< per-connection queued+running bound
+};
+
+class request_queue {
+public:
+    explicit request_queue(queue_limits limits = {});
+
+    enum class admit {
+        accepted,
+        queue_full,
+        quota_exceeded,
+        draining,
+        duplicate_id,
+    };
+
+    enum class cancel_outcome {
+        cancelled,  ///< removed while queued; cancelled callback was invoked
+        running,    ///< already executing — too late
+        not_found,  ///< no live request under this (client, id)
+    };
+
+    struct job {
+        std::uint64_t client = 0;
+        std::string id;
+        /// Execute the request and send its result frame.
+        std::function<void()> run;
+        /// The request was cancelled before starting. `notify` is false
+        /// when the client is already gone (disconnect sweep).
+        std::function<void(bool notify)> cancelled;
+    };
+
+    /// Admit or reject. On accepted, *queue_depth (when non-null)
+    /// receives the pending count including this job.
+    admit enqueue(job j, std::size_t* queue_depth = nullptr);
+
+    /// Cancel a queued request. Invokes its cancelled(true) callback
+    /// (outside the lock) when the outcome is `cancelled`.
+    cancel_outcome cancel(std::uint64_t client, const std::string& id);
+
+    /// Cancel every queued request (drain-to-stop path). Each cancelled
+    /// callback is invoked with notify=true. Returns the number removed.
+    std::size_t cancel_all();
+
+    /// Sweep a disconnected client's queued requests (callbacks invoked
+    /// with notify=false). Running requests finish normally; their
+    /// result frames die against the closed socket.
+    std::size_t drop_client(std::uint64_t client);
+
+    /// Next runnable job, marked running; nullopt when the queue is
+    /// empty. Pair every successful pop with finish().
+    std::optional<job> pop();
+
+    /// Release a popped job's quota slot and wake drain waiters.
+    void finish(std::uint64_t client, const std::string& id);
+
+    /// Reject all future enqueues with `draining`. Irreversible.
+    void begin_drain();
+    bool draining() const;
+
+    /// Block until no request is queued or running.
+    void wait_idle();
+
+    std::size_t queued() const;
+    std::size_t running() const;
+
+private:
+    struct client_state {
+        std::set<std::string> live;  ///< queued + running ids
+    };
+
+    /// Caller holds mutex_. Drops the id, erasing empty client records.
+    void release_locked(std::uint64_t client, const std::string& id);
+
+    queue_limits limits_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    std::deque<job> pending_;
+    std::map<std::uint64_t, client_state> clients_;
+    std::size_t running_ = 0;
+    bool draining_ = false;
+};
+
+}  // namespace ehdse::svc

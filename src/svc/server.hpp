@@ -1,0 +1,199 @@
+// ehdsed's engine: one process serving many concurrent experiment clients
+// (docs/service.md, docs/architecture.md §8). The shape follows realtime
+// multi-client servers such as rt-fsm's FSMServer — one acceptor, one
+// blocking reader thread per connection, shared state behind fine-grained
+// locks — with the compute fanned out onto the repo's shared
+// exec::thread_pool instead of per-request threads:
+//
+//   listener(s) -> per-connection reader -> request_queue -> runner tasks
+//        (unix/tcp)    (framing+protocol)    (admission,      (exec pool,
+//                                             quotas,          shared
+//                                             cancellation)    cached_evaluator)
+//
+// Cross-request caching: evaluations are keyed by the spec layer. The
+// server keeps one dse::cached_evaluator per distinct canonical scenario
+// (LRU-bounded registry; most fleets share one scenario, so in practice
+// this is ONE cache) and routes both `simulate` requests and every
+// evaluation inside a `flow` request through it — two clients submitting
+// the same canonical spec cost one simulation (dse.cache.* shows the
+// hit). Lifecycle: start() binds and spawns, drain() stops admissions
+// and completes all accepted work (the SIGTERM path), stop() cancels
+// queued work first. Metrics land under svc.* when a global registry is
+// installed before construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/cached_evaluator.hpp"
+#include "svc/protocol.hpp"
+#include "svc/request_queue.hpp"
+#include "svc/socket.hpp"
+
+namespace ehdse::obs {
+class counter;
+class gauge;
+class histogram;
+}  // namespace ehdse::obs
+
+namespace ehdse::exec {
+class thread_pool;
+}  // namespace ehdse::exec
+
+namespace ehdse::svc {
+
+struct server_config {
+    /// Unix-domain listener path; empty = no unix listener.
+    std::string unix_path;
+    /// TCP listener; port < 0 = no TCP listener, 0 = ephemeral (resolved
+    /// port via server::tcp_port()).
+    std::string tcp_host = "127.0.0.1";
+    int tcp_port = -1;
+    /// Workers in the shared exec pool (0 = one per hardware thread).
+    std::size_t jobs = 0;
+    /// Admission control (queue depth, per-connection quota).
+    queue_limits limits{};
+    /// Capacity of each scenario's shared evaluation cache.
+    std::size_t cache_capacity = 512;
+    /// Distinct canonical scenarios kept warm (LRU beyond this).
+    std::size_t max_evaluators = 16;
+    /// Name echoed in pong frames and per-request manifests.
+    std::string name = "ehdsed";
+};
+
+/// Point-in-time totals, independent of any metrics registry (the stats
+/// frame serialises exactly this).
+struct server_stats {
+    std::uint64_t connections = 0;       ///< lifetime accepted connections
+    std::size_t active_connections = 0;
+    std::uint64_t accepted = 0;          ///< admitted submits
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;         ///< ok results delivered
+    std::uint64_t failed = 0;            ///< failed results delivered
+    std::uint64_t cancelled = 0;         ///< cancelled before starting
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    std::size_t evaluators = 0;          ///< live scenario caches
+    /// Aggregated over every scenario cache, evicted ones included.
+    dse::cached_evaluator::cache_stats cache;
+};
+
+class server {
+public:
+    /// Builds the shared pool; resolves svc.* instruments when a global
+    /// metrics registry is installed (install it BEFORE constructing).
+    explicit server(server_config config);
+
+    /// stop()s if still running.
+    ~server();
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Bind every configured listener and spawn the acceptor. Throws
+    /// std::runtime_error (errno text) on bind failure, std::logic_error
+    /// when no listener is configured or start() already ran.
+    void start();
+
+    /// Graceful shutdown: stop accepting connections and submits, let
+    /// every accepted request reach its terminal frame, send goodbye,
+    /// close. Blocks until complete. Idempotent.
+    void drain();
+
+    /// Fast shutdown: like drain() but queued-not-started requests are
+    /// cancelled (clients get `cancelled` frames) instead of executed.
+    /// Blocks until running requests finish. Idempotent.
+    void stop();
+
+    bool draining() const noexcept { return queue_.draining(); }
+
+    /// Resolved TCP port (meaningful after start() with tcp_port >= 0).
+    int tcp_port() const noexcept { return tcp_port_; }
+    const std::string& unix_path() const noexcept { return config_.unix_path; }
+
+    server_stats stats() const;
+
+private:
+    struct connection;
+    struct eval_entry;
+
+    void accept_loop();
+    void serve_connection(std::shared_ptr<connection> conn);
+    void handle_frame(const std::shared_ptr<connection>& conn,
+                      const std::string& frame);
+    void handle_submit(const std::shared_ptr<connection>& conn,
+                       client_request&& request);
+    void handle_cancel(const std::shared_ptr<connection>& conn,
+                       const std::string& id);
+    void execute(const std::shared_ptr<connection>& conn,
+                 const std::string& id, workload work,
+                 const spec::experiment_spec& canon);
+    void schedule_runner();
+    void runner_loop();
+    /// Shared per-scenario evaluator+cache, created on first use.
+    std::shared_ptr<eval_entry> evaluator_for(const spec::scenario& canon);
+    void shutdown_connections(bool send_goodbye);
+
+    server_config config_;
+    int tcp_port_ = -1;
+
+    request_queue queue_;
+
+    socket_fd unix_listener_;
+    socket_fd tcp_listener_;
+    socket_fd wake_read_;   ///< self-pipe: written to interrupt accept poll
+    socket_fd wake_write_;
+    std::thread acceptor_;
+    std::mutex lifecycle_mutex_;  ///< serialises start/drain/stop
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shut_down_{false};
+    bool stop_requested_ = false;  ///< guarded by lifecycle_mutex_
+
+    mutable std::mutex connections_mutex_;
+    std::vector<std::shared_ptr<connection>> connections_;
+    std::vector<std::thread> readers_;
+    std::uint64_t next_connection_id_ = 1;
+
+    mutable std::mutex runner_mutex_;
+    std::size_t active_runners_ = 0;
+    std::size_t max_runners_ = 1;
+
+    mutable std::mutex evaluators_mutex_;
+    std::vector<std::shared_ptr<eval_entry>> evaluators_;  ///< MRU first
+    /// Cache totals of evicted scenario entries, so stats stay monotone.
+    dse::cached_evaluator::cache_stats retired_cache_;
+
+    std::atomic<std::uint64_t> connections_total_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+
+    // Cached instruments; all nullptr when no registry was installed.
+    obs::counter* connections_counter_ = nullptr;
+    obs::counter* accepted_counter_ = nullptr;
+    obs::counter* rejected_counter_ = nullptr;
+    obs::counter* completed_counter_ = nullptr;
+    obs::counter* failed_counter_ = nullptr;
+    obs::counter* cancelled_counter_ = nullptr;
+    obs::counter* bad_frames_counter_ = nullptr;
+    obs::gauge* active_gauge_ = nullptr;
+    obs::gauge* queue_gauge_ = nullptr;
+    obs::gauge* in_flight_gauge_ = nullptr;
+    obs::gauge* evaluators_gauge_ = nullptr;
+    obs::histogram* request_hist_ = nullptr;
+
+    /// Declared LAST so it is destroyed FIRST: the pool's destructor
+    /// joins any still-exiting runner task before the queue, the
+    /// evaluator registry, or the counters it references go away.
+    std::unique_ptr<exec::thread_pool> pool_;
+};
+
+}  // namespace ehdse::svc

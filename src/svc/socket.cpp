@@ -1,0 +1,182 @@
+#include "svc/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ehdse::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_unix_address(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::invalid_argument("unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/// getaddrinfo wrapper holding exactly one resolved IPv4/IPv6 address.
+struct resolved_address {
+    addrinfo* info = nullptr;
+    ~resolved_address() {
+        if (info) ::freeaddrinfo(info);
+    }
+};
+
+resolved_address resolve(const std::string& host, int port, bool passive) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (passive) hints.ai_flags = AI_PASSIVE;
+    resolved_address out;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 service.c_str(), &hints, &out.info);
+    if (rc != 0)
+        throw std::runtime_error("cannot resolve '" + host +
+                                 "': " + ::gai_strerror(rc));
+    return out;
+}
+
+}  // namespace
+
+socket_fd& socket_fd::operator=(socket_fd&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+int socket_fd::release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void socket_fd::shutdown_both() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void socket_fd::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+socket_fd listen_unix(const std::string& path, int backlog) {
+    const sockaddr_un addr = make_unix_address(path);
+    socket_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // stale file from a previous incarnation
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+        throw_errno("bind '" + path + "'");
+    if (::listen(fd.get(), backlog) != 0) throw_errno("listen '" + path + "'");
+    return fd;
+}
+
+socket_fd listen_tcp(const std::string& host, int port, int* bound_port,
+                     int backlog) {
+    const resolved_address addr = resolve(host, port, /*passive=*/true);
+    socket_fd fd;
+    for (const addrinfo* ai = addr.info; ai; ai = ai->ai_next) {
+        fd = socket_fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid()) continue;
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) break;
+        fd.close();
+    }
+    if (!fd.valid())
+        throw_errno("bind " + host + ":" + std::to_string(port));
+    if (::listen(fd.get(), backlog) != 0)
+        throw_errno("listen " + host + ":" + std::to_string(port));
+    if (bound_port) {
+        sockaddr_storage bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                          &len) != 0)
+            throw_errno("getsockname");
+        if (bound.ss_family == AF_INET)
+            *bound_port =
+                ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+        else
+            *bound_port =
+                ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+    }
+    return fd;
+}
+
+socket_fd connect_unix(const std::string& path) {
+    const sockaddr_un addr = make_unix_address(path);
+    socket_fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0)
+        throw_errno("connect '" + path + "'");
+    return fd;
+}
+
+socket_fd connect_tcp(const std::string& host, int port) {
+    const resolved_address addr = resolve(host, port, /*passive=*/false);
+    int last_errno = ECONNREFUSED;
+    for (const addrinfo* ai = addr.info; ai; ai = ai->ai_next) {
+        socket_fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid()) continue;
+        if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+        last_errno = errno;
+    }
+    errno = last_errno;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+}
+
+bool send_all(int fd, const char* data, std::size_t n) noexcept {
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t rc =
+            ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(rc);
+    }
+    return true;
+}
+
+long recv_some(int fd, char* buf, std::size_t n) noexcept {
+    while (true) {
+        const ssize_t rc = ::recv(fd, buf, n, 0);
+        if (rc < 0 && errno == EINTR) continue;
+        return static_cast<long>(rc);
+    }
+}
+
+bool wait_readable(int fd, int timeout_ms) noexcept {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    while (true) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        return rc > 0;
+    }
+}
+
+}  // namespace ehdse::svc

@@ -1,0 +1,68 @@
+// Thin POSIX socket layer for the experiment service: RAII descriptor,
+// unix-domain and TCP listeners/connectors, and the blocking helpers the
+// server, the client tool, and the tests share. Everything here is
+// deliberately synchronous — the service's concurrency lives in threads
+// (one reader per connection, workers in the shared exec pool), not in an
+// event loop, following the one-process-many-clients shape of realtime
+// multi-client servers.
+//
+// All writes use MSG_NOSIGNAL so a client that vanished mid-stream
+// surfaces as an error return, never as a process-killing SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ehdse::svc {
+
+/// Move-only owner of one file descriptor; closes on destruction.
+class socket_fd {
+public:
+    socket_fd() = default;
+    explicit socket_fd(int fd) noexcept : fd_(fd) {}
+    ~socket_fd() { close(); }
+
+    socket_fd(const socket_fd&) = delete;
+    socket_fd& operator=(const socket_fd&) = delete;
+    socket_fd(socket_fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    socket_fd& operator=(socket_fd&& other) noexcept;
+
+    int get() const noexcept { return fd_; }
+    bool valid() const noexcept { return fd_ >= 0; }
+    int release() noexcept;
+
+    /// ::shutdown(SHUT_RDWR) — wakes any thread blocked in recv on this
+    /// descriptor (the server's way of interrupting reader threads).
+    void shutdown_both() noexcept;
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Bind + listen on a unix-domain socket. A stale socket file at `path`
+/// is unlinked first (the daemon's previous incarnation may have died
+/// without cleanup). Throws std::runtime_error with errno text.
+socket_fd listen_unix(const std::string& path, int backlog = 64);
+
+/// Bind + listen on host:port. Port 0 selects an ephemeral port; the
+/// resolved port is written to *bound_port when non-null. Throws
+/// std::runtime_error with errno text.
+socket_fd listen_tcp(const std::string& host, int port, int* bound_port,
+                     int backlog = 64);
+
+socket_fd connect_unix(const std::string& path);
+socket_fd connect_tcp(const std::string& host, int port);
+
+/// Write all n bytes (MSG_NOSIGNAL, EINTR retried). False on any error.
+bool send_all(int fd, const char* data, std::size_t n) noexcept;
+
+/// recv up to n bytes: > 0 bytes read, 0 orderly EOF, < 0 error
+/// (EINTR retried).
+long recv_some(int fd, char* buf, std::size_t n) noexcept;
+
+/// poll(POLLIN) with timeout; true = readable (or EOF/error pending),
+/// false = timed out. timeout_ms < 0 waits forever.
+bool wait_readable(int fd, int timeout_ms) noexcept;
+
+}  // namespace ehdse::svc

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke test of the REAL service binaries (docs/service.md quick-start):
+# start ehdsed on a unix socket, wait for readiness, drive it with
+# ehdse_client (ping, submit, stats), then SIGTERM and assert a graceful
+# exit 0. Usage: svc_daemon_smoke.sh <ehdsed> <ehdse_client>
+set -euo pipefail
+
+ehdsed="$1"
+client="$2"
+workdir="$(mktemp -d)"
+sock="$workdir/ehdsed.sock"
+log="$workdir/ehdsed.log"
+
+cleanup() {
+    [[ -n "${daemon_pid:-}" ]] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$ehdsed" --unix "$sock" --metrics-out "$workdir/metrics.json" > "$log" 2>&1 &
+daemon_pid=$!
+
+# Readiness: retry ping until the daemon answers (bounded).
+for _ in $(seq 1 100); do
+    if "$client" --unix "$sock" ping > "$workdir/pong.json" 2>/dev/null; then
+        break
+    fi
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "FAIL: daemon died early"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+grep -q '"type":"pong"' "$workdir/pong.json" || { echo "FAIL: no pong"; exit 1; }
+grep -q '"protocol":"ehdse.svc/1"' "$workdir/pong.json" || { echo "FAIL: wrong protocol"; exit 1; }
+
+# Submit twice (identical default spec): second run must be a cache hit.
+"$client" --unix "$sock" submit --id smoke-1 > "$workdir/run1.log"
+grep -q '"type":"result"' "$workdir/run1.log" || { echo "FAIL: no result"; exit 1; }
+grep -q '"status":"ok"' "$workdir/run1.log" || { echo "FAIL: result not ok"; exit 1; }
+"$client" --unix "$sock" submit --id smoke-2 --quiet > "$workdir/run2.log"
+
+"$client" --unix "$sock" stats > "$workdir/stats.json"
+grep -q '"completed":2' "$workdir/stats.json" || { echo "FAIL: expected 2 completed"; cat "$workdir/stats.json"; exit 1; }
+grep -q '"hits":1' "$workdir/stats.json" || { echo "FAIL: expected 1 cache hit"; cat "$workdir/stats.json"; exit 1; }
+
+# Graceful drain on SIGTERM: exit 0, metrics snapshot written.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+status=$?
+daemon_pid=""
+[[ "$status" -eq 0 ]] || { echo "FAIL: ehdsed exited $status"; cat "$log"; exit 1; }
+grep -q draining "$log" || { echo "FAIL: no drain line"; cat "$log"; exit 1; }
+[[ -s "$workdir/metrics.json" ]] || { echo "FAIL: no metrics snapshot"; exit 1; }
+grep -q 'svc.requests.accepted' "$workdir/metrics.json" || { echo "FAIL: no svc.* metrics"; exit 1; }
+[[ -e "$sock" ]] && { echo "FAIL: socket not unlinked"; exit 1; }
+
+echo "svc daemon smoke OK"

@@ -1,0 +1,104 @@
+// Frame layer of the wire protocol: newline-delimited JSON with a hard
+// per-frame byte bound (docs/service.md §Framing). The splitter is the
+// only piece that touches raw bytes, so its edge cases — partial
+// delivery, batched frames, CRLF, oversize poisoning — live here.
+#include "svc/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using ehdse::svc::frame_splitter;
+
+TEST(SvcFraming, SingleFrameRoundTrip) {
+    frame_splitter splitter;
+    const std::string line = "{\"type\":\"ping\"}\n";
+    splitter.feed(line.data(), line.size());
+    std::string frame;
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"type\":\"ping\"}");
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::need_more);
+    EXPECT_EQ(splitter.buffered(), 0u);
+}
+
+TEST(SvcFraming, PartialDeliveryAccumulates) {
+    frame_splitter splitter;
+    std::string frame;
+    splitter.feed("{\"a\":", 5);
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::need_more);
+    splitter.feed("1}", 2);
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::need_more);
+    splitter.feed("\n", 1);
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"a\":1}");
+}
+
+TEST(SvcFraming, MultipleFramesInOneFeed) {
+    frame_splitter splitter;
+    const std::string bytes = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n";
+    splitter.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"a\":1}");
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"b\":2}");
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"c\":3}");
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::need_more);
+}
+
+TEST(SvcFraming, CarriageReturnStrippedAndBlankLinesSkipped) {
+    frame_splitter splitter;
+    const std::string bytes = "\n\r\n{\"a\":1}\r\n\n{\"b\":2}\n";
+    splitter.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"a\":1}");
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "{\"b\":2}");
+}
+
+TEST(SvcFraming, OversizedFramePoisons) {
+    frame_splitter splitter(64);
+    const std::string big(100, 'x');  // no terminator, already past limit
+    splitter.feed(big.data(), big.size());
+    std::string frame;
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::overflow);
+    EXPECT_TRUE(splitter.poisoned());
+    // Poisoned for good: even a well-formed follow-up is rejected, since
+    // byte-stream framing is lost inside the oversized line.
+    splitter.feed("{\"a\":1}\n", 8);
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::overflow);
+}
+
+TEST(SvcFraming, TerminatorPastLimitPoisons) {
+    frame_splitter splitter(8);
+    const std::string bytes = "0123456789\n";  // newline beyond byte 8
+    splitter.feed(bytes.data(), bytes.size());
+    std::string frame;
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::overflow);
+    EXPECT_TRUE(splitter.poisoned());
+}
+
+TEST(SvcFraming, FrameAtLimitPasses) {
+    frame_splitter splitter(8);
+    const std::string bytes = "0123456\n";  // 8 bytes with terminator
+    splitter.feed(bytes.data(), bytes.size());
+    std::string frame;
+    ASSERT_EQ(splitter.next(frame), frame_splitter::status::frame);
+    EXPECT_EQ(frame, "0123456");
+    EXPECT_FALSE(splitter.poisoned());
+}
+
+TEST(SvcFraming, NeedMoreUnderLimitDoesNotPoison) {
+    frame_splitter splitter(64);
+    const std::string bytes(32, 'y');
+    splitter.feed(bytes.data(), bytes.size());
+    std::string frame;
+    EXPECT_EQ(splitter.next(frame), frame_splitter::status::need_more);
+    EXPECT_FALSE(splitter.poisoned());
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Message layer of the wire protocol: strict request decoding, the
+// builder/parse round trip, and the closed error-code vocabulary
+// (docs/service.md §Messages, §Error codes).
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
+
+namespace {
+
+using namespace ehdse;
+using svc::error_code;
+using svc::parse_request;
+using svc::protocol_error;
+
+error_code code_of_throw(const obs::json_value& doc) {
+    try {
+        parse_request(doc);
+    } catch (const protocol_error& e) {
+        return e.code();
+    }
+    throw std::logic_error("expected protocol_error");
+}
+
+TEST(SvcProtocol, SubmitRoundTrip) {
+    spec::experiment_spec request_spec;
+    request_spec.scn.duration_s = 120.0;
+    const obs::json_value doc =
+        svc::make_submit("req-7", svc::workload::flow, request_spec);
+
+    const svc::client_request request = parse_request(doc);
+    EXPECT_EQ(request.kind, svc::request_kind::submit);
+    EXPECT_EQ(request.id, "req-7");
+    EXPECT_EQ(request.work, svc::workload::flow);
+    EXPECT_EQ(request.spec, request_spec);
+}
+
+TEST(SvcProtocol, SubmitDefaultsToSimulate) {
+    obs::json_value doc =
+        svc::make_submit("r", svc::workload::simulate, spec::experiment_spec{});
+    // Remove nothing — "kind" present. A kind-less submit also parses:
+    obs::json_object bare;
+    bare.emplace_back("type", obs::json_value("submit"));
+    bare.emplace_back("id", obs::json_value("r"));
+    bare.emplace_back("spec", spec::to_json(spec::experiment_spec{}));
+    const svc::client_request request =
+        parse_request(obs::json_value(std::move(bare)));
+    EXPECT_EQ(request.work, svc::workload::simulate);
+}
+
+TEST(SvcProtocol, CancelPingStatsParse) {
+    EXPECT_EQ(parse_request(svc::make_cancel("x")).kind,
+              svc::request_kind::cancel);
+    EXPECT_EQ(parse_request(svc::make_cancel("x")).id, "x");
+    EXPECT_EQ(parse_request(svc::make_ping()).kind, svc::request_kind::ping);
+    EXPECT_EQ(parse_request(svc::make_stats_request()).kind,
+              svc::request_kind::stats);
+}
+
+TEST(SvcProtocol, NonObjectFrameIsBadFrame) {
+    EXPECT_EQ(code_of_throw(obs::json_value(3.0)), error_code::bad_frame);
+    EXPECT_EQ(code_of_throw(obs::json_value("ping")), error_code::bad_frame);
+}
+
+TEST(SvcProtocol, UnknownTypeIsBadType) {
+    obs::json_object doc;
+    doc.emplace_back("type", obs::json_value("frobnicate"));
+    EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+              error_code::bad_type);
+}
+
+TEST(SvcProtocol, MissingOrBadFieldsAreBadType) {
+    {  // submit without id
+        obs::json_object doc;
+        doc.emplace_back("type", obs::json_value("submit"));
+        doc.emplace_back("spec", spec::to_json(spec::experiment_spec{}));
+        EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+                  error_code::bad_type);
+    }
+    {  // cancel with numeric id
+        obs::json_object doc;
+        doc.emplace_back("type", obs::json_value("cancel"));
+        doc.emplace_back("id", obs::json_value(7.0));
+        EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+                  error_code::bad_type);
+    }
+    {  // submit with unknown workload kind
+        obs::json_object doc;
+        doc.emplace_back("type", obs::json_value("submit"));
+        doc.emplace_back("id", obs::json_value("r"));
+        doc.emplace_back("kind", obs::json_value("transmogrify"));
+        doc.emplace_back("spec", spec::to_json(spec::experiment_spec{}));
+        EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+                  error_code::bad_type);
+    }
+    {  // submit without spec
+        obs::json_object doc;
+        doc.emplace_back("type", obs::json_value("submit"));
+        doc.emplace_back("id", obs::json_value("r"));
+        EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+                  error_code::bad_type);
+    }
+}
+
+TEST(SvcProtocol, OversizedIdIsBadType) {
+    obs::json_object doc;
+    doc.emplace_back("type", obs::json_value("cancel"));
+    doc.emplace_back("id",
+                     obs::json_value(std::string(svc::k_max_request_id + 1,
+                                                 'x')));
+    EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+              error_code::bad_type);
+}
+
+TEST(SvcProtocol, UnknownSpecSchemaIsBadSchema) {
+    obs::json_value spec_doc = spec::to_json(spec::experiment_spec{});
+    // Rewrite the schema tag to a version this server does not speak.
+    for (auto& [key, value] : spec_doc.as_object())
+        if (key == "schema") value = obs::json_value("ehdse.experiment_spec/99");
+    obs::json_object doc;
+    doc.emplace_back("type", obs::json_value("submit"));
+    doc.emplace_back("id", obs::json_value("r"));
+    doc.emplace_back("spec", std::move(spec_doc));
+    EXPECT_EQ(code_of_throw(obs::json_value(std::move(doc))),
+              error_code::bad_schema);
+}
+
+TEST(SvcProtocol, InvalidSpecIsBadSpec) {
+    spec::experiment_spec bad;
+    bad.scn.duration_s = -5.0;  // fails scenario::validate()
+    obs::json_value doc = svc::make_submit("r", svc::workload::simulate, bad);
+    EXPECT_EQ(code_of_throw(doc), error_code::bad_spec);
+}
+
+TEST(SvcProtocol, LegacySchemaStillAccepted) {
+    obs::json_value spec_doc = spec::to_json(spec::experiment_spec{});
+    obs::json_object legacy;
+    for (const auto& [key, value] : spec_doc.as_object()) {
+        if (key == "schema")
+            legacy.emplace_back("schema",
+                                obs::json_value(spec::k_spec_schema_legacy));
+        else if (key == "flow")
+            continue;  // /1 documents predate the flow registry fields
+        else
+            legacy.emplace_back(key, value);
+    }
+    obs::json_object doc;
+    doc.emplace_back("type", obs::json_value("submit"));
+    doc.emplace_back("id", obs::json_value("r"));
+    doc.emplace_back("spec", obs::json_value(std::move(legacy)));
+    EXPECT_NO_THROW(parse_request(obs::json_value(std::move(doc))));
+}
+
+TEST(SvcProtocol, ErrorCodeNamesRoundTrip) {
+    for (const error_code code :
+         {error_code::bad_frame, error_code::frame_too_large,
+          error_code::bad_type, error_code::bad_schema, error_code::bad_spec,
+          error_code::duplicate_id, error_code::unknown_id,
+          error_code::too_late, error_code::queue_full,
+          error_code::quota_exceeded, error_code::draining,
+          error_code::internal}) {
+        EXPECT_EQ(svc::error_code_from_string(svc::to_string(code)), code);
+    }
+    EXPECT_THROW(svc::error_code_from_string("no_such_code"),
+                 std::invalid_argument);
+}
+
+TEST(SvcProtocol, WorkloadNamesRoundTrip) {
+    EXPECT_EQ(svc::workload_from_string("simulate"), svc::workload::simulate);
+    EXPECT_EQ(svc::workload_from_string("flow"), svc::workload::flow);
+    EXPECT_THROW(svc::workload_from_string("sweep"), std::invalid_argument);
+}
+
+TEST(SvcProtocol, ServerFrameShapes) {
+    const obs::json_value accepted = svc::make_accepted("r", "abcd", 3);
+    EXPECT_EQ(accepted.at("type").as_string(), "accepted");
+    EXPECT_EQ(accepted.at("id").as_string(), "r");
+    EXPECT_EQ(accepted.at("spec_hash").as_string(), "abcd");
+    EXPECT_EQ(accepted.at("queue_depth").as_number(), 3.0);
+
+    const obs::json_value rejected =
+        svc::make_rejected("r", error_code::queue_full, "full");
+    EXPECT_EQ(rejected.at("type").as_string(), "rejected");
+    EXPECT_EQ(rejected.at("code").as_string(), "queue_full");
+
+    const obs::json_value pong = svc::make_pong("ehdsed");
+    EXPECT_EQ(pong.at("type").as_string(), "pong");
+    EXPECT_EQ(pong.at("protocol").as_string(), svc::k_protocol);
+
+    const obs::json_value error =
+        svc::make_error(error_code::too_late, "late", "r");
+    EXPECT_EQ(error.at("type").as_string(), "error");
+    EXPECT_EQ(error.at("id").as_string(), "r");
+
+    const obs::json_value scoped = svc::make_error(error_code::bad_frame, "x");
+    EXPECT_FALSE(scoped.contains("id"));
+
+    const obs::json_value result = svc::make_result(
+        "r", true, obs::json_value(obs::json_object{}), obs::json_value());
+    EXPECT_EQ(result.at("status").as_string(), "ok");
+}
+
+/// Every frame builder emits compact JSON with no raw newline — the
+/// property the framing layer's one-frame-per-line mapping rests on.
+TEST(SvcProtocol, CompactDumpsNeverContainNewlines) {
+    spec::experiment_spec request_spec;
+    const obs::json_value frames[] = {
+        svc::make_submit("id-with\nnewline", svc::workload::flow,
+                         request_spec),
+        svc::make_event("r", "progress", "line one\nline two"),
+        svc::make_error(error_code::bad_frame, "text\nwith\nnewlines"),
+    };
+    for (const obs::json_value& frame : frames)
+        EXPECT_EQ(frame.dump().find('\n'), std::string::npos);
+}
+
+}  // namespace

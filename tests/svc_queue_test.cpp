@@ -1,0 +1,187 @@
+// Admission-control contract of the request queue: bounded admission,
+// per-client quotas, queued-only cancellation, disconnect sweeps, and
+// drain semantics (docs/service.md §Quotas, §Cancellation, §Graceful
+// drain) — exercised without a server or sockets around it.
+#include "svc/request_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using ehdse::svc::queue_limits;
+using ehdse::svc::request_queue;
+
+request_queue::job make_job(std::uint64_t client, std::string id,
+                            std::vector<std::string>* cancelled = nullptr) {
+    request_queue::job job;
+    job.client = client;
+    job.id = std::move(id);
+    job.run = [] {};
+    if (cancelled)
+        job.cancelled = [cancelled, id = job.id](bool) {
+            cancelled->push_back(id);
+        };
+    return job;
+}
+
+TEST(SvcQueue, EnqueuePopFinishLifecycle) {
+    request_queue queue;
+    std::size_t depth = 0;
+    ASSERT_EQ(queue.enqueue(make_job(1, "a"), &depth),
+              request_queue::admit::accepted);
+    EXPECT_EQ(depth, 1u);
+    EXPECT_EQ(queue.queued(), 1u);
+    EXPECT_EQ(queue.running(), 0u);
+
+    auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->id, "a");
+    EXPECT_EQ(queue.queued(), 0u);
+    EXPECT_EQ(queue.running(), 1u);
+
+    queue.finish(job->client, job->id);
+    EXPECT_EQ(queue.running(), 0u);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(SvcQueue, FifoOrder) {
+    request_queue queue;
+    queue.enqueue(make_job(1, "first"));
+    queue.enqueue(make_job(2, "second"));
+    queue.enqueue(make_job(1, "third"));
+    EXPECT_EQ(queue.pop()->id, "first");
+    EXPECT_EQ(queue.pop()->id, "second");
+    EXPECT_EQ(queue.pop()->id, "third");
+}
+
+TEST(SvcQueue, GlobalBoundRejectsQueueFull) {
+    request_queue queue(queue_limits{.max_queued = 2, .max_per_client = 64});
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")), request_queue::admit::accepted);
+    EXPECT_EQ(queue.enqueue(make_job(2, "b")), request_queue::admit::accepted);
+    EXPECT_EQ(queue.enqueue(make_job(3, "c")),
+              request_queue::admit::queue_full);
+    // Popping frees a pending slot (running requests do not count against
+    // max_queued).
+    auto job = queue.pop();
+    EXPECT_EQ(queue.enqueue(make_job(3, "c")), request_queue::admit::accepted);
+    queue.finish(job->client, job->id);
+}
+
+TEST(SvcQueue, PerClientQuotaCountsQueuedPlusRunning) {
+    request_queue queue(queue_limits{.max_queued = 64, .max_per_client = 2});
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")), request_queue::admit::accepted);
+    auto job = queue.pop();  // "a" now running — still counts
+    EXPECT_EQ(queue.enqueue(make_job(1, "b")), request_queue::admit::accepted);
+    EXPECT_EQ(queue.enqueue(make_job(1, "c")),
+              request_queue::admit::quota_exceeded);
+    // Another client is unaffected.
+    EXPECT_EQ(queue.enqueue(make_job(2, "c")), request_queue::admit::accepted);
+    // Finishing the running request frees the quota slot.
+    queue.finish(job->client, job->id);
+    EXPECT_EQ(queue.enqueue(make_job(1, "c")), request_queue::admit::accepted);
+}
+
+TEST(SvcQueue, DuplicateIdPerConnectionRejected) {
+    request_queue queue;
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")), request_queue::admit::accepted);
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")),
+              request_queue::admit::duplicate_id);
+    // Same id on a DIFFERENT connection is fine — ids are per-connection.
+    EXPECT_EQ(queue.enqueue(make_job(2, "a")), request_queue::admit::accepted);
+    // Once finished, the id is reusable.
+    auto job = queue.pop();
+    queue.finish(1, "a");
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")), request_queue::admit::accepted);
+    (void)job;
+}
+
+TEST(SvcQueue, CancelQueuedInvokesCallback) {
+    request_queue queue;
+    std::vector<std::string> cancelled;
+    queue.enqueue(make_job(1, "a", &cancelled));
+    EXPECT_EQ(queue.cancel(1, "a"), request_queue::cancel_outcome::cancelled);
+    ASSERT_EQ(cancelled.size(), 1u);
+    EXPECT_EQ(cancelled[0], "a");
+    EXPECT_EQ(queue.queued(), 0u);
+    // The slot is released: the id is reusable immediately.
+    EXPECT_EQ(queue.enqueue(make_job(1, "a")), request_queue::admit::accepted);
+}
+
+TEST(SvcQueue, CancelRunningIsTooLate) {
+    request_queue queue;
+    std::vector<std::string> cancelled;
+    queue.enqueue(make_job(1, "a", &cancelled));
+    auto job = queue.pop();
+    EXPECT_EQ(queue.cancel(1, "a"), request_queue::cancel_outcome::running);
+    EXPECT_TRUE(cancelled.empty());
+    queue.finish(job->client, job->id);
+    EXPECT_EQ(queue.cancel(1, "a"), request_queue::cancel_outcome::not_found);
+}
+
+TEST(SvcQueue, CancelUnknownNotFound) {
+    request_queue queue;
+    EXPECT_EQ(queue.cancel(1, "ghost"),
+              request_queue::cancel_outcome::not_found);
+    // Wrong client for a live id is equally not_found (per-connection
+    // namespaces never leak across clients).
+    queue.enqueue(make_job(1, "a"));
+    EXPECT_EQ(queue.cancel(2, "a"), request_queue::cancel_outcome::not_found);
+}
+
+TEST(SvcQueue, DropClientSweepsOnlyThatClient) {
+    request_queue queue;
+    std::vector<std::string> cancelled;
+    queue.enqueue(make_job(1, "a", &cancelled));
+    queue.enqueue(make_job(2, "b", &cancelled));
+    queue.enqueue(make_job(1, "c", &cancelled));
+    EXPECT_EQ(queue.drop_client(1), 2u);
+    EXPECT_EQ(cancelled.size(), 2u);
+    EXPECT_EQ(queue.queued(), 1u);
+    EXPECT_EQ(queue.pop()->id, "b");
+}
+
+TEST(SvcQueue, DrainRejectsNewKeepsExisting) {
+    request_queue queue;
+    queue.enqueue(make_job(1, "a"));
+    EXPECT_FALSE(queue.draining());
+    queue.begin_drain();
+    EXPECT_TRUE(queue.draining());
+    EXPECT_EQ(queue.enqueue(make_job(1, "b")),
+              request_queue::admit::draining);
+    // Already-accepted work still pops and completes.
+    auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    queue.finish(job->client, job->id);
+    queue.wait_idle();  // returns immediately — nothing queued or running
+}
+
+TEST(SvcQueue, CancelAllSweepsEverything) {
+    request_queue queue;
+    std::vector<std::string> cancelled;
+    queue.enqueue(make_job(1, "a", &cancelled));
+    queue.enqueue(make_job(2, "b", &cancelled));
+    EXPECT_EQ(queue.cancel_all(), 2u);
+    EXPECT_EQ(cancelled.size(), 2u);
+    EXPECT_EQ(queue.queued(), 0u);
+}
+
+TEST(SvcQueue, WaitIdleBlocksUntilRunningFinishes) {
+    request_queue queue;
+    queue.enqueue(make_job(1, "a"));
+    auto job = queue.pop();
+    std::atomic<bool> idle{false};
+    std::thread waiter([&] {
+        queue.wait_idle();
+        idle.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(idle.load());
+    queue.finish(job->client, job->id);
+    waiter.join();
+    EXPECT_TRUE(idle.load());
+}
+
+}  // namespace

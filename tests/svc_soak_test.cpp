@@ -1,0 +1,179 @@
+// Soak: hundreds of concurrent spec submissions across many client
+// connections against one server, asserting ZERO lost responses (every
+// accepted submit reaches exactly one terminal frame) and cross-client
+// cache hits (clients submitting overlapping canonical specs share
+// simulations through the one dse.cache.* -instrumented evaluator).
+//
+// Scale is environment-tunable so the same binary drives the quick CI
+// pass and scripts/run_soak.sh:
+//   EHDSE_SOAK_CLIENTS  concurrent connections   (default 8)
+//   EHDSE_SOAK_SPECS    submissions per client   (default 25)
+//   EHDSE_SOAK_CONFIGS  distinct design points   (default 10)
+// Defaults give 8 x 25 = 200 submissions over 10 unique evaluations.
+// This test runs under TSan via the `svc` label (scripts/run_sanitizers.sh).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "spec/experiment_spec.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc_test_util.hpp"
+
+namespace {
+
+using namespace ehdse;
+using svc::testutil::test_client;
+using svc::testutil::type_of;
+using svc::testutil::unique_socket_path;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    if (!value || *value == '\0') return fallback;
+    const long parsed = std::atol(value);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Distinct fast design points: 2-minute envelope runs (~2.5 ms each),
+/// clock spread over the paper's x1 range so each is a separate cache key.
+spec::experiment_spec soak_spec(std::size_t config_index) {
+    spec::experiment_spec request;
+    request.scn.duration_s = 120.0;
+    request.config.mcu_clock_hz =
+        1.0e6 + 0.5e6 * static_cast<double>(config_index);
+    return request;
+}
+
+struct client_outcome {
+    std::size_t ok_results = 0;
+    std::size_t failed_results = 0;
+    std::size_t rejected = 0;
+    std::size_t errors = 0;
+    std::string first_error;
+};
+
+/// Pipelines `specs` submissions, then reads until every accepted request
+/// has its terminal frame. Runs on its own thread, one per client.
+client_outcome run_client(const std::string& path, std::size_t client_index,
+                          std::size_t specs, std::size_t configs) {
+    client_outcome outcome;
+    try {
+        test_client client(path);
+        for (std::size_t i = 0; i < specs; ++i) {
+            const std::string id =
+                "c" + std::to_string(client_index) + "-" + std::to_string(i);
+            client.send(svc::make_submit(id, svc::workload::simulate,
+                                         soak_spec(i % configs)));
+        }
+        std::map<std::string, int> terminal;  // id -> terminal frame count
+        std::size_t accepted = 0;
+        std::size_t settled = 0;
+        while (settled < specs) {
+            const obs::json_value frame = client.read_frame(120000);
+            const std::string type = type_of(frame);
+            if (type == "accepted") {
+                ++accepted;
+                continue;
+            }
+            if (type == "event") continue;
+            const std::string id = frame.at("id").as_string();
+            if (type == "result") {
+                if (frame.at("status").as_string() == "ok")
+                    ++outcome.ok_results;
+                else
+                    ++outcome.failed_results;
+            } else if (type == "rejected") {
+                ++outcome.rejected;
+            } else {
+                ++outcome.errors;
+                if (outcome.first_error.empty())
+                    outcome.first_error = frame.dump();
+                continue;  // error frames are not terminal
+            }
+            ++settled;
+            if (++terminal[id] > 1) {
+                ++outcome.errors;
+                if (outcome.first_error.empty())
+                    outcome.first_error = "duplicate terminal frame for " + id;
+            }
+        }
+        if (accepted + outcome.rejected != specs) {
+            ++outcome.errors;
+            if (outcome.first_error.empty())
+                outcome.first_error = "acceptance accounting mismatch";
+        }
+    } catch (const std::exception& e) {
+        ++outcome.errors;
+        if (outcome.first_error.empty()) outcome.first_error = e.what();
+    }
+    return outcome;
+}
+
+TEST(SvcSoak, ConcurrentClientsZeroLostResponsesAndSharedCache) {
+    const std::size_t clients = env_size("EHDSE_SOAK_CLIENTS", 8);
+    const std::size_t specs = env_size("EHDSE_SOAK_SPECS", 25);
+    const std::size_t configs = env_size("EHDSE_SOAK_CONFIGS", 10);
+    const std::size_t total = clients * specs;
+
+    // Registry installed BEFORE the server so svc.* and dse.cache.*
+    // instruments bind (docs/observability.md). Static: instruments are
+    // cached by objects that may outlive this scope on other threads.
+    static obs::metrics_registry registry;
+    obs::set_global_registry(&registry);
+
+    svc::server_config config;
+    config.unix_path = unique_socket_path();
+    // Admission must never reject in this test: the assertion is about
+    // lost responses, not back-pressure (svc_server_test covers that).
+    config.limits.max_queued = total;
+    config.limits.max_per_client = specs;
+    config.cache_capacity = configs * 2;
+    svc::server server(config);
+    server.start();
+
+    std::vector<std::thread> threads;
+    std::vector<client_outcome> outcomes(clients);
+    for (std::size_t c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            outcomes[c] = run_client(config.unix_path, c, specs, configs);
+        });
+    for (std::thread& thread : threads) thread.join();
+
+    std::size_t ok = 0;
+    for (std::size_t c = 0; c < clients; ++c) {
+        const client_outcome& outcome = outcomes[c];
+        EXPECT_EQ(outcome.errors, 0u)
+            << "client " << c << ": " << outcome.first_error;
+        EXPECT_EQ(outcome.rejected, 0u) << "client " << c;
+        EXPECT_EQ(outcome.failed_results, 0u) << "client " << c;
+        EXPECT_EQ(outcome.ok_results, specs) << "client " << c;
+        ok += outcome.ok_results;
+    }
+    EXPECT_EQ(ok, total);  // zero lost responses
+
+    // Cross-client cache sharing: `configs` distinct evaluations serve
+    // all `total` requests; everything beyond the first simulation of
+    // each design point is a hit (single-flight: concurrent requests for
+    // one key converge on the producing run).
+    const svc::server_stats stats = server.stats();
+    EXPECT_EQ(stats.accepted, total);
+    EXPECT_EQ(stats.completed, total);
+    EXPECT_EQ(stats.cache.hits + stats.cache.misses, total);
+    EXPECT_LE(stats.cache.misses, configs);
+    EXPECT_GE(stats.cache.hits, total - configs);
+
+    // The instrumented counters saw the same traffic.
+    EXPECT_EQ(registry.get_counter("svc.requests.accepted").value(), total);
+    EXPECT_EQ(registry.get_counter("svc.requests.completed").value(), total);
+    EXPECT_GE(registry.get_counter("dse.cache.hits").value(), total - configs);
+
+    server.drain();
+    ::unlink(config.unix_path.c_str());
+}
+
+}  // namespace

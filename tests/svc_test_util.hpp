@@ -1,0 +1,116 @@
+// Shared helpers for the svc test suites: a blocking test client that
+// speaks one frame at a time with a deadline, and unique unix socket
+// paths. Kept header-only — each suite is its own binary.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "svc/framing.hpp"
+#include "svc/socket.hpp"
+
+namespace ehdse::svc::testutil {
+
+/// Unique-per-call unix socket path, short enough for sockaddr_un.
+inline std::string unique_socket_path() {
+    static std::atomic<unsigned> counter{0};
+    return "/tmp/ehdse-svc-test-" + std::to_string(::getpid()) + "-" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// Synchronous framed client with per-read deadlines, so a server bug
+/// fails the test instead of hanging the suite.
+class test_client {
+public:
+    explicit test_client(const std::string& unix_path)
+        : fd_(connect_unix(unix_path)) {}
+    test_client(const std::string& host, int port)
+        : fd_(connect_tcp(host, port)) {}
+
+    int fd() const noexcept { return fd_.get(); }
+
+    void send(const obs::json_value& doc) {
+        std::string line = doc.dump();
+        line.push_back('\n');
+        if (!send_all(fd_.get(), line.data(), line.size()))
+            throw std::runtime_error("test_client: send failed");
+    }
+
+    void send_raw(const std::string& bytes) {
+        if (!send_all(fd_.get(), bytes.data(), bytes.size()))
+            throw std::runtime_error("test_client: send failed");
+    }
+
+    /// Next frame as parsed JSON. Throws on timeout or EOF.
+    obs::json_value read_frame(int timeout_ms = 30000) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        std::string frame;
+        for (;;) {
+            const frame_splitter::status st = splitter_.next(frame);
+            if (st == frame_splitter::status::frame)
+                return obs::json_value::parse(frame);
+            if (st == frame_splitter::status::overflow)
+                throw std::runtime_error("test_client: oversized frame");
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (remaining <= 0)
+                throw std::runtime_error("test_client: read timed out");
+            if (!wait_readable(fd_.get(), static_cast<int>(remaining)))
+                throw std::runtime_error("test_client: read timed out");
+            char buf[4096];
+            const long n = recv_some(fd_.get(), buf, sizeof buf);
+            if (n <= 0)
+                throw std::runtime_error("test_client: connection closed");
+            splitter_.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    /// Skip frames until one with type == `wanted` arrives.
+    obs::json_value read_until(const std::string& wanted,
+                               int timeout_ms = 30000) {
+        for (;;) {
+            obs::json_value doc = read_frame(timeout_ms);
+            const obs::json_value* type = doc.find("type");
+            if (type && type->is_string() && type->as_string() == wanted)
+                return doc;
+        }
+    }
+
+    /// True when the server closed the connection (EOF within timeout).
+    bool reads_eof(int timeout_ms = 5000) {
+        for (;;) {
+            if (!wait_readable(fd_.get(), timeout_ms)) return false;
+            char buf[4096];
+            const long n = recv_some(fd_.get(), buf, sizeof buf);
+            if (n == 0) return true;
+            if (n < 0) return true;
+            splitter_.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    void close() { fd_.close(); }
+
+private:
+    socket_fd fd_;
+    frame_splitter splitter_;
+};
+
+inline std::string type_of(const obs::json_value& doc) {
+    const obs::json_value* type = doc.find("type");
+    return type && type->is_string() ? type->as_string() : "";
+}
+
+inline std::string code_of(const obs::json_value& doc) {
+    const obs::json_value* code = doc.find("code");
+    return code && code->is_string() ? code->as_string() : "";
+}
+
+}  // namespace ehdse::svc::testutil

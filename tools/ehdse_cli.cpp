@@ -126,11 +126,13 @@ void print_usage() {
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
         "                     [--design NAME] [--surrogate NAME]\n"
         "                     [--parallel] [--jobs N] [--no-cache]\n"
+        "                     [--duration S] [--accel MG] [--schedule FILE.csv]\n"
         "                     [--report FILE.md] [--progress]\n"
         "                     [--metrics-out FILE.json]\n"
         "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
         "                     [--from X] [--to X] [--points N] [--log]\n"
+        "                     [--duration S] [--accel MG] [--schedule FILE.csv]\n"
         "  ehdse_cli --list-designs | --list-surrogates | --list-optimizers\n"
         "\n"
         "--list-* prints every registry name the flow accepts (one per\n"

@@ -1,0 +1,277 @@
+// ehdse_client — command-line client for the ehdsed experiment service,
+// speaking the ehdse.svc/1 wire protocol (docs/service.md):
+//
+//   ehdse_client (--unix PATH | --connect HOST:PORT) ping
+//   ehdse_client ... stats
+//   ehdse_client ... submit [--spec FILE.json] [--kind simulate|flow]
+//                           [--id ID] [--cancel-after-ms N] [--quiet]
+//   ehdse_client ... cancel --id ID
+//
+// `submit` sends one spec (defaults when --spec is absent — the paper's
+// baseline scenario) and streams every frame the server sends for it
+// until a terminal frame arrives. `--cancel-after-ms N` sends a cancel N
+// milliseconds after acceptance (exercises the queued-cancel path).
+//
+// Exit codes: 0 result ok (or pong/stats/cancelled-as-requested),
+// 2 usage, 3 result failed, 4 request cancelled (without
+// --cancel-after-ms), 5 rejected or protocol error, 1 transport error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "spec/json_codec.hpp"
+#include "svc/framing.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+void print_usage() {
+    std::puts(
+        "usage:\n"
+        "  ehdse_client (--unix PATH | --connect HOST:PORT) ping\n"
+        "  ehdse_client (--unix PATH | --connect HOST:PORT) stats\n"
+        "  ehdse_client (--unix PATH | --connect HOST:PORT) submit\n"
+        "               [--spec FILE.json] [--kind simulate|flow]\n"
+        "               [--id ID] [--cancel-after-ms N] [--quiet]\n"
+        "  ehdse_client (--unix PATH | --connect HOST:PORT) cancel --id ID\n"
+        "\n"
+        "Talks ehdse.svc/1 (docs/service.md) to a running ehdsed. `submit`\n"
+        "streams accepted/event/result frames for one spec; exit code 0 =\n"
+        "result ok, 3 = result failed, 4 = cancelled, 5 = rejected/error.");
+}
+
+/// One frame from the server; false on EOF/error before a full frame.
+bool read_frame(int fd, svc::frame_splitter& splitter, std::string& out) {
+    for (;;) {
+        switch (splitter.next(out)) {
+            case svc::frame_splitter::status::frame:
+                return true;
+            case svc::frame_splitter::status::overflow:
+                return false;
+            case svc::frame_splitter::status::need_more:
+                break;
+        }
+        char buf[4096];
+        const long n = svc::recv_some(fd, buf, sizeof buf);
+        if (n <= 0) return false;
+        splitter.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool send_frame(int fd, const obs::json_value& doc) {
+    std::string line = doc.dump();
+    line.push_back('\n');
+    return svc::send_all(fd, line.data(), line.size());
+}
+
+std::string frame_type(const obs::json_value& doc) {
+    const obs::json_value* type = doc.find("type");
+    return type && type->is_string() ? type->as_string() : "";
+}
+
+[[noreturn]] void transport_error(const char* what) {
+    std::fprintf(stderr, "ehdse_client: connection lost (%s)\n", what);
+    std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string unix_path;
+    std::string tcp_host;
+    int tcp_port = -1;
+    std::string command;
+    std::map<std::string, std::string> kv;
+    const std::set<std::string> allowed = {"unix",  "connect",         "spec",
+                                           "kind",  "cancel-after-ms", "id",
+                                           "quiet"};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "help" || arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            if (!command.empty()) {
+                std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+            command = arg;
+            continue;
+        }
+        std::string key = arg.substr(2);
+        std::string value;
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (key != "quiet" && i + 1 < argc) {
+            value = argv[++i];
+        }
+        if (allowed.count(key) == 0) {
+            std::fprintf(stderr, "error: unknown flag '--%s'\n", key.c_str());
+            return 2;
+        }
+        if (key == "quiet")
+            value = "true";
+        else if (value.empty()) {
+            std::fprintf(stderr, "error: flag '--%s' requires a value\n",
+                         key.c_str());
+            return 2;
+        }
+        kv[key] = value;
+    }
+
+    if (command.empty()) {
+        print_usage();
+        return 2;
+    }
+    if (kv.count("unix")) unix_path = kv["unix"];
+    if (kv.count("connect")) {
+        const std::string endpoint = kv["connect"];
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+            std::fprintf(stderr,
+                         "error: --connect expects HOST:PORT, got '%s'\n",
+                         endpoint.c_str());
+            return 2;
+        }
+        tcp_host = endpoint.substr(0, colon);
+        tcp_port = std::atoi(endpoint.c_str() + colon + 1);
+    }
+    if (unix_path.empty() && tcp_port < 0) {
+        std::fprintf(stderr,
+                     "error: pass --unix PATH or --connect HOST:PORT\n");
+        return 2;
+    }
+    const bool quiet = kv.count("quiet") != 0;
+
+    svc::socket_fd sock;
+    try {
+        sock = unix_path.empty() ? svc::connect_tcp(tcp_host, tcp_port)
+                                 : svc::connect_unix(unix_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ehdse_client: %s\n", e.what());
+        return 1;
+    }
+    svc::frame_splitter splitter;
+    std::string frame;
+
+    if (command == "ping" || command == "stats") {
+        if (!send_frame(sock.get(), command == "ping"
+                                        ? svc::make_ping()
+                                        : svc::make_stats_request()))
+            transport_error("send");
+        if (!read_frame(sock.get(), splitter, frame)) transport_error("recv");
+        std::puts(frame.c_str());
+        return 0;
+    }
+
+    if (command == "cancel") {
+        if (!kv.count("id")) {
+            std::fprintf(stderr, "error: cancel requires --id ID\n");
+            return 2;
+        }
+        if (!send_frame(sock.get(), svc::make_cancel(kv["id"])))
+            transport_error("send");
+        if (!read_frame(sock.get(), splitter, frame)) transport_error("recv");
+        std::puts(frame.c_str());
+        return frame_type(obs::json_value::parse(frame)) == "cancelled" ? 0
+                                                                        : 5;
+    }
+
+    if (command != "submit") {
+        std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+        return 2;
+    }
+
+    spec::experiment_spec request_spec;
+    if (kv.count("spec")) {
+        std::ifstream in(kv["spec"]);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read '%s'\n",
+                         kv["spec"].c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+            request_spec = spec::parse_spec(text.str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s: %s\n", kv["spec"].c_str(),
+                         e.what());
+            return 2;
+        }
+    }
+    svc::workload work = svc::workload::simulate;
+    if (kv.count("kind")) {
+        try {
+            work = svc::workload_from_string(kv["kind"]);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+    const std::string id = kv.count("id") ? kv["id"] : "req-1";
+    const long cancel_after_ms =
+        kv.count("cancel-after-ms") ? std::atol(kv["cancel-after-ms"].c_str())
+                                    : -1;
+
+    if (!send_frame(sock.get(), svc::make_submit(id, work, request_spec)))
+        transport_error("send");
+
+    bool cancel_sent = false;
+    for (;;) {
+        if (!read_frame(sock.get(), splitter, frame)) transport_error("recv");
+        if (!quiet) std::puts(frame.c_str());
+        obs::json_value doc;
+        try {
+            doc = obs::json_value::parse(frame);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "ehdse_client: unparsable frame: %s\n",
+                         e.what());
+            return 5;
+        }
+        const std::string type = frame_type(doc);
+        if (type == "accepted" && cancel_after_ms >= 0 && !cancel_sent) {
+            cancel_sent = true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cancel_after_ms));
+            if (!send_frame(sock.get(), svc::make_cancel(id)))
+                transport_error("send");
+            continue;
+        }
+        if (type == "result") {
+            const obs::json_value* status = doc.find("status");
+            const bool ok = status && status->is_string() &&
+                            status->as_string() == "ok";
+            if (quiet) std::puts(frame.c_str());
+            return ok ? 0 : 3;
+        }
+        if (type == "cancelled") return cancel_sent ? 0 : 4;
+        if (type == "rejected") return 5;
+        if (type == "error") {
+            // too_late after our own cancel: the request is still running
+            // and will produce a result — keep streaming.
+            const obs::json_value* code = doc.find("code");
+            if (cancel_sent && code && code->is_string() &&
+                code->as_string() == "too_late")
+                continue;
+            return 5;
+        }
+        if (type == "goodbye") transport_error("server shut down");
+    }
+}

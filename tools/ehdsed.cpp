@@ -1,0 +1,243 @@
+// ehdsed — the long-running experiment service (docs/service.md). One
+// process serves many concurrent clients: it listens on a unix-domain
+// socket and/or TCP, accepts experiment-spec submissions over the
+// ehdse.svc/1 wire protocol, schedules them onto the shared exec pool,
+// and answers every evaluation through one cross-request cache — two
+// clients submitting the same canonical spec cost one simulation.
+//
+//   ehdsed [--unix PATH] [--listen HOST:PORT] [--jobs N]
+//          [--queue N] [--quota N] [--cache-capacity N]
+//          [--max-evaluators N] [--name NAME] [--metrics-out FILE.json]
+//
+// At least one of --unix / --listen is required. --listen accepts port 0
+// for an ephemeral port; the resolved endpoint is printed on stdout as
+//
+//   listening unix /path/to.sock
+//   listening tcp 127.0.0.1:41837
+//   ready
+//
+// so scripts can scrape the port before connecting. SIGTERM and SIGINT
+// trigger a graceful drain: no new connections or submits are accepted,
+// every already-accepted request reaches its terminal frame, clients get
+// a `goodbye`, then the process exits 0. A final svc.*/dse.cache.*
+// metrics snapshot goes to --metrics-out when given.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_shutdown_signal(int) {
+    const char byte = 's';
+    // write(2) is async-signal-safe; the result only matters insofar as
+    // a full pipe means a shutdown is already pending.
+    (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+void print_usage() {
+    std::puts(
+        "usage:\n"
+        "  ehdsed [--unix PATH] [--listen HOST:PORT] [--jobs N]\n"
+        "         [--queue N] [--quota N] [--cache-capacity N]\n"
+        "         [--max-evaluators N] [--name NAME]\n"
+        "         [--metrics-out FILE.json]\n"
+        "\n"
+        "Serve experiment-spec requests over the ehdse.svc/1 protocol\n"
+        "(docs/service.md). At least one listener is required; --listen\n"
+        "with port 0 picks an ephemeral port (printed on stdout).\n"
+        "SIGTERM/SIGINT drain gracefully: accepted work completes, new\n"
+        "submits are rejected with code 'draining'.");
+}
+
+struct options {
+    svc::server_config server;
+    std::string metrics_out;
+};
+
+options parse_options(int argc, char** argv) {
+    const std::set<std::string> allowed = {
+        "unix",  "listen",         "jobs", "queue",
+        "quota", "cache-capacity", "name", "max-evaluators",
+        "metrics-out"};
+    options opt;
+    std::map<std::string, std::string> kv;
+    for (int i = 1; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key == "help" || key == "--help" || key == "-h") {
+            print_usage();
+            std::exit(0);
+        }
+        if (key.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                         key.c_str());
+            std::exit(2);
+        }
+        key = key.substr(2);
+        std::string value;
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (i + 1 < argc) {
+            value = argv[++i];
+        }
+        if (allowed.count(key) == 0) {
+            std::fprintf(stderr, "error: unknown flag '--%s'\n", key.c_str());
+            std::exit(2);
+        }
+        if (value.empty()) {
+            std::fprintf(stderr, "error: flag '--%s' requires a value\n",
+                         key.c_str());
+            std::exit(2);
+        }
+        kv[key] = value;
+    }
+
+    const auto num = [&kv](const char* key, long fallback) {
+        const auto it = kv.find(key);
+        if (it == kv.end()) return fallback;
+        char* end = nullptr;
+        const long v = std::strtol(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0' || v < 0) {
+            std::fprintf(stderr,
+                         "error: --%s expects a non-negative integer, got "
+                         "'%s'\n",
+                         key, it->second.c_str());
+            std::exit(2);
+        }
+        return v;
+    };
+
+    if (kv.count("unix")) opt.server.unix_path = kv["unix"];
+    if (kv.count("listen")) {
+        const std::string endpoint = kv["listen"];
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+            std::fprintf(stderr,
+                         "error: --listen expects HOST:PORT, got '%s'\n",
+                         endpoint.c_str());
+            std::exit(2);
+        }
+        opt.server.tcp_host = endpoint.substr(0, colon);
+        char* end = nullptr;
+        const long port = std::strtol(endpoint.c_str() + colon + 1, &end, 10);
+        if (*end != '\0' || port < 0 || port > 65535) {
+            std::fprintf(stderr, "error: invalid port in '%s'\n",
+                         endpoint.c_str());
+            std::exit(2);
+        }
+        opt.server.tcp_port = static_cast<int>(port);
+    }
+    if (opt.server.unix_path.empty() && opt.server.tcp_port < 0) {
+        std::fprintf(stderr,
+                     "error: no listener; pass --unix PATH and/or --listen "
+                     "HOST:PORT\n");
+        std::exit(2);
+    }
+
+    opt.server.jobs = static_cast<std::size_t>(num("jobs", 0));
+    opt.server.limits.max_queued = static_cast<std::size_t>(
+        num("queue", static_cast<long>(opt.server.limits.max_queued)));
+    opt.server.limits.max_per_client = static_cast<std::size_t>(
+        num("quota", static_cast<long>(opt.server.limits.max_per_client)));
+    opt.server.cache_capacity = static_cast<std::size_t>(num(
+        "cache-capacity", static_cast<long>(opt.server.cache_capacity)));
+    opt.server.max_evaluators = static_cast<std::size_t>(num(
+        "max-evaluators", static_cast<long>(opt.server.max_evaluators)));
+    if (kv.count("name")) opt.server.name = kv["name"];
+    if (kv.count("metrics-out")) opt.metrics_out = kv["metrics-out"];
+    if (opt.server.limits.max_queued == 0 ||
+        opt.server.limits.max_per_client == 0 ||
+        opt.server.cache_capacity == 0 || opt.server.max_evaluators == 0) {
+        std::fprintf(stderr,
+                     "error: --queue/--quota/--cache-capacity/"
+                     "--max-evaluators must be positive\n");
+        std::exit(2);
+    }
+    return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+
+    // Install the registry BEFORE the server so the pool, the caches and
+    // the svc.* instruments all bind to it (docs/observability.md).
+    static obs::metrics_registry registry;
+    obs::set_global_registry(&registry);
+
+    if (::pipe(g_signal_pipe) != 0) {
+        std::perror("ehdsed: pipe");
+        return 1;
+    }
+    struct sigaction action {};
+    action.sa_handler = handle_shutdown_signal;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    svc::server server(opt.server);
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ehdsed: %s\n", e.what());
+        return 1;
+    }
+
+    if (!server.unix_path().empty())
+        std::printf("listening unix %s\n", server.unix_path().c_str());
+    if (server.tcp_port() >= 0)
+        std::printf("listening tcp %s:%d\n", opt.server.tcp_host.c_str(),
+                    server.tcp_port());
+    std::printf("ready\n");
+    std::fflush(stdout);
+
+    // Park until a shutdown signal lands (EINTR = the handler itself).
+    char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+
+    std::printf("draining\n");
+    std::fflush(stdout);
+    server.drain();
+
+    const svc::server_stats totals = server.stats();
+    std::printf(
+        "served %llu connections, %llu accepted, %llu completed, "
+        "%llu failed, %llu cancelled, %llu rejected; cache hit rate %.2f\n",
+        static_cast<unsigned long long>(totals.connections),
+        static_cast<unsigned long long>(totals.accepted),
+        static_cast<unsigned long long>(totals.completed),
+        static_cast<unsigned long long>(totals.failed),
+        static_cast<unsigned long long>(totals.cancelled),
+        static_cast<unsigned long long>(totals.rejected),
+        totals.cache.hit_rate());
+
+    if (!opt.metrics_out.empty()) {
+        std::ofstream out(opt.metrics_out);
+        if (!out) {
+            std::fprintf(stderr, "ehdsed: cannot write '%s'\n",
+                         opt.metrics_out.c_str());
+            return 1;
+        }
+        registry.write_json(out);
+        out << '\n';
+    }
+    return 0;
+}
