@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "doe/d_optimal.hpp"
 #include "doe/designs.hpp"
 #include "dse/cached_evaluator.hpp"
@@ -50,6 +51,10 @@ int main() {
     // Warm-up so first-touch effects don't land on the jobs=1 row.
     evaluate_batch(nullptr);
 
+    bench::json_emitter json("exec_throughput");
+    const std::string workload = std::to_string(configs.size()) +
+                                 "-point d-optimal, 600 s scenario";
+
     std::printf("--- pool scaling (cache off) ---\n");
     std::printf("%6s %12s %12s %10s\n", "jobs", "wall s", "evals/s", "speedup");
     double base_wall = 0.0;
@@ -62,6 +67,22 @@ int main() {
         std::printf("%6zu %12.3f %12.2f %9.2fx\n", jobs, wall,
                     static_cast<double>(configs.size()) / wall,
                     base_wall / wall);
+        json.record("evals_per_s_jobs" + std::to_string(jobs),
+                    static_cast<double>(configs.size()) / wall, "evals/s",
+                    workload + ", scalar path");
+    }
+
+    std::printf("\n--- batch kernel (1 thread) ---\n");
+    {
+        (void)evaluator.evaluate_batch(configs);  // warm-up
+        obs::stopwatch watch;
+        (void)evaluator.evaluate_batch(configs);
+        const double wall = watch.seconds();
+        const double rate = static_cast<double>(configs.size()) / wall;
+        std::printf("evaluate_batch: %.3f s (%.2f evals/s, %.2fx jobs=1)\n",
+                    wall, rate, base_wall / wall);
+        json.record("batch_evals_per_s", rate, "evals/s",
+                    workload + ", SoA batch, 1 thread");
     }
 
     std::printf("\n--- memoisation (jobs = 4) ---\n");
@@ -109,6 +130,8 @@ int main() {
         std::printf("flow cache: %llu hits / %llu misses\n",
                     static_cast<unsigned long long>(flow.cache.hits),
                     static_cast<unsigned long long>(flow.cache.misses));
+        json.record("flow_sequential_s", seq_wall, "s", "full rsm flow");
     }
+    json.write();
     return 0;
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Driver for the perf_batch_kernel_gate ctest: run the bench (it writes
+# BENCH_batch_kernel.json into the work dir), then hand the fresh file to
+# scripts/check_perf.sh for comparison against the committed baseline.
+# Exit 77 (skip) propagates so ctest's SKIP_RETURN_CODE applies.
+#
+# Usage: run_perf_gate.sh <bench_batch_kernel_exe> <work_dir> <check_perf.sh>
+set -u
+
+if [ -n "${EHDSE_SKIP_PERF_GATE:-}" ]; then
+    echo "perf gate skipped (EHDSE_SKIP_PERF_GATE set)"
+    exit 77
+fi
+
+bench_exe="$1"
+work_dir="$2"
+check_script="$3"
+
+cd "$work_dir" || exit 2
+"$bench_exe" || exit 1
+exec "$check_script" "$work_dir/BENCH_batch_kernel.json"

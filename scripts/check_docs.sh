@@ -60,7 +60,12 @@ require_section docs/architecture.md '^## .*[Dd]eterminism'
 require_section docs/architecture.md '^## .*[Pp]luggable pipeline'
 require_section docs/architecture.md 'make_surrogate'
 require_section docs/architecture.md 'make_design'
+require_section docs/architecture.md '^## .*[Bb]atch kernel'
 require_section docs/observability.md '^### Manifest JSON schema'
+require_section docs/observability.md 'sim\.batch\.'
+require_section docs/observability.md 'dse\.batch\.'
+require_section EXPERIMENTS.md 'BENCH_batch_kernel\.json'
+require_section EXPERIMENTS.md 'run_benchmarks\.sh'
 require_section docs/observability.md '\-\-dump\-spec'
 require_section docs/observability.md 'spec_hash'
 require_section docs/observability.md 'options\.fit'

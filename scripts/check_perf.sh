@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# check_perf.sh — compare a freshly produced BENCH_<name>.json against the
+# committed baseline at the repo root and fail on a throughput regression.
+# This is the perf gate behind the `perf`-labelled ctest: the batch kernel
+# must not silently decay.
+#
+# Usage: check_perf.sh <fresh.json> [<baseline.json>]
+#   When <baseline.json> is omitted it is looked up at the repo root by
+#   the fresh file's basename.
+#
+# Rules (per metric, matched by name):
+#   * unit "evals/s": fresh must be >= (1 - tolerance) * baseline —
+#     default tolerance 0.15 (the >15% regression gate), override with
+#     EHDSE_PERF_TOLERANCE.
+#   * metric "batch_speedup_x": fresh must also be >= the hard floor of
+#     4.0 (override with EHDSE_MIN_BATCH_SPEEDUP) — the batch kernel's
+#     contract is machine-relative, so this check is stable across hosts.
+#   * other units are informational only.
+#
+# Exit codes: 0 ok, 1 regression, 2 usage/parse error,
+#   77 skipped (EHDSE_SKIP_PERF_GATE set — ctest reports SKIP).
+set -u
+
+if [ -n "${EHDSE_SKIP_PERF_GATE:-}" ]; then
+    echo "perf gate skipped (EHDSE_SKIP_PERF_GATE set)"
+    exit 77
+fi
+
+fresh="${1:-}"
+if [ -z "$fresh" ] || [ ! -f "$fresh" ]; then
+    echo "usage: $0 <fresh.json> [<baseline.json>]" >&2
+    exit 2
+fi
+root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${2:-$root/$(basename "$fresh")}"
+if [ ! -f "$baseline" ]; then
+    echo "check_perf: no committed baseline at $baseline" >&2
+    exit 2
+fi
+
+tolerance="${EHDSE_PERF_TOLERANCE:-0.15}"
+min_speedup="${EHDSE_MIN_BATCH_SPEEDUP:-4.0}"
+
+# The metric lines are flat (one object per line, fixed key order — see
+# bench/bench_json.hpp), so awk can read them without a JSON library.
+read_metrics() {
+    awk -F'"' '/"metric":/ {
+        name = $4; unit = $8;
+        split($0, parts, /"value": /); split(parts[2], v, /,/);
+        print name, v[1], unit;
+    }' "$1"
+}
+
+status=0
+checked=0
+while read -r name value unit; do
+    base=$(read_metrics "$baseline" | awk -v n="$name" '$1 == n {print $2; exit}')
+    if [ -z "$base" ]; then
+        echo "  new metric $name = $value $unit (no baseline)"
+        continue
+    fi
+    case "$unit" in
+    evals/s)
+        checked=$((checked + 1))
+        ok=$(awk -v f="$value" -v b="$base" -v t="$tolerance" \
+                 'BEGIN {print (f >= (1 - t) * b) ? 1 : 0}')
+        delta=$(awk -v f="$value" -v b="$base" 'BEGIN {printf "%+.1f%%", 100 * (f / b - 1)}')
+        if [ "$ok" = 1 ]; then
+            echo "  ok   $name: $value $unit vs baseline $base ($delta)"
+        else
+            echo "  FAIL $name: $value $unit vs baseline $base ($delta, tolerance -$(awk -v t="$tolerance" 'BEGIN {printf "%.0f%%", 100*t}'))"
+            status=1
+        fi
+        ;;
+    *)
+        if [ "$name" = "batch_speedup_x" ]; then
+            checked=$((checked + 1))
+            ok=$(awk -v f="$value" -v m="$min_speedup" 'BEGIN {print (f >= m) ? 1 : 0}')
+            if [ "$ok" = 1 ]; then
+                echo "  ok   $name: ${value}x (floor ${min_speedup}x)"
+            else
+                echo "  FAIL $name: ${value}x below the ${min_speedup}x floor"
+                status=1
+            fi
+        else
+            echo "  info $name = $value $unit"
+        fi
+        ;;
+    esac
+done < <(read_metrics "$fresh")
+
+if [ "$checked" -eq 0 ]; then
+    echo "check_perf: no gated metrics found in $fresh" >&2
+    exit 2
+fi
+[ "$status" -eq 0 ] && echo "perf gate ok ($checked metrics checked)"
+exit "$status"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# run_benchmarks.sh — produce the committed perf trajectory: build the
+# bench harnesses in Release, run the JSON-emitting ones, and collect
+# their BENCH_*.json files at the repo root (where EXPERIMENTS.md points
+# and scripts/check_perf.sh reads its baselines). After a deliberate perf
+# change, run this and commit the refreshed BENCH_*.json files; the
+# one-line deltas printed at the end show what moved.
+#
+# Usage:
+#   scripts/run_benchmarks.sh             # build + run + collect + delta
+#   EHDSE_BENCH_BUILD_DIR=build-foo ...   # override the build tree
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+build="${EHDSE_BENCH_BUILD_DIR:-build-bench}"
+cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DEHDSE_BUILD_TESTS=OFF -DEHDSE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$build" -j --target bench_batch_kernel bench_exec_throughput
+
+# Each bench writes BENCH_<name>.json into $EHDSE_BENCH_OUT.
+out="$build/bench_out"
+mkdir -p "$out"
+for bench in bench_batch_kernel bench_exec_throughput; do
+    echo "=== $bench ==="
+    EHDSE_BENCH_OUT="$out" "$build/bench/$bench"
+    echo
+done
+
+# One-line delta per metric against the committed baselines, then install
+# the fresh files at the repo root.
+for fresh in "$out"/BENCH_*.json; do
+    name="$(basename "$fresh")"
+    if [ -f "$root/$name" ]; then
+        echo "--- $name vs committed baseline ---"
+        EHDSE_SKIP_PERF_GATE= scripts/check_perf.sh "$fresh" "$root/$name" || true
+    else
+        echo "--- $name: no committed baseline yet ---"
+    fi
+    cp "$fresh" "$root/$name"
+    echo "updated $root/$name"
+done

@@ -9,7 +9,10 @@
 #   ctest -L "testkit|exec|rsm|svc"
 # The svc label includes the service soak (svc_soak_test), so the TSan
 # pass exercises hundreds of concurrent submissions through the server's
-# reader threads, runner tasks and shared caches.
+# reader threads, runner tasks and shared caches. The exec label carries
+# the SoA batch-kernel suites (sim_batch_test, dse_batch_test) plus the
+# batched single-flight cache path, so TSan sees evaluate_batch driven
+# from pool tasks too.
 # Usage:
 #   scripts/run_sanitizers.sh              # both presets
 #   EHDSE_SANITIZE=address scripts/run_sanitizers.sh   # one preset

@@ -71,6 +71,17 @@ public:
     evaluation_result evaluate(const system_config& config,
                                const evaluation_options& options = {}) const;
 
+    /// As system_evaluator::evaluate_batch, memoised per config. One lock
+    /// pass partitions the batch: cached or in-flight keys join the
+    /// existing future (single-flight, also for duplicates within the
+    /// batch), the remaining misses run through the inner evaluator's
+    /// batch kernel in one call. If that call throws, every waiter on an
+    /// owned key receives the exception and the entries are removed so a
+    /// later call retries.
+    std::vector<evaluation_result> evaluate_batch(
+        std::span<const system_config> configs,
+        const evaluation_options& options = {}) const;
+
     cache_stats stats() const;
 
     /// Drop every cached entry (hit/miss/eviction totals are kept).

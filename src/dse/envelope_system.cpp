@@ -32,7 +32,7 @@ sim::ode_options envelope_system::suggested_ode_options() const {
     return ode;
 }
 
-sim::simulator& envelope_system::sim() const {
+sim::sim_context& envelope_system::sim() const {
     if (sim_ == nullptr)
         throw std::logic_error("envelope_system: no simulator attached");
     return *sim_;

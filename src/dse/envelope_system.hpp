@@ -63,7 +63,7 @@ public:
                     power::rectifier_params rect = {});
 
     // --- node_system ---
-    void attach(sim::simulator& sim) override { sim_ = &sim; }
+    void attach(sim::sim_context& sim) override { sim_ = &sim; }
 
     /// Select the power front-end (default: the paper's diode bridge).
     /// `efficiency` applies to the mppt kind only; must be in (0, 1].
@@ -110,7 +110,7 @@ public:
     harvester::envelope_point operating_point(double t, double store_v) const;
 
 private:
-    sim::simulator& sim() const;
+    sim::sim_context& sim() const;
 
     const harvester::microgenerator& gen_;
     const harvester::vibration_source& vib_;
@@ -119,7 +119,7 @@ private:
     power::load_bank loads_;
     std::unordered_map<std::string, power::load_id> load_slots_;
     power::energy_ledger ledger_;
-    sim::simulator* sim_ = nullptr;
+    sim::sim_context* sim_ = nullptr;
     int position_ = 0;
     frontend_kind frontend_ = frontend_kind::diode_bridge;
     double frontend_efficiency_ = 0.75;

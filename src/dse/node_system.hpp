@@ -17,7 +17,8 @@
 #include "power/storage.hpp"
 #include "power/supercapacitor.hpp"
 #include "sim/ode.hpp"
-#include "sim/simulator.hpp"
+#include "sim/context.hpp"
+#include "sim/ode.hpp"
 #include "spec/experiment_spec.hpp"
 
 namespace ehdse::harvester {
@@ -40,7 +41,7 @@ public:
 
     /// Bind the simulator whose state vector this system reads/writes when
     /// servicing plant calls. Must be called before the first event fires.
-    virtual void attach(sim::simulator& sim) = 0;
+    virtual void attach(sim::sim_context& sim) = 0;
 
     /// Initial state for storage voltage v0 with the actuator at
     /// `initial_position`.

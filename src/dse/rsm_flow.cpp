@@ -1,7 +1,10 @@
 #include "dse/rsm_flow.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -138,6 +141,10 @@ void echo_options(obs::run_manifest& manifest, const flow_options& options,
     manifest.set_option("replicates", obs::json_value(options.replicates));
     manifest.set_option("parallel", obs::json_value(options.parallel));
     manifest.set_option("jobs", obs::json_value(resolved_jobs));
+    // Execution detail, echoed for forensics only — deliberately absent
+    // from the experiment spec (and so from spec_hash): lanes are
+    // independent, so the width cannot change any result.
+    manifest.set_option("batch_width", obs::json_value(options.batch_width));
     manifest.set_option("cache", obs::json_value(options.cache));
     manifest.set_option("cache_capacity",
                         obs::json_value(options.cache_capacity));
@@ -180,6 +187,35 @@ static flow_result run_flow_phases(
         return cache ? cache->evaluate(config, eval)
                      : evaluator.evaluate(config, eval);
     };
+
+    // Batched evaluation of `indices` into jobs-like (config, eval) pairs:
+    // every index in one call shares the same evaluation options. Chunks
+    // fan out over the pool; per-lane results land at their own index, so
+    // neither the chunking nor the pool changes any output.
+    const auto evaluate_indices =
+        [&](exec::thread_pool* run_pool, std::span<const std::size_t> order,
+            const auto& config_of, const auto& eval_of, auto& results) {
+            const std::size_t n = order.size();
+            std::size_t chunk = std::max<std::size_t>(options.batch_width, 1);
+            if (run_pool != nullptr && run_pool->size() > 1)
+                chunk = std::clamp((n + run_pool->size() - 1) / run_pool->size(),
+                                   std::size_t{1}, chunk);
+            const std::size_t tasks = (n + chunk - 1) / chunk;
+            exec::parallel_for(run_pool, tasks, [&](std::size_t ti) {
+                const std::size_t first = ti * chunk;
+                const std::size_t count = std::min(chunk, n - first);
+                std::vector<system_config> configs;
+                configs.reserve(count);
+                for (std::size_t j = 0; j < count; ++j)
+                    configs.push_back(config_of(order[first + j]));
+                const evaluation_options& eval = eval_of(order[first]);
+                std::vector<evaluation_result> batch =
+                    cache ? cache->evaluate_batch(configs, eval)
+                          : evaluator.evaluate_batch(configs, eval);
+                for (std::size_t j = 0; j < count; ++j)
+                    results[order[first + j]] = std::move(batch[j]);
+            });
+        };
 
     flow_result out;
     out.space = paper_design_space();
@@ -253,9 +289,27 @@ static flow_result run_flow_phases(
     obs_hook.set_phase_items(jobs.size());
 
     std::vector<evaluation_result> results(jobs.size());
-    exec::parallel_for(pool, jobs.size(), [&](std::size_t i) {
-        results[i] = evaluate(jobs[i].config, jobs[i].eval);
-    });
+    if (options.batch_width > 1 && jobs.size() > 1) {
+        // Jobs are laid out point-major (point p, replicate r at index
+        // p * replicates + r) and replicates differ in controller seed, so
+        // batch groups are built per replicate: within a group every job
+        // shares its evaluation options.
+        for (std::size_t rep = 0; rep < replicates; ++rep) {
+            std::vector<std::size_t> order;
+            for (std::size_t i = rep; i < jobs.size(); i += replicates)
+                order.push_back(i);
+            evaluate_indices(
+                pool, order, [&](std::size_t i) { return jobs[i].config; },
+                [&](std::size_t i) -> const evaluation_options& {
+                    return jobs[i].eval;
+                },
+                results);
+        }
+    } else {
+        exec::parallel_for(pool, jobs.size(), [&](std::size_t i) {
+            results[i] = evaluate(jobs[i].config, jobs[i].eval);
+        });
+    }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         out.design_coded.push_back(jobs[i].coded);
         out.design_configs.push_back(jobs[i].config);
@@ -339,10 +393,25 @@ static flow_result run_flow_phases(
     obs_hook.phase("validate", out.outcomes.size());
     // Fan the validating simulations out; manifest records and progress
     // notes stay on the calling thread, in outcome order.
-    exec::parallel_for(pool, out.outcomes.size(), [&](std::size_t i) {
-        optimizer_outcome& oc = out.outcomes[i];
-        oc.validated = evaluate(oc.config, options.eval);
-    });
+    if (options.batch_width > 1 && out.outcomes.size() > 1) {
+        std::vector<std::size_t> order(out.outcomes.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::vector<evaluation_result> validated(out.outcomes.size());
+        evaluate_indices(
+            pool, order,
+            [&](std::size_t i) { return out.outcomes[i].config; },
+            [&](std::size_t) -> const evaluation_options& {
+                return options.eval;
+            },
+            validated);
+        for (std::size_t i = 0; i < out.outcomes.size(); ++i)
+            out.outcomes[i].validated = std::move(validated[i]);
+    } else {
+        exec::parallel_for(pool, out.outcomes.size(), [&](std::size_t i) {
+            optimizer_outcome& oc = out.outcomes[i];
+            oc.validated = evaluate(oc.config, options.eval);
+        });
+    }
     for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
         optimizer_outcome& oc = out.outcomes[i];
         obs_hook.sim_run(make_run_record("validation", i, oc.coded, oc.config,

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "dse/envelope_system.hpp"
 #include "dse/node_system.hpp"
@@ -94,7 +96,27 @@ public:
         const system_config& config,
         const evaluation_options& options = {}) const;
 
-    /// Number of evaluate() calls so far (DOE bookkeeping).
+    /// Evaluate many configs against the same scenario/options in one
+    /// call. The default implementation routes envelope-fidelity,
+    /// untraced requests through the SoA batch kernel
+    /// (batch_envelope_system + batch_simulator) in chunks of at most
+    /// k_max_batch_lanes, and falls back to per-config evaluate() for
+    /// transient fidelity or when traces were requested. Results are
+    /// positional: out[i] corresponds to configs[i], and each lane's
+    /// result is independent of which other configs share its batch.
+    ///
+    /// Subclasses that interpose via evaluate()/build_system() (fault
+    /// wrappers, forwarders) MUST also override this — the batch kernel
+    /// does not call build_system().
+    virtual std::vector<evaluation_result> evaluate_batch(
+        std::span<const system_config> configs,
+        const evaluation_options& options = {}) const;
+
+    /// Widest batch the default evaluate_batch runs as one SoA sweep.
+    static constexpr std::size_t k_max_batch_lanes = 16;
+
+    /// Number of evaluated configs so far (DOE bookkeeping); batch lanes
+    /// count individually.
     std::size_t runs() const noexcept { return runs_.load(); }
 
     /// evaluate() is safe to call concurrently from several threads: each

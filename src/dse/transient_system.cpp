@@ -24,7 +24,7 @@ transient_system::transient_system(
       rect_(rect),
       model_(gen_, vib_, *storage_, loads_, rect_) {}
 
-sim::simulator& transient_system::sim() const {
+sim::sim_context& transient_system::sim() const {
     if (sim_ == nullptr)
         throw std::logic_error("transient_system: no simulator attached");
     return *sim_;

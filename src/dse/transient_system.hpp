@@ -40,7 +40,7 @@ public:
                      power::rectifier_params rect = {});
 
     // --- node_system ---
-    void attach(sim::simulator& sim) override { sim_ = &sim; }
+    void attach(sim::sim_context& sim) override { sim_ = &sim; }
 
     /// Initial state: mass at rest, store at v0, actuator at the position.
     std::vector<double> initial_state(double v0, int initial_position) override;
@@ -77,7 +77,7 @@ public:
     const harvester::transient_model& model() const noexcept { return model_; }
 
 private:
-    sim::simulator& sim() const;
+    sim::sim_context& sim() const;
 
     const harvester::microgenerator& gen_;
     const harvester::vibration_source& vib_;
@@ -87,7 +87,7 @@ private:
     harvester::transient_model model_;
     std::unordered_map<std::string, power::load_id> load_slots_;
     power::energy_ledger ledger_;
-    sim::simulator* sim_ = nullptr;
+    sim::sim_context* sim_ = nullptr;
 };
 
 }  // namespace ehdse::dse

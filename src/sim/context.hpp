@@ -1,0 +1,46 @@
+// The scheduling/state surface a digital process sees from its host kernel.
+//
+// Digital processes (sensor node, tuning controller, fault injectors) only
+// ever need five things from the kernel: the clock, read/write access to
+// individual analogue state variables, and event (un)scheduling. Factoring
+// that surface out of `simulator` lets the same process classes run
+// unmodified on either the scalar kernel (one `simulator` per design point)
+// or one lane of the batch kernel (`batch_simulator`), which hosts B design
+// points behind B of these contexts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace ehdse::sim {
+
+/// Abstract per-lane kernel handle: simulated time, analogue state access,
+/// and event scheduling. Implemented by `simulator` (the scalar kernel is
+/// its own single lane) and by `batch_simulator`'s lane handles.
+class sim_context {
+public:
+    virtual ~sim_context() = default;
+
+    /// Current simulation time in seconds.
+    virtual double now() const = 0;
+
+    /// Read one analogue state variable.
+    virtual double state_at(std::size_t i) const = 0;
+
+    /// Overwrite one analogue state variable (discrete perturbation by a
+    /// digital process, e.g. an instantaneous charge withdrawal).
+    virtual void set_state(std::size_t i, double value) = 0;
+
+    /// Schedule `action` at absolute time t (must be >= now; throws otherwise).
+    virtual event_id at(double t, std::function<void()> action) = 0;
+
+    /// Schedule `action` after `delay` seconds (delay must be >= 0).
+    virtual event_id after(double delay, std::function<void()> action) = 0;
+
+    /// Cancel a pending event.
+    virtual bool cancel(event_id id) = 0;
+};
+
+}  // namespace ehdse::sim

@@ -52,6 +52,20 @@ constexpr double d1 = 2825.0 / 27648.0, d3 = 18575.0 / 48384.0,
 ode_status rk45_integrator::integrate(
     const analog_system& sys, double t0, double t1, std::vector<double>& x,
     const std::function<void(double, std::span<const double>)>& observer) {
+    // Hoist the observer emptiness check out of the step loop: the no-op
+    // functor below inlines to nothing, so untraced runs (every DoE /
+    // optimiser evaluation) skip std::function dispatch entirely.
+    if (observer) return integrate_loop(sys, t0, t1, x, observer);
+    struct no_observer {
+        void operator()(double, std::span<const double>) const noexcept {}
+    };
+    return integrate_loop(sys, t0, t1, x, no_observer{});
+}
+
+template <typename Observer>
+ode_status rk45_integrator::integrate_loop(const analog_system& sys, double t0,
+                                           double t1, std::vector<double>& x,
+                                           Observer&& observer) {
     if (t1 < t0) throw std::invalid_argument("rk45_integrator: t1 < t0");
     const std::size_t n = sys.state_size();
     if (x.size() != n) throw std::invalid_argument("rk45_integrator: state size mismatch");
@@ -104,7 +118,7 @@ ode_status rk45_integrator::integrate(
             t += dt;
             x.swap(x5_);
             ++status.steps_taken;
-            if (observer) observer(t, x);
+            observer(t, x);
             // Grow step (bounded) for the next attempt.
             const double grow =
                 err_ratio > 1e-10 ? 0.9 * std::pow(err_ratio, -0.2) : 5.0;

@@ -87,12 +87,18 @@ public:
 
     /// Integrate `sys` from t0 to t1 (t1 >= t0), updating x in place.
     /// `observer`, when set, is called after every accepted step with
-    /// (t, x) — used for waveform tracing.
+    /// (t, x) — used for waveform tracing. An empty observer is hoisted out
+    /// of the step loop entirely: the common no-tracing run pays no
+    /// per-step dispatch (not even an emptiness check).
     ode_status integrate(
         const analog_system& sys, double t0, double t1, std::vector<double>& x,
         const std::function<void(double, std::span<const double>)>& observer = {});
 
 private:
+    template <typename Observer>
+    ode_status integrate_loop(const analog_system& sys, double t0, double t1,
+                              std::vector<double>& x, Observer&& observer);
+
     void resize_buffers(std::size_t n);
 
     ode_options opt_;

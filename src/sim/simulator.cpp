@@ -37,6 +37,7 @@ void simulator::add_step_observer(
 }
 
 void simulator::notify_observers(double t) {
+    if (observers_.empty()) return;
     for (auto& obs : observers_) obs(t, state_);
 }
 

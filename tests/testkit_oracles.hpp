@@ -6,8 +6,11 @@
 // tests/data/regressions/ — same oracle code, no PRNG.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -106,6 +109,98 @@ inline void check_cache_bit_equality(const spec::experiment_spec& s) {
         require(cached.stats().hits == hits_before + 1,
                 "canonically-equal request missed the cache");
         require_results_bit_equal(first, aliased, "canonical alias hit");
+    }
+}
+
+/// Equivalence of a batch-kernel result with its scalar counterpart. The
+/// batch path solves the same envelope fixed point with a polynomial
+/// asin, so continuous fields agree to solver tolerance rather than bit
+/// for bit, and event-driven integer counters may shift by a count or
+/// two when a decision threshold is crossed within that tolerance.
+/// ode_steps is not compared at all — step-size control legitimately
+/// differs at the last ulp.
+inline void require_results_equivalent(const dse::evaluation_result& a,
+                                       const dse::evaluation_result& b,
+                                       const std::string& what) {
+    const auto near_count = [&](std::uint64_t x, std::uint64_t y,
+                                const char* field) {
+        const std::uint64_t hi = std::max(x, y);
+        const std::uint64_t diff = hi - std::min(x, y);
+        const std::uint64_t slack =
+            std::max<std::uint64_t>(2, hi / 500);  // 2 counts or 0.2%
+        if (diff > slack) {
+            std::ostringstream os;
+            os << what << ": field '" << field << "' diverged: " << x
+               << " vs " << y;
+            fail(os.str());
+        }
+    };
+    const auto near_value = [&](double x, double y, const char* field) {
+        const double tol = 1e-6 + 1e-3 * std::max(std::abs(x), std::abs(y));
+        if (!(std::abs(x - y) <= tol)) {
+            std::ostringstream os;
+            os << what << ": field '" << field << "' diverged: " << x
+               << " vs " << y;
+            fail(os.str());
+        }
+    };
+    if (a.sim_ok != b.sim_ok) fail(what + ": sim_ok differs");
+    near_count(a.transmissions, b.transmissions, "transmissions");
+    near_count(a.suppressed_wakeups, b.suppressed_wakeups,
+               "suppressed_wakeups");
+    near_count(a.low_band_transmissions, b.low_band_transmissions,
+               "low_band_transmissions");
+    near_count(a.events, b.events, "events");
+    near_value(a.final_voltage_v, b.final_voltage_v, "final_voltage_v");
+    near_value(a.min_voltage_v, b.min_voltage_v, "min_voltage_v");
+    near_value(a.max_voltage_v, b.max_voltage_v, "max_voltage_v");
+    near_value(a.harvested_energy_j, b.harvested_energy_j,
+               "harvested_energy_j");
+    near_value(a.sustained_load_energy_j, b.sustained_load_energy_j,
+               "sustained_load_energy_j");
+    near_value(a.withdrawn_energy_j, b.withdrawn_energy_j,
+               "withdrawn_energy_j");
+}
+
+/// Differential property of the SoA batch kernel. The batch width and the
+/// extra lane configs derive deterministically from the spec (hash-seeded
+/// PRNG), so a pinned spec replays the identical case. Two invariants:
+///
+///  1. Lane independence, bitwise: evaluating a config in a batch of B
+///     equals evaluating it alone through the same kernel, field for
+///     field including ode_steps — masked lockstep means batch
+///     composition must not leak into any lane.
+///  2. Scalar equivalence, to tolerance: each lane agrees with the scalar
+///     evaluate() path per require_results_equivalent.
+inline void check_batch_vs_scalar(const spec::experiment_spec& s) {
+    // The kernel covers envelope fidelity without traces; other requests
+    // fall back to the scalar path and are exercised elsewhere.
+    spec::evaluation_options eval = s.eval;
+    eval.model = spec::fidelity::envelope;
+    eval.record_traces = false;
+
+    const std::uint64_t seed = spec::spec_hash(s);
+    prng lane_rng(seed);
+    const std::size_t width = 1 + static_cast<std::size_t>(seed % 16);
+    std::vector<dse::system_config> configs;
+    configs.push_back(s.config);
+    while (configs.size() < width) configs.push_back(gen_system_config(lane_rng));
+
+    const dse::system_evaluator evaluator(s.scn);
+    const std::vector<dse::evaluation_result> batch =
+        evaluator.evaluate_batch(configs, eval);
+    require(batch.size() == configs.size(),
+            "evaluate_batch returned the wrong number of results");
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::string lane = "lane " + std::to_string(i) + "/" +
+                                 std::to_string(configs.size());
+        const std::vector<dse::evaluation_result> alone = evaluator.evaluate_batch(
+            std::span<const dse::system_config>(&configs[i], 1), eval);
+        require_results_bit_equal(batch[i], alone.front(),
+                                  lane + " batched vs alone (independence)");
+        require_results_equivalent(batch[i], evaluator.evaluate(configs[i], eval),
+                                   lane + " batch kernel vs scalar path");
     }
 }
 
