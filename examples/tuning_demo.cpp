@@ -7,6 +7,7 @@
 
 #include "dse/envelope_system.hpp"
 #include "dse/system_evaluator.hpp"
+#include "harvester/envelope.hpp"
 
 int main() {
     using namespace ehdse;
@@ -41,7 +42,8 @@ int main() {
         const int pos = system.position();
         const double fr = gen.resonant_frequency(pos);
         const double v = sim.state_at(dse::envelope_system::ix_voltage);
-        const auto op = system.operating_point(t, v);
+        const auto op = harvester::solve_envelope(
+            gen, pos, f_in, vib.amplitude_at(t), v, {});
         std::printf("%5.0f   %8.2f    %8.2f     %5d    %6.3f V  %6.1f uW %s\n", t,
                     f_in, fr, pos, v, op.elec.p_store_w * 1e6,
                     std::abs(fr - f_in) > 0.5 ? "  <-- detuned" : "");

@@ -61,10 +61,14 @@ require_section docs/architecture.md '^## .*[Pp]luggable pipeline'
 require_section docs/architecture.md 'make_surrogate'
 require_section docs/architecture.md 'make_design'
 require_section docs/architecture.md '^## .*[Bb]atch kernel'
+require_section docs/architecture.md '^### Harvester backends'
+require_section docs/architecture.md 'make_harvester'
+require_section DESIGN.md '^### Harvester parameter envelopes'
 require_section docs/observability.md '^### Manifest JSON schema'
 require_section docs/observability.md 'sim\.batch\.'
 require_section docs/observability.md 'dse\.batch\.'
 require_section EXPERIMENTS.md 'BENCH_batch_kernel\.json'
+require_section EXPERIMENTS.md 'BENCH_harvester_backends\.json'
 require_section EXPERIMENTS.md 'run_benchmarks\.sh'
 require_section docs/observability.md '\-\-dump\-spec'
 require_section docs/observability.md 'spec_hash'
@@ -79,6 +83,9 @@ require_section docs/service.md '^## Graceful drain'
 require_section docs/service.md 'ehdse\.svc/1'
 require_section docs/service.md 'frame_too_large'
 require_section docs/service.md 'k_max_frame_bytes'
+require_section docs/service.md '\-\-list\-harvesters'
+require_section docs/service.md 'ehdse\.experiment_spec/3'
+require_section docs/paper_mapping.md 'Electrostatic backend'
 require_section docs/testing.md '^## Test taxonomy'
 require_section docs/testing.md '^## Seed-repro workflow'
 require_section docs/testing.md '^## Fault injection'

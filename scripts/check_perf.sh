@@ -45,7 +45,7 @@ min_speedup="${EHDSE_MIN_BATCH_SPEEDUP:-4.0}"
 # bench/bench_json.hpp), so awk can read them without a JSON library.
 read_metrics() {
     awk -F'"' '/"metric":/ {
-        name = $4; unit = $8;
+        name = $4; unit = $10;
         split($0, parts, /"value": /); split(parts[2], v, /,/);
         print name, v[1], unit;
     }' "$1"

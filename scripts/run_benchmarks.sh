@@ -17,12 +17,13 @@ cd "$root"
 build="${EHDSE_BENCH_BUILD_DIR:-build-bench}"
 cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=Release \
     -DEHDSE_BUILD_TESTS=OFF -DEHDSE_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$build" -j --target bench_batch_kernel bench_exec_throughput
+cmake --build "$build" -j --target bench_batch_kernel bench_exec_throughput \
+    bench_harvester_backends
 
 # Each bench writes BENCH_<name>.json into $EHDSE_BENCH_OUT.
 out="$build/bench_out"
 mkdir -p "$out"
-for bench in bench_batch_kernel bench_exec_throughput; do
+for bench in bench_batch_kernel bench_exec_throughput bench_harvester_backends; do
     echo "=== $bench ==="
     EHDSE_BENCH_OUT="$out" "$build/bench/$bench"
     echo

@@ -6,13 +6,15 @@
 #   address   ASan+UBSan (-fsanitize=address,undefined): lifetime and UB
 #
 # Each preset gets its own build tree (build-<preset>) and runs
-#   ctest -L "testkit|exec|rsm|svc"
+#   ctest -L "testkit|exec|rsm|svc|harvester"
 # The svc label includes the service soak (svc_soak_test), so the TSan
 # pass exercises hundreds of concurrent submissions through the server's
 # reader threads, runner tasks and shared caches. The exec label carries
 # the SoA batch-kernel suites (sim_batch_test, dse_batch_test) plus the
 # batched single-flight cache path, so TSan sees evaluate_batch driven
-# from pool tasks too.
+# from pool tasks too. The harvester label runs the backend-registry and
+# electrostatic device suites, so both device classes' physics hooks get
+# the lifetime/UB pass as well.
 # Usage:
 #   scripts/run_sanitizers.sh              # both presets
 #   EHDSE_SANITIZE=address scripts/run_sanitizers.sh   # one preset
@@ -22,7 +24,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
 presets="${EHDSE_SANITIZE:-thread address}"
-labels='testkit|exec|rsm|svc'
+labels='testkit|exec|rsm|svc|harvester'
 status=0
 
 for preset in $presets; do

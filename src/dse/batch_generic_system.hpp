@@ -1,0 +1,124 @@
+// Generic batch implementation of the envelope-mode node system for any
+// harvester_model registry entry: B design points advance in lockstep,
+// each lane evaluated through the scalar envelope hook
+// (harvester_model::envelope_dynamics) at that lane's own time.
+//
+// Unlike batch_envelope_system — the hand-vectorised SoA kernel pinned to
+// the electromagnetic device's bridge algebra — this system makes no
+// assumptions about the backend's physics, so it stays per-lane scalar.
+// The payoff is shared scheduling: one batch_simulator amortises event
+// dispatch and step control across lanes, and every lane is bit-identical
+// to its scalar envelope_system run (same hook, same operand order),
+// which the batch_vs_scalar testkit property enforces per registered
+// harvester.
+//
+// Lanes are independent: per-lane actuator position, load bank and energy
+// ledger, shared (read-only) model, vibration source and storage model.
+// One instance hosts one batch_simulator run and is not thread-safe
+// across concurrent runs — evaluate_batch builds one per call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dse/envelope_system.hpp"
+#include "harvester/harvester_model.hpp"
+#include "harvester/plant.hpp"
+#include "harvester/vibration.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/load_bank.hpp"
+#include "power/rectifier.hpp"
+#include "power/storage.hpp"
+#include "sim/batch_ode.hpp"
+#include "sim/batch_simulator.hpp"
+
+namespace ehdse::dse {
+
+class batch_generic_system final : public sim::batch_analog_system {
+public:
+    // Same state layout as the scalar envelope_system.
+    static constexpr std::size_t ix_voltage = envelope_system::ix_voltage;
+    static constexpr std::size_t ix_amplitude = envelope_system::ix_amplitude;
+    static constexpr std::size_t ix_harvested = envelope_system::ix_harvested;
+    static constexpr std::size_t ix_load_energy =
+        envelope_system::ix_load_energy;
+    static constexpr std::size_t k_state_count = envelope_system::k_state_count;
+
+    /// `model` and `vib` must outlive the system; `storage` is shared
+    /// read-only across lanes.
+    batch_generic_system(const harvester::harvester_model& model,
+                         const harvester::vibration_source& vib,
+                         std::shared_ptr<const power::storage_model> storage,
+                         power::rectifier_params rect, std::size_t lanes);
+
+    /// Bind the batch simulator whose state the per-lane plants read/write.
+    void attach(sim::batch_simulator& bsim) { bsim_ = &bsim; }
+
+    /// Select the power front-end for every lane (default: diode bridge).
+    void set_frontend(frontend_kind kind, double efficiency = 0.75);
+
+    /// Initial state shared by all lanes (identical scenario => identical
+    /// start): store at v0, amplitude at the model's converged steady
+    /// state. Also sets every lane's actuator position.
+    std::vector<double> initial_state(double v0, int initial_position);
+
+    /// Same integration defaults as the scalar envelope system.
+    sim::ode_options suggested_ode_options() const;
+
+    /// Per-lane plant handle for the digital processes of lane l.
+    harvester::plant& plant(std::size_t l) { return *plants_.at(l); }
+
+    const power::energy_ledger& ledger(std::size_t l) const {
+        return ledgers_.at(l);
+    }
+
+    // --- batch_analog_system ---
+    std::size_t state_size() const override { return k_state_count; }
+    std::size_t lanes() const override { return lanes_; }
+    void derivatives(std::span<const double> t, const sim::batch_state& x,
+                     sim::batch_state& dxdt,
+                     std::span<const std::uint8_t> active) const override;
+
+private:
+    /// harvester::plant over one lane of this system.
+    class lane_plant final : public harvester::plant {
+    public:
+        lane_plant(batch_generic_system& owner, std::size_t lane)
+            : owner_(&owner), lane_(lane) {}
+        double storage_voltage() const override;
+        void withdraw(double joules, const std::string& account) override;
+        void set_sustained_draw(const std::string& account,
+                                double amps) override;
+        int position() const override { return owner_->position_[lane_]; }
+        void set_position(int position) override;
+        double vibration_frequency() const override;
+        double phase_lag() const override;
+
+    private:
+        batch_generic_system* owner_;
+        std::size_t lane_;
+    };
+
+    sim::batch_simulator& bsim() const;
+
+    const harvester::harvester_model& model_;
+    const harvester::vibration_source& vib_;
+    std::shared_ptr<const power::storage_model> storage_;
+    power::rectifier_params rect_;
+    std::size_t lanes_;
+    sim::batch_simulator* bsim_ = nullptr;
+    frontend_kind frontend_ = frontend_kind::diode_bridge;
+    double frontend_efficiency_ = 0.75;
+
+    // Per-lane digital-facing state.
+    std::vector<int> position_;
+    std::vector<power::load_bank> loads_;
+    std::vector<std::unordered_map<std::string, power::load_id>> load_slots_;
+    std::vector<power::energy_ledger> ledgers_;
+    std::vector<std::unique_ptr<lane_plant>> plants_;
+};
+
+}  // namespace ehdse::dse

@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
+#include "harvester/electromagnetic.hpp"
+
 namespace ehdse::dse {
+
+harvester::conditioning_kind conditioning_of(frontend_kind kind) noexcept {
+    return kind == frontend_kind::mppt
+               ? harvester::conditioning_kind::mppt
+               : harvester::conditioning_kind::diode_bridge;
+}
+
+envelope_system::envelope_system(const harvester::harvester_model& model,
+                                 const harvester::vibration_source& vib,
+                                 power::supercapacitor_params cap,
+                                 power::rectifier_params rect)
+    : envelope_system(model, vib, std::make_shared<power::supercapacitor>(cap),
+                      rect) {}
+
+envelope_system::envelope_system(const harvester::harvester_model& model,
+                                 const harvester::vibration_source& vib,
+                                 std::shared_ptr<const power::storage_model> storage,
+                                 power::rectifier_params rect)
+    : model_(&model), vib_(vib), storage_(std::move(storage)), rect_(rect) {
+    if (!storage_)
+        throw std::invalid_argument("envelope_system: null storage");
+}
 
 envelope_system::envelope_system(const harvester::microgenerator& gen,
                                  const harvester::vibration_source& vib,
@@ -18,7 +41,12 @@ envelope_system::envelope_system(const harvester::microgenerator& gen,
                                  const harvester::vibration_source& vib,
                                  std::shared_ptr<const power::storage_model> storage,
                                  power::rectifier_params rect)
-    : gen_(gen), vib_(vib), storage_(std::move(storage)), rect_(rect) {
+    : owned_model_(std::make_unique<harvester::electromagnetic_harvester>(
+          gen.params())),
+      model_(owned_model_.get()),
+      vib_(vib),
+      storage_(std::move(storage)),
+      rect_(rect) {
     if (!storage_)
         throw std::invalid_argument("envelope_system: null storage");
 }
@@ -42,17 +70,12 @@ std::vector<double> envelope_system::initial_state(double v0, int initial_positi
     if (v0 < 0.0)
         throw std::invalid_argument("envelope_system: negative initial voltage");
     position_ = initial_position;
-    const harvester::envelope_point pt = operating_point(0.0, v0);
     std::vector<double> x(k_state_count, 0.0);
     x[ix_voltage] = v0;
-    x[ix_amplitude] = pt.mech.displacement_amp_m;
+    x[ix_amplitude] = model_->initial_amplitude(vib_.frequency_at(0.0),
+                                                vib_.amplitude_at(0.0),
+                                                position_, v0, rect_);
     return x;
-}
-
-harvester::envelope_point envelope_system::operating_point(double t,
-                                                           double store_v) const {
-    return harvester::solve_envelope(gen_, position_, vib_.frequency_at(t),
-                                     vib_.amplitude_at(t), store_v, rect_);
 }
 
 void envelope_system::set_frontend(frontend_kind kind, double efficiency) {
@@ -67,34 +90,12 @@ void envelope_system::derivatives(double t, std::span<const double> x,
                                   std::span<double> dxdt) const {
     const double v = std::max(x[ix_voltage], 0.0);
     const double z_env = std::max(x[ix_amplitude], 0.0);
-    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
 
-    double i_charge = 0.0;
-    if (frontend_ == frontend_kind::diode_bridge) {
-        const harvester::envelope_point pt = operating_point(t, v);
-        // Amplitude envelope relaxes towards the steady state.
-        const double tau = gen_.settling_tau(pt.c_electrical);
-        dxdt[ix_amplitude] = (pt.mech.displacement_amp_m - z_env) / tau;
-
-        // Charging from the instantaneous envelope amplitude (not the target).
-        const double emf = gen_.params().coupling_v_per_ms * omega * z_env;
-        const power::rectifier_operating_point op = power::bridge_average(
-            emf, v, gen_.params().coil_resistance_ohm, rect_);
-        i_charge = op.i_avg_a;
-    } else {
-        // MPPT front-end: the converter holds the coil at the matched load
-        // (c_e = c_mech) regardless of the store voltage, and delivers the
-        // extracted mechanical power at the conversion efficiency.
-        const double c_match = gen_.mech_damping();
-        const harvester::linear_response mech =
-            gen_.response(omega, vib_.amplitude_at(t), position_, c_match);
-        const double tau = gen_.settling_tau(c_match);
-        dxdt[ix_amplitude] = (mech.displacement_amp_m - z_env) / tau;
-
-        const double vel_env = omega * z_env;
-        const double p_extracted = 0.5 * c_match * vel_env * vel_env;
-        i_charge = v > 0.05 ? frontend_efficiency_ * p_extracted / v : 0.0;
-    }
+    const harvester::envelope_rates rates = model_->envelope_dynamics(
+        vib_.frequency_at(t), vib_.amplitude_at(t), position_, v, z_env,
+        conditioning_of(frontend_), frontend_efficiency_, rect_);
+    dxdt[ix_amplitude] = rates.amplitude_rate;
+    const double i_charge = rates.charge_current_a;
 
     const double i_loads = loads_.total_current(v);
     dxdt[ix_voltage] = storage_->dv_dt(v, i_charge - i_loads);
@@ -122,7 +123,7 @@ void envelope_system::set_sustained_draw(const std::string& account, double amps
 }
 
 void envelope_system::set_position(int position) {
-    if (position < 0 || position >= harvester::microgenerator_params::k_position_count)
+    if (position < 0 || position >= model_->position_count())
         throw std::out_of_range("envelope_system: actuator position outside [0,255]");
     position_ = position;
 }
@@ -134,12 +135,8 @@ double envelope_system::vibration_frequency() const {
 double envelope_system::phase_lag() const {
     const double t = sim().now();
     const double v = storage_voltage();
-    const harvester::envelope_point pt = operating_point(t, v);
-    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
-    const double k = gen_.effective_stiffness(position_);
-    const double m = gen_.params().mass_kg;
-    const double c_total = gen_.mech_damping() + pt.c_electrical;
-    return std::atan2(c_total * omega, k - m * omega * omega);
+    return model_->phase_lag(vib_.frequency_at(t), vib_.amplitude_at(t),
+                             position_, v, rect_);
 }
 
 }  // namespace ehdse::dse

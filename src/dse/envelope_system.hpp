@@ -9,6 +9,14 @@
 //   x[2] = E_h    cumulative energy delivered into the store
 //   x[3] = E_l    cumulative energy consumed by sustained loads
 //
+// The harvester physics is dispatched through the harvester_model
+// registry interface: this system owns the slow states and the plant
+// bookkeeping, the model supplies the envelope RHS (amplitude relaxation
+// rate + store charging current) at each operating point. The
+// electromagnetic entry implements that hook with the exact pre-registry
+// expressions, so dispatching through the interface is bit-identical to
+// the old hard-wired path.
+//
 // Digital processes interact through the harvester::plant interface:
 // instantaneous charge withdrawals (transmission bursts, MCU activity),
 // sustained draws (sleep floors), actuator position changes, and the
@@ -21,7 +29,7 @@
 #include <unordered_map>
 
 #include "dse/node_system.hpp"
-#include "harvester/envelope.hpp"
+#include "harvester/harvester_model.hpp"
 #include "harvester/microgenerator.hpp"
 #include "harvester/plant.hpp"
 #include "harvester/vibration.hpp"
@@ -39,6 +47,10 @@ namespace ehdse::dse {
 /// alias keeps the historical dse:: spelling working.
 using frontend_kind = spec::frontend_kind;
 
+/// spec::frontend_kind -> the harvester-layer conditioning enum (the
+/// harvester library cannot depend on spec).
+harvester::conditioning_kind conditioning_of(frontend_kind kind) noexcept;
+
 class envelope_system final : public node_system {
 public:
     enum state_index : std::size_t {
@@ -49,14 +61,26 @@ public:
         k_state_count = 4,
     };
 
-    /// `gen` and `vib` must outlive the system. Storage defaults to the
+    /// `model` and `vib` must outlive the system. Storage defaults to the
     /// paper's supercapacitor built from `cap`.
-    envelope_system(const harvester::microgenerator& gen,
+    envelope_system(const harvester::harvester_model& model,
                     const harvester::vibration_source& vib,
                     power::supercapacitor_params cap = {},
                     power::rectifier_params rect = {});
 
     /// Same, with an explicit storage element (e.g. a thin-film battery).
+    envelope_system(const harvester::harvester_model& model,
+                    const harvester::vibration_source& vib,
+                    std::shared_ptr<const power::storage_model> storage,
+                    power::rectifier_params rect = {});
+
+    /// Pre-registry spellings: wrap `gen` in an owned electromagnetic
+    /// backend (identical physics — the microgenerator is copied by
+    /// parameter set, so `gen` need not outlive the system).
+    envelope_system(const harvester::microgenerator& gen,
+                    const harvester::vibration_source& vib,
+                    power::supercapacitor_params cap = {},
+                    power::rectifier_params rect = {});
     envelope_system(const harvester::microgenerator& gen,
                     const harvester::vibration_source& vib,
                     std::shared_ptr<const power::storage_model> storage,
@@ -102,17 +126,14 @@ public:
     power::energy_ledger& ledger() noexcept { return ledger_; }
 
     const power::storage_model& storage() const noexcept { return *storage_; }
-    const harvester::microgenerator& generator() const noexcept { return gen_; }
+    const harvester::harvester_model& model() const noexcept { return *model_; }
     const harvester::vibration_source& vibration() const noexcept { return vib_; }
-
-    /// Envelope operating point at explicit (t, V): used by benches to
-    /// inspect harvested power without running a simulation.
-    harvester::envelope_point operating_point(double t, double store_v) const;
 
 private:
     sim::sim_context& sim() const;
 
-    const harvester::microgenerator& gen_;
+    std::unique_ptr<const harvester::harvester_model> owned_model_;
+    const harvester::harvester_model* model_;
     const harvester::vibration_source& vib_;
     std::shared_ptr<const power::storage_model> storage_;
     power::rectifier_params rect_;

@@ -7,6 +7,27 @@ namespace ehdse::dse {
 
 std::unique_ptr<node_system> make_node_system(
     const spec::evaluation_options& options,
+    const harvester::harvester_model& model,
+    const harvester::vibration_source& vib,
+    std::shared_ptr<const power::storage_model> storage,
+    const power::supercapacitor_params& cap,
+    const power::rectifier_params& rect) {
+    if (options.model == spec::fidelity::transient) {
+        return storage
+                   ? std::make_unique<transient_system>(model, vib,
+                                                        std::move(storage), rect)
+                   : std::make_unique<transient_system>(model, vib, cap, rect);
+    }
+    auto system =
+        storage ? std::make_unique<envelope_system>(model, vib, std::move(storage),
+                                                    rect)
+                : std::make_unique<envelope_system>(model, vib, cap, rect);
+    system->set_frontend(options.frontend, options.frontend_efficiency);
+    return system;
+}
+
+std::unique_ptr<node_system> make_node_system(
+    const spec::evaluation_options& options,
     const harvester::microgenerator& gen,
     const harvester::vibration_source& vib,
     std::shared_ptr<const power::storage_model> storage,

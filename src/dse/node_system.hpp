@@ -22,6 +22,7 @@
 #include "spec/experiment_spec.hpp"
 
 namespace ehdse::harvester {
+class harvester_model;
 class microgenerator;
 class vibration_source;
 }  // namespace ehdse::harvester
@@ -61,6 +62,16 @@ public:
 /// Build the analogue system `options` asks for: the envelope fast path
 /// (with its front-end applied) or the full transient model. `storage`
 /// overrides the default supercapacitor built from `cap` when non-null.
+/// `model` and `vib` must outlive the returned system.
+std::unique_ptr<node_system> make_node_system(
+    const spec::evaluation_options& options,
+    const harvester::harvester_model& model,
+    const harvester::vibration_source& vib,
+    std::shared_ptr<const power::storage_model> storage,
+    const power::supercapacitor_params& cap,
+    const power::rectifier_params& rect);
+
+/// Pre-registry spelling: wraps `gen` in an electromagnetic backend.
 /// `gen` and `vib` must outlive the returned system.
 std::unique_ptr<node_system> make_node_system(
     const spec::evaluation_options& options,

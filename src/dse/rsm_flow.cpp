@@ -112,6 +112,7 @@ spec::experiment_spec spec_of(const system_evaluator& evaluator,
                               const flow_options& options) {
     spec::experiment_spec out;
     out.scn = evaluator.scene();
+    out.harv = evaluator.harvester_config();
     out.config = options.baseline;
     out.eval = options.eval;
     out.flow.doe_runs = options.doe_runs;
@@ -517,7 +518,7 @@ flow_options flow_options_from_spec(const spec::experiment_spec& spec,
 
 flow_result run_rsm_flow(const spec::experiment_spec& spec,
                          const flow_options& runtime) {
-    const system_evaluator evaluator(spec.scn);
+    const system_evaluator evaluator(spec.scn, spec.harv);
     return run_rsm_flow(evaluator, flow_options_from_spec(spec, runtime));
 }
 

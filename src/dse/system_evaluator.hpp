@@ -16,6 +16,7 @@
 #include "dse/envelope_system.hpp"
 #include "dse/node_system.hpp"
 #include "dse/system_config.hpp"
+#include "harvester/harvester_model.hpp"
 #include "harvester/tuning_table.hpp"
 #include "mcu/tuning_controller.hpp"
 #include "node/sensor_node.hpp"
@@ -56,8 +57,8 @@ struct evaluation_result {
     std::optional<sim::trace> position_trace;  ///< actuator position over time
 };
 
-/// Reusable evaluator: fixed physics (microgenerator, scenario, node and
-/// controller base parameters), varying system_config per call.
+/// Reusable evaluator: fixed physics (harvester backend, scenario, node
+/// and controller base parameters), varying system_config per call.
 ///
 /// Polymorphic by design: evaluate() and the build_system() factory hook
 /// are virtual so test harnesses can interpose on the whole-request level
@@ -77,11 +78,34 @@ public:
                               node::node_params node = {},
                               mcu::controller_params controller = {});
 
+    /// Build the harvester backend from the registry (`harv.model`).
+    /// The controller's actuator cost model is taken from the backend
+    /// (harvester_model::actuator()) — each device class knows its own
+    /// retune mechanism — overriding whatever `controller.actuator` held.
+    /// Throws std::invalid_argument for an unknown harvester name or an
+    /// invalid scenario.
+    system_evaluator(scenario scn, spec::harvester_spec harv,
+                     power::supercapacitor_params cap = {},
+                     power::rectifier_params rect = {},
+                     node::node_params node = {},
+                     mcu::controller_params controller = {});
+
     virtual ~system_evaluator() = default;
 
     const scenario& scene() const noexcept { return scenario_; }
-    const harvester::microgenerator& generator() const noexcept { return gen_; }
+    const harvester::harvester_model& model() const noexcept { return *model_; }
     const harvester::tuning_table& table() const noexcept { return table_; }
+
+    /// Canonical spec fragment naming this evaluator's backend — rsm_flow
+    /// rebuilds the full experiment spec (for hashing/manifests) from it.
+    const spec::harvester_spec& harvester_config() const noexcept {
+        return harv_;
+    }
+
+    /// The electromagnetic backend's microgenerator (pre-registry
+    /// accessor). Throws std::logic_error when the configured harvester is
+    /// not the electromagnetic device.
+    const harvester::microgenerator& generator() const;
 
     /// Replace the storage element for subsequent evaluations (e.g. a
     /// power::thin_film_battery); nullptr restores the default
@@ -98,9 +122,11 @@ public:
 
     /// Evaluate many configs against the same scenario/options in one
     /// call. The default implementation routes envelope-fidelity,
-    /// untraced requests through the SoA batch kernel
-    /// (batch_envelope_system + batch_simulator) in chunks of at most
-    /// k_max_batch_lanes, and falls back to per-config evaluate() for
+    /// untraced requests through the batch kernel in chunks of at most
+    /// k_max_batch_lanes — the hand-vectorised SoA sweep
+    /// (batch_envelope_system) for the electromagnetic backend, the
+    /// generic per-lane kernel (batch_generic_system) for every other
+    /// registry entry — and falls back to per-config evaluate() for
     /// transient fidelity or when traces were requested. Results are
     /// positional: out[i] corresponds to configs[i], and each lane's
     /// result is independent of which other configs share its batch.
@@ -137,7 +163,8 @@ protected:
 
 private:
     scenario scenario_;
-    harvester::microgenerator gen_;
+    spec::harvester_spec harv_;
+    std::shared_ptr<const harvester::harvester_model> model_;
     harvester::tuning_table table_;
     power::supercapacitor_params cap_;
     std::shared_ptr<const power::storage_model> storage_;  ///< optional override

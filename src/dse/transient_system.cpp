@@ -1,10 +1,29 @@
 #include "dse/transient_system.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
+#include "harvester/electromagnetic.hpp"
+
 namespace ehdse::dse {
+
+transient_system::transient_system(const harvester::harvester_model& model,
+                                   const harvester::vibration_source& vib,
+                                   power::supercapacitor_params cap,
+                                   power::rectifier_params rect)
+    : transient_system(model, vib, std::make_shared<power::supercapacitor>(cap),
+                       rect) {}
+
+transient_system::transient_system(
+    const harvester::harvester_model& model, const harvester::vibration_source& vib,
+    std::shared_ptr<const power::storage_model> storage,
+    power::rectifier_params rect)
+    : model_(&model),
+      vib_(vib),
+      storage_(storage ? std::move(storage)
+                       : throw std::invalid_argument("transient_system: null storage")),
+      rect_(rect),
+      rhs_(model_->make_transient(vib_, *storage_, loads_, rect_)) {}
 
 transient_system::transient_system(const harvester::microgenerator& gen,
                                    const harvester::vibration_source& vib,
@@ -17,12 +36,14 @@ transient_system::transient_system(
     const harvester::microgenerator& gen, const harvester::vibration_source& vib,
     std::shared_ptr<const power::storage_model> storage,
     power::rectifier_params rect)
-    : gen_(gen),
+    : owned_model_(std::make_unique<harvester::electromagnetic_harvester>(
+          gen.params())),
+      model_(owned_model_.get()),
       vib_(vib),
       storage_(storage ? std::move(storage)
                        : throw std::invalid_argument("transient_system: null storage")),
       rect_(rect),
-      model_(gen_, vib_, *storage_, loads_, rect_) {}
+      rhs_(model_->make_transient(vib_, *storage_, loads_, rect_)) {}
 
 sim::sim_context& transient_system::sim() const {
     if (sim_ == nullptr)
@@ -34,12 +55,12 @@ std::vector<double> transient_system::initial_state(double v0,
                                                     int initial_position) {
     if (v0 < 0.0)
         throw std::invalid_argument("transient_system: negative initial voltage");
-    model_.set_position(initial_position);
-    return harvester::transient_model::initial_state(v0);
+    rhs_->set_position(initial_position);
+    return rhs_->initial_state(v0);
 }
 
 double transient_system::suggested_max_dt() const {
-    return harvester::transient_model::suggested_max_dt(gen_.max_frequency());
+    return rhs_->suggested_max_dt();
 }
 
 sim::ode_options transient_system::suggested_ode_options() const {
@@ -52,19 +73,18 @@ sim::ode_options transient_system::suggested_ode_options() const {
 }
 
 node_system::state_map transient_system::states() const {
-    return {harvester::transient_model::ix_voltage,
-            harvester::transient_model::ix_harvested, std::nullopt};
+    return {rhs_->voltage_index(), rhs_->harvested_index(), std::nullopt};
 }
 
 double transient_system::storage_voltage() const {
-    return sim().state_at(harvester::transient_model::ix_voltage);
+    return sim().state_at(rhs_->voltage_index());
 }
 
 void transient_system::withdraw(double joules, const std::string& account) {
     if (joules < 0.0)
         throw std::invalid_argument("transient_system: negative withdrawal");
     const double v = storage_voltage();
-    sim().set_state(harvester::transient_model::ix_voltage,
+    sim().set_state(rhs_->voltage_index(),
                     storage_->voltage_after_withdrawal(v, joules));
     ledger_.record(account, joules);
 }
@@ -87,13 +107,8 @@ double transient_system::phase_lag() const {
     // onto this response when it measures.
     const double t = sim().now();
     const double v = storage_voltage();
-    const harvester::envelope_point pt = harvester::solve_envelope(
-        gen_, model_.position(), vib_.frequency_at(t), vib_.amplitude_at(t), v, rect_);
-    const double omega = 2.0 * std::numbers::pi * vib_.frequency_at(t);
-    const double k = gen_.effective_stiffness(model_.position());
-    const double m = gen_.params().mass_kg;
-    const double c_total = gen_.mech_damping() + pt.c_electrical;
-    return std::atan2(c_total * omega, k - m * omega * omega);
+    return model_->phase_lag(vib_.frequency_at(t), vib_.amplitude_at(t),
+                             rhs_->position(), v, rect_);
 }
 
 }  // namespace ehdse::dse

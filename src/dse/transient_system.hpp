@@ -1,7 +1,8 @@
 // The complete sensor-node system over the FULL nonlinear transient model
 // — same digital processes, same plant interface as envelope_system, but
-// the analogue side resolves every vibration cycle and every rectifier
-// switching event.
+// the analogue side resolves every vibration cycle and every conditioning-
+// circuit switching event. The per-cycle ODE system comes from the
+// harvester_model registry entry (harvester_model::make_transient).
 //
 // Roughly 5000x slower than the envelope plant (tens of milliseconds of
 // wall clock per simulated minute), so it serves validation
@@ -13,9 +14,9 @@
 #include <unordered_map>
 
 #include "dse/node_system.hpp"
-#include "harvester/envelope.hpp"
+#include "harvester/harvester_model.hpp"
+#include "harvester/microgenerator.hpp"
 #include "harvester/plant.hpp"
-#include "harvester/transient_model.hpp"
 #include "harvester/vibration.hpp"
 #include "power/energy_ledger.hpp"
 #include "power/load_bank.hpp"
@@ -26,14 +27,25 @@ namespace ehdse::dse {
 
 class transient_system final : public node_system {
 public:
-    /// `gen` and `vib` must outlive the system. Storage defaults to the
+    /// `model` and `vib` must outlive the system. Storage defaults to the
     /// paper's supercapacitor built from `cap`.
-    transient_system(const harvester::microgenerator& gen,
+    transient_system(const harvester::harvester_model& model,
                      const harvester::vibration_source& vib,
                      power::supercapacitor_params cap = {},
                      power::rectifier_params rect = {});
 
     /// Same, with an explicit storage element (e.g. a thin-film battery).
+    transient_system(const harvester::harvester_model& model,
+                     const harvester::vibration_source& vib,
+                     std::shared_ptr<const power::storage_model> storage,
+                     power::rectifier_params rect = {});
+
+    /// Pre-registry spellings: wrap `gen` in an owned electromagnetic
+    /// backend (the microgenerator is copied by parameter set).
+    transient_system(const harvester::microgenerator& gen,
+                     const harvester::vibration_source& vib,
+                     power::supercapacitor_params cap = {},
+                     power::rectifier_params rect = {});
     transient_system(const harvester::microgenerator& gen,
                      const harvester::vibration_source& vib,
                      std::shared_ptr<const power::storage_model> storage,
@@ -46,7 +58,7 @@ public:
     std::vector<double> initial_state(double v0, int initial_position) override;
 
     /// Tight tolerances and an initial/maximum step resolving the fastest
-    /// resonance. The transient model folds sustained loads into dV/dt
+    /// resonance. The transient models fold sustained loads into dV/dt
     /// directly, so states() reports no separate load-energy index.
     sim::ode_options suggested_ode_options() const override;
 
@@ -55,36 +67,37 @@ public:
     /// Integrator ceiling that resolves the fastest resonance.
     double suggested_max_dt() const;
 
-    // --- analog_system (delegated to the wrapped transient model) ---
-    std::size_t state_size() const override { return model_.state_size(); }
+    // --- analog_system (delegated to the model's transient RHS) ---
+    std::size_t state_size() const override { return rhs_->state_size(); }
     void derivatives(double t, std::span<const double> x,
                      std::span<double> dxdt) const override {
-        model_.derivatives(t, x, dxdt);
+        rhs_->derivatives(t, x, dxdt);
     }
 
     // --- plant ---
     double storage_voltage() const override;
     void withdraw(double joules, const std::string& account) override;
     void set_sustained_draw(const std::string& account, double amps) override;
-    int position() const override { return model_.position(); }
-    void set_position(int position) override { model_.set_position(position); }
+    int position() const override { return rhs_->position(); }
+    void set_position(int position) override { rhs_->set_position(position); }
     double vibration_frequency() const override;
     double phase_lag() const override;
 
     const power::energy_ledger& ledger() const noexcept override {
         return ledger_;
     }
-    const harvester::transient_model& model() const noexcept { return model_; }
+    const harvester::harvester_model& model() const noexcept { return *model_; }
 
 private:
     sim::sim_context& sim() const;
 
-    const harvester::microgenerator& gen_;
+    std::unique_ptr<const harvester::harvester_model> owned_model_;
+    const harvester::harvester_model* model_;
     const harvester::vibration_source& vib_;
     std::shared_ptr<const power::storage_model> storage_;
     power::rectifier_params rect_;
     power::load_bank loads_;
-    harvester::transient_model model_;
+    std::unique_ptr<harvester::transient_rhs> rhs_;
     std::unordered_map<std::string, power::load_id> load_slots_;
     power::energy_ledger ledger_;
     sim::sim_context* sim_ = nullptr;

@@ -1,0 +1,140 @@
+#include "harvester/electromagnetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "harvester/envelope.hpp"
+#include "harvester/transient_model.hpp"
+#include "harvester/vibration.hpp"
+
+namespace ehdse::harvester {
+
+namespace {
+
+/// transient_rhs over the existing full nonlinear transient model.
+class em_transient final : public transient_rhs {
+public:
+    em_transient(const microgenerator& gen, const vibration_source& vib,
+                 const power::storage_model& storage,
+                 const power::load_bank& loads,
+                 const power::rectifier_params& rect)
+        : gen_(gen), model_(gen, vib, storage, loads, rect) {}
+
+    std::size_t state_size() const override { return model_.state_size(); }
+    void derivatives(double t, std::span<const double> x,
+                     std::span<double> dxdt) const override {
+        model_.derivatives(t, x, dxdt);
+    }
+
+    std::vector<double> initial_state(double v0) const override {
+        return transient_model::initial_state(v0);
+    }
+    int position() const override { return model_.position(); }
+    void set_position(int position) override { model_.set_position(position); }
+    std::size_t voltage_index() const override {
+        return transient_model::ix_voltage;
+    }
+    std::size_t harvested_index() const override {
+        return transient_model::ix_harvested;
+    }
+    double suggested_max_dt() const override {
+        return transient_model::suggested_max_dt(gen_.max_frequency());
+    }
+
+private:
+    const microgenerator& gen_;
+    transient_model model_;
+};
+
+}  // namespace
+
+electromagnetic_harvester::electromagnetic_harvester(
+    microgenerator_params params)
+    : gen_(params) {}
+
+const std::string& electromagnetic_harvester::name() const noexcept {
+    static const std::string k_name = "electromagnetic";
+    return k_name;
+}
+
+obs::json_value electromagnetic_harvester::describe() const {
+    const microgenerator_params& p = gen_.params();
+    obs::json_value out{obs::json_object{}};
+    out.set("name", name());
+    out.set("device", "tunable electromagnetic cantilever (Southampton)");
+    out.set("mass_kg", p.mass_kg);
+    out.set("damping_ratio", p.damping_ratio);
+    out.set("coupling_v_per_ms", p.coupling_v_per_ms);
+    out.set("coil_resistance_ohm", p.coil_resistance_ohm);
+    out.set("max_displacement_m", p.max_displacement_m);
+    out.set("f_min_hz", min_frequency());
+    out.set("f_max_hz", max_frequency());
+    out.set("positions", position_count());
+    out.set("conditioning", "diode bridge (or idealised mppt front-end)");
+    out.set("tuning", "magnetic-spring stiffening, stepper actuator");
+    return out;
+}
+
+double electromagnetic_harvester::initial_amplitude(
+    double freq_hz, double accel_amp_ms2, int position, double store_v,
+    const power::rectifier_params& rect) const {
+    const envelope_point pt = solve_envelope(gen_, position, freq_hz,
+                                             accel_amp_ms2, store_v, rect);
+    return pt.mech.displacement_amp_m;
+}
+
+envelope_rates electromagnetic_harvester::envelope_dynamics(
+    double freq_hz, double accel_amp_ms2, int position, double store_v,
+    double z_env, conditioning_kind conditioning, double efficiency,
+    const power::rectifier_params& rect) const {
+    const double omega = 2.0 * std::numbers::pi * freq_hz;
+    envelope_rates out;
+    if (conditioning == conditioning_kind::diode_bridge) {
+        const envelope_point pt = solve_envelope(gen_, position, freq_hz,
+                                                 accel_amp_ms2, store_v, rect);
+        // Amplitude envelope relaxes towards the steady state.
+        const double tau = gen_.settling_tau(pt.c_electrical);
+        out.amplitude_rate = (pt.mech.displacement_amp_m - z_env) / tau;
+
+        // Charging from the instantaneous envelope amplitude (not the target).
+        const double emf = gen_.params().coupling_v_per_ms * omega * z_env;
+        const power::rectifier_operating_point op = power::bridge_average(
+            emf, store_v, gen_.params().coil_resistance_ohm, rect);
+        out.charge_current_a = op.i_avg_a;
+    } else {
+        // MPPT front-end: the converter holds the coil at the matched load
+        // (c_e = c_mech) regardless of the store voltage, and delivers the
+        // extracted mechanical power at the conversion efficiency.
+        const double c_match = gen_.mech_damping();
+        const linear_response mech =
+            gen_.response(omega, accel_amp_ms2, position, c_match);
+        const double tau = gen_.settling_tau(c_match);
+        out.amplitude_rate = (mech.displacement_amp_m - z_env) / tau;
+
+        const double vel_env = omega * z_env;
+        const double p_extracted = 0.5 * c_match * vel_env * vel_env;
+        out.charge_current_a =
+            store_v > 0.05 ? efficiency * p_extracted / store_v : 0.0;
+    }
+    return out;
+}
+
+double electromagnetic_harvester::phase_lag(
+    double freq_hz, double accel_amp_ms2, int position, double store_v,
+    const power::rectifier_params& rect) const {
+    const envelope_point pt = solve_envelope(gen_, position, freq_hz,
+                                             accel_amp_ms2, store_v, rect);
+    const double omega = 2.0 * std::numbers::pi * freq_hz;
+    const double k = gen_.effective_stiffness(position);
+    const double m = gen_.params().mass_kg;
+    const double c_total = gen_.mech_damping() + pt.c_electrical;
+    return std::atan2(c_total * omega, k - m * omega * omega);
+}
+
+std::unique_ptr<transient_rhs> electromagnetic_harvester::make_transient(
+    const vibration_source& vib, const power::storage_model& storage,
+    const power::load_bank& loads, const power::rectifier_params& rect) const {
+    return std::make_unique<em_transient>(gen_, vib, storage, loads, rect);
+}
+
+}  // namespace ehdse::harvester

@@ -15,6 +15,17 @@ tuning_table::tuning_table(const microgenerator& gen) {
         throw std::logic_error("tuning_table: resonant frequency not monotone in position");
 }
 
+tuning_table::tuning_table(const harvester_model& model) {
+    if (model.position_count() != k_entries)
+        throw std::logic_error(
+            "tuning_table: harvester position count does not match the "
+            "8-bit firmware LUT");
+    for (int p = 0; p < k_entries; ++p)
+        freqs_[static_cast<std::size_t>(p)] = model.resonant_frequency(p);
+    if (!std::is_sorted(freqs_.begin(), freqs_.end()))
+        throw std::logic_error("tuning_table: resonant frequency not monotone in position");
+}
+
 double tuning_table::frequency_at(int position) const {
     if (position < 0 || position >= k_entries)
         throw std::out_of_range("tuning_table: position outside [0,255]");

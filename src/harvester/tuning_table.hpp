@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "harvester/harvester_model.hpp"
 #include "harvester/microgenerator.hpp"
 
 namespace ehdse::harvester {
@@ -22,6 +23,11 @@ public:
 
     /// Sample resonant_frequency() at every discrete position.
     explicit tuning_table(const microgenerator& gen);
+
+    /// Same, for any registered harvester backend (the model's tuning law
+    /// must span exactly k_entries positions — both device classes use the
+    /// paper's 8-bit actuator resolution).
+    explicit tuning_table(const harvester_model& model);
 
     /// Resonant frequency (Hz) of entry `position`.
     double frequency_at(int position) const;

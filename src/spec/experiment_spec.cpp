@@ -4,6 +4,7 @@
 #include <string>
 
 #include "doe/design.hpp"
+#include "harvester/harvester_model.hpp"
 #include "opt/optimizer.hpp"
 #include "rsm/surrogate.hpp"
 
@@ -78,6 +79,12 @@ scenario scenario::canonicalized() const {
     return out;
 }
 
+void harvester_spec::validate() const {
+    if (!harvester::is_known_harvester(model))
+        fail("harvester.model: unknown harvester '" + model + "' (valid: " +
+             harvester::harvester_names() + ")");
+}
+
 system_config system_config::from_vector(const numeric::vec& v) {
     if (v.size() != 3)
         throw std::invalid_argument("system_config::from_vector: need 3 entries");
@@ -148,14 +155,15 @@ flow_spec flow_spec::canonicalized() const {
 
 void experiment_spec::validate() const {
     scn.validate();
+    harv.validate();
     config.validate();
     eval.validate();
     flow.validate();
 }
 
 experiment_spec experiment_spec::canonicalized() const {
-    return {scn.canonicalized(), config, eval.canonicalized(),
-            flow.canonicalized()};
+    return {scn.canonicalized(), harv.canonicalized(), config,
+            eval.canonicalized(), flow.canonicalized()};
 }
 
 }  // namespace ehdse::spec

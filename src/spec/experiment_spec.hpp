@@ -6,8 +6,9 @@
 // optimiser revisits, Table V/VI validation re-runs); this layer makes
 // each of them a value that can be stored, replayed, and content-addressed.
 //
-// The four parts:
+// The five parts:
 //   scenario            stimulus and initial conditions (paper section V)
+//   harvester_spec      the harvester backend by registry name
 //   system_config       the design point x1..x3 under optimisation
 //   evaluation_options  fidelity / front-end / seeds of one simulation
 //   flow_spec           the serialisable knobs of run_rsm_flow
@@ -89,6 +90,24 @@ struct scenario {
     scenario canonicalized() const;
 
     bool operator==(const scenario&) const = default;
+};
+
+/// Which harvester backend the node simulates, by registry name
+/// (harvester::make_harvester): electromagnetic (the paper's device,
+/// default) or electrostatic (Galayko's charge-pump device). The physics
+/// parameters stay with the device class — a spec names a calibrated
+/// device, it does not re-parameterise one.
+struct harvester_spec {
+    std::string model = "electromagnetic";
+
+    /// Throws std::invalid_argument naming the offending field when the
+    /// name is not in the harvester registry.
+    void validate() const;
+
+    /// Every field is observable; canonicalisation is the identity.
+    harvester_spec canonicalized() const { return *this; }
+
+    bool operator==(const harvester_spec&) const = default;
 };
 
 /// One point of the design space in natural units (paper section III,
@@ -179,6 +198,7 @@ struct flow_spec {
 /// of a `flow` request's Table VI.
 struct experiment_spec {
     scenario scn;
+    harvester_spec harv;
     system_config config;
     evaluation_options eval;
     flow_spec flow;

@@ -179,6 +179,14 @@ scenario scenario_from_json(const obs::json_value& value) {
     return s;
 }
 
+harvester_spec harvester_from_json(const obs::json_value& value) {
+    const object_reader r(value, "harvester");
+    harvester_spec h;
+    h.model = r.string("model", h.model);
+    r.reject_unknown_keys();
+    return h;
+}
+
 system_config config_from_json(const obs::json_value& value) {
     const object_reader r(value, "config");
     system_config c;
@@ -238,6 +246,12 @@ obs::json_value to_json(const scenario& s) {
     return out;
 }
 
+obs::json_value to_json(const harvester_spec& h) {
+    obs::json_value out{obs::json_object{}};
+    out.set("model", h.model);
+    return out;
+}
+
 obs::json_value to_json(const system_config& c) {
     obs::json_value out{obs::json_object{}};
     out.set("mcu_clock_hz", c.mcu_clock_hz);
@@ -280,6 +294,7 @@ obs::json_value to_json(const experiment_spec& spec) {
     obs::json_value out{obs::json_object{}};
     out.set("schema", k_spec_schema);
     out.set("scenario", to_json(spec.scn));
+    out.set("harvester", to_json(spec.harv));
     out.set("config", to_json(spec.config));
     out.set("evaluation", to_json(spec.eval));
     out.set("flow", to_json(spec.flow));
@@ -311,12 +326,15 @@ frontend_kind frontend_from_string(std::string_view name) {
 experiment_spec spec_from_json(const obs::json_value& doc) {
     const object_reader r(doc, "");
     const std::string schema = r.string("schema", k_spec_schema);
-    if (schema != k_spec_schema && schema != k_spec_schema_legacy)
+    if (schema != k_spec_schema && schema != k_spec_schema_v2 &&
+        schema != k_spec_schema_legacy)
         fail("unsupported schema '" + schema + "' (expected '" +
              k_spec_schema + "')");
     experiment_spec spec;
     if (const obs::json_value* v = r.object("scenario"))
         spec.scn = scenario_from_json(*v);
+    if (const obs::json_value* v = r.object("harvester"))
+        spec.harv = harvester_from_json(*v);
     if (const obs::json_value* v = r.object("config"))
         spec.config = config_from_json(*v);
     if (const obs::json_value* v = r.object("evaluation"))

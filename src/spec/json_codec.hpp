@@ -22,22 +22,26 @@
 
 namespace ehdse::spec {
 
-/// Schema identifier written into every spec document. /2 added the
-/// flow.design / flow.surrogate fields.
-inline constexpr const char* k_spec_schema = "ehdse.experiment_spec/2";
+/// Schema identifier written into every spec document. /3 added the
+/// harvester section (registry-named backend).
+inline constexpr const char* k_spec_schema = "ehdse.experiment_spec/3";
 
-/// The pre-registry layout, still accepted on parse: a /1 document never
-/// carries the /2 fields, and absent keys mean defaults (d_optimal +
-/// quadratic — exactly what /1 hardwired), so old dumped specs replay
-/// unchanged.
+/// Still-accepted older layouts. A /2 (or /1) document never carries a
+/// harvester section, and an absent section means the default
+/// electromagnetic backend — exactly what those layouts hardwired — so
+/// old dumped specs replay unchanged and canonicalise to the same v3
+/// content (and cache keys) they always addressed. /1 additionally
+/// predates the flow.design / flow.surrogate fields.
+inline constexpr const char* k_spec_schema_v2 = "ehdse.experiment_spec/2";
 inline constexpr const char* k_spec_schema_legacy = "ehdse.experiment_spec/1";
 
 obs::json_value to_json(const scenario& s);
+obs::json_value to_json(const harvester_spec& h);
 obs::json_value to_json(const system_config& c);
 obs::json_value to_json(const evaluation_options& e);
 obs::json_value to_json(const flow_spec& f);
-/// {"schema": ..., "scenario": ..., "config": ..., "evaluation": ...,
-///  "flow": ...}
+/// {"schema": ..., "scenario": ..., "harvester": ..., "config": ...,
+///  "evaluation": ..., "flow": ...}
 obs::json_value to_json(const experiment_spec& spec);
 
 std::string to_string(fidelity model);

@@ -42,6 +42,7 @@ constexpr std::uint64_t k_seed_evaluation = 0x5ce7a21000000003ULL;
 constexpr std::uint64_t k_seed_flow = 0x5ce7a21000000004ULL;
 constexpr std::uint64_t k_seed_spec = 0x5ce7a21000000005ULL;
 constexpr std::uint64_t k_seed_request = 0x5ce7a21000000006ULL;
+constexpr std::uint64_t k_seed_harvester = 0x5ce7a21000000007ULL;
 
 }  // namespace
 
@@ -58,6 +59,12 @@ std::uint64_t spec_hash(const scenario& s) noexcept {
     h = mix_schedule(h, s.frequency_schedule);
     h = mix_schedule(h, s.amplitude_schedule);
     return h;
+}
+
+std::uint64_t spec_hash(const harvester_spec& h) noexcept {
+    std::uint64_t hash = mix(k_seed_harvester, k_spec_hash_version);
+    hash = mix_string(hash, h.model);
+    return hash;
 }
 
 std::uint64_t spec_hash(const system_config& c) noexcept {
@@ -100,6 +107,7 @@ std::uint64_t spec_hash(const flow_spec& f) noexcept {
 std::uint64_t spec_hash(const experiment_spec& spec) noexcept {
     std::uint64_t h = mix(k_seed_spec, k_spec_hash_version);
     h = mix(h, spec_hash(spec.scn));
+    h = mix(h, spec_hash(spec.harv));
     h = mix(h, spec_hash(spec.config));
     h = mix(h, spec_hash(spec.eval));
     h = mix(h, spec_hash(spec.flow));

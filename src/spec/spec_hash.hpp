@@ -25,14 +25,15 @@
 
 namespace ehdse::spec {
 
-/// Version 2: flow_spec gained design / surrogate (schema /2).
-inline constexpr std::uint64_t k_spec_hash_version = 2;
+/// Version 3: the spec gained the harvester section (schema /3).
+inline constexpr std::uint64_t k_spec_hash_version = 3;
 
 std::uint64_t spec_hash(const scenario& s) noexcept;
+std::uint64_t spec_hash(const harvester_spec& h) noexcept;
 std::uint64_t spec_hash(const system_config& c) noexcept;
 std::uint64_t spec_hash(const evaluation_options& e) noexcept;
 std::uint64_t spec_hash(const flow_spec& f) noexcept;
-/// Combine of the four part hashes plus the version.
+/// Combine of the five part hashes plus the version.
 std::uint64_t spec_hash(const experiment_spec& spec) noexcept;
 
 /// Hash of one evaluation request against a fixed scenario — what

@@ -35,8 +35,11 @@ public:
     using batch_fn = std::function<std::vector<dse::evaluation_result>(
         std::span<const dse::system_config>, const dse::evaluation_options&)>;
 
-    forwarding_evaluator(dse::scenario scn, eval_fn fn, batch_fn batch)
-        : dse::system_evaluator(std::move(scn)),
+    // Carries the harvester spec so spec_of() rebuilds the same canonical
+    // spec (and spec_hash) the client submitted.
+    forwarding_evaluator(dse::scenario scn, spec::harvester_spec harv,
+                         eval_fn fn, batch_fn batch)
+        : dse::system_evaluator(std::move(scn), std::move(harv)),
           fn_(std::move(fn)),
           batch_(std::move(batch)) {}
 
@@ -145,10 +148,12 @@ struct server::connection {
     }
 };
 
-/// One canonical scenario's shared physics + cross-request cache.
+/// One canonical (scenario, harvester) pair's shared physics +
+/// cross-request cache.
 struct server::eval_entry {
-    std::uint64_t scenario_hash = 0;
+    std::uint64_t key_hash = 0;  ///< mixed scenario + harvester hash
     spec::scenario scn;
+    spec::harvester_spec harv;
     std::unique_ptr<dse::system_evaluator> evaluator;
     std::unique_ptr<dse::cached_evaluator> cache;
 };
@@ -479,7 +484,8 @@ void server::execute(const std::shared_ptr<connection>& conn,
     bool ok = false;
     obs::json_value response;
     try {
-        const std::shared_ptr<eval_entry> entry = evaluator_for(canon.scn);
+        const std::shared_ptr<eval_entry> entry =
+            evaluator_for(canon.scn, canon.harv);
         if (work == workload::simulate) {
             manifest.set_option("spec", spec::to_json(canon));
             manifest.set_option(
@@ -507,7 +513,7 @@ void server::execute(const std::shared_ptr<connection>& conn,
             // scenario cache; the flow's own per-run cache stays off so
             // results are not double-stored.
             forwarding_evaluator evaluator(
-                canon.scn,
+                canon.scn, canon.harv,
                 [entry](const dse::system_config& config,
                         const dse::evaluation_options& options) {
                     return entry->cache->evaluate(config, options);
@@ -591,11 +597,15 @@ void server::runner_loop() {
 }
 
 std::shared_ptr<server::eval_entry> server::evaluator_for(
-    const spec::scenario& canon) {
-    const std::uint64_t hash = spec::spec_hash(canon);
+    const spec::scenario& canon, const spec::harvester_spec& harv) {
+    // In-memory MRU key only — the structural equality below is
+    // authoritative, the combined hash just prunes the scan.
+    const std::uint64_t hash =
+        spec::spec_hash(canon) ^ (spec::spec_hash(harv) << 1);
     std::lock_guard lock(evaluators_mutex_);
     for (auto it = evaluators_.begin(); it != evaluators_.end(); ++it) {
-        if ((*it)->scenario_hash == hash && (*it)->scn == canon) {
+        if ((*it)->key_hash == hash && (*it)->scn == canon &&
+            (*it)->harv == harv) {
             std::shared_ptr<eval_entry> entry = *it;
             evaluators_.erase(it);
             evaluators_.insert(evaluators_.begin(), entry);  // MRU front
@@ -604,9 +614,10 @@ std::shared_ptr<server::eval_entry> server::evaluator_for(
     }
 
     auto entry = std::make_shared<eval_entry>();
-    entry->scenario_hash = hash;
+    entry->key_hash = hash;
     entry->scn = canon;
-    entry->evaluator = std::make_unique<dse::system_evaluator>(canon);
+    entry->harv = harv;
+    entry->evaluator = std::make_unique<dse::system_evaluator>(canon, harv);
     entry->cache = std::make_unique<dse::cached_evaluator>(
         *entry->evaluator, config_.cache_capacity);
     evaluators_.insert(evaluators_.begin(), entry);

@@ -135,8 +135,11 @@ private:
                  const spec::experiment_spec& canon);
     void schedule_runner();
     void runner_loop();
-    /// Shared per-scenario evaluator+cache, created on first use.
-    std::shared_ptr<eval_entry> evaluator_for(const spec::scenario& canon);
+    /// Shared per-(scenario, harvester) evaluator+cache, created on first
+    /// use — the harvester backend is part of the physics, so two specs
+    /// differing only in harvester never share simulations.
+    std::shared_ptr<eval_entry> evaluator_for(const spec::scenario& canon,
+                                              const spec::harvester_spec& harv);
     void shutdown_connections(bool send_goodbye);
 
     server_config config_;

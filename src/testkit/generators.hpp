@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "doe/design.hpp"
+#include "harvester/harvester_model.hpp"
 #include "numeric/matrix.hpp"
 #include "opt/optimizer.hpp"
 #include "rsm/surrogate.hpp"
@@ -125,11 +126,24 @@ inline spec::flow_spec gen_flow_spec(prng& rng) {
     return f;
 }
 
+/// Harvester backend drawn from the live registry, biased towards the
+/// paper's electromagnetic device (the default most properties exercise)
+/// while still visiting every other entry regularly.
+inline spec::harvester_spec gen_harvester_spec(prng& rng) {
+    spec::harvester_spec h;
+    if (rng.chance(0.3)) {
+        const auto& backends = harvester::harvester_registry();
+        h.model = backends[rng.index(backends.size())].name;
+    }
+    return h;
+}
+
 /// A complete, valid experiment spec (short scenario, small flow budget).
 inline spec::experiment_spec gen_experiment_spec(prng& rng,
                                                  bool allow_transient = false) {
     spec::experiment_spec s;
     s.scn = gen_scenario(rng);
+    s.harv = gen_harvester_spec(rng);
     s.config = gen_system_config(rng);
     s.eval = gen_evaluation_options(rng, allow_transient);
     s.flow = gen_flow_spec(rng);
@@ -187,6 +201,11 @@ inline std::vector<spec::experiment_spec> shrink_spec(
     {
         spec::experiment_spec c = s;
         c.scn = defaults.scn;
+        detail::push_if_changed(out, s, std::move(c));
+    }
+    {
+        spec::experiment_spec c = s;
+        c.harv = defaults.harv;
         detail::push_if_changed(out, s, std::move(c));
     }
     {

@@ -1,0 +1,238 @@
+// The harvester-backend registry contract plus the electrostatic device
+// class itself: registry listings, construction by name, the per-backend
+// invariants every entry must satisfy (ascending tuning law, tuning-table
+// compatibility, sane describe()), and the electrostatic physics — bias
+// ramp, spring softening, charge-pump extraction, and the envelope /
+// transient energy agreement the equivalent-damping construction promises.
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dse/system_evaluator.hpp"
+#include "harvester/electromagnetic.hpp"
+#include "harvester/electrostatic.hpp"
+#include "harvester/harvester_model.hpp"
+#include "harvester/tuning_table.hpp"
+#include "harvester/vibration.hpp"
+#include "power/load_bank.hpp"
+#include "power/supercapacitor.hpp"
+
+namespace {
+
+using namespace ehdse;
+namespace eh = ehdse::harvester;
+
+TEST(HarvesterRegistry, ListsBothDeviceClasses) {
+    const auto& registry = eh::harvester_registry();
+    ASSERT_EQ(registry.size(), 2u);
+    // The paper's device stays first: it is the default every legacy spec
+    // resolves to.
+    EXPECT_EQ(registry[0].name, "electromagnetic");
+    EXPECT_EQ(registry[1].name, "electrostatic");
+    for (const eh::harvester_info& info : registry) {
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        EXPECT_TRUE(eh::is_known_harvester(info.name)) << info.name;
+    }
+    EXPECT_FALSE(eh::is_known_harvester("piezoelectric"));
+    EXPECT_NE(eh::harvester_names().find("electromagnetic"), std::string::npos);
+    EXPECT_NE(eh::harvester_names().find("electrostatic"), std::string::npos);
+}
+
+TEST(HarvesterRegistry, MakeHarvesterBuildsEveryEntry) {
+    for (const eh::harvester_info& info : eh::harvester_registry()) {
+        const auto model = eh::make_harvester(info.name);
+        ASSERT_NE(model, nullptr) << info.name;
+        EXPECT_EQ(model->name(), info.name);
+        // Both device classes use the paper's 8-bit actuator resolution.
+        EXPECT_EQ(model->position_count(), 256) << info.name;
+        const obs::json_value doc = model->describe();
+        EXPECT_TRUE(doc.is_object()) << info.name;
+        EXPECT_EQ(doc.at("name").as_string(), info.name);
+    }
+}
+
+TEST(HarvesterRegistry, UnknownNameIsRejectedListingChoices) {
+    try {
+        (void)eh::make_harvester("piezoelectric");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("piezoelectric"), std::string::npos);
+        EXPECT_NE(what.find("electromagnetic"), std::string::npos);
+        EXPECT_NE(what.find("electrostatic"), std::string::npos);
+    }
+}
+
+TEST(HarvesterRegistry, TuningLawAscendsForEveryEntry) {
+    for (const eh::harvester_info& info : eh::harvester_registry()) {
+        const auto model = eh::make_harvester(info.name);
+        double prev = model->resonant_frequency(0);
+        for (int pos = 1; pos < model->position_count(); ++pos) {
+            const double f = model->resonant_frequency(pos);
+            EXPECT_GT(f, prev) << info.name << " position " << pos;
+            prev = f;
+        }
+        EXPECT_DOUBLE_EQ(model->min_frequency(), model->resonant_frequency(0));
+        EXPECT_DOUBLE_EQ(
+            model->max_frequency(),
+            model->resonant_frequency(model->position_count() - 1));
+    }
+}
+
+TEST(HarvesterRegistry, TuningTableAcceptsEveryEntry) {
+    for (const eh::harvester_info& info : eh::harvester_registry()) {
+        const auto model = eh::make_harvester(info.name);
+        const eh::tuning_table table(*model);
+        EXPECT_DOUBLE_EQ(table.min_frequency(), model->min_frequency());
+        EXPECT_DOUBLE_EQ(table.max_frequency(), model->max_frequency());
+        // The table must invert the tuning law exactly at its own samples.
+        for (int pos : {0, 17, 128, 255})
+            EXPECT_EQ(table.lookup(model->resonant_frequency(pos)), pos)
+                << info.name;
+    }
+}
+
+TEST(HarvesterRegistry, ActuatorCostsMatchEachMechanism) {
+    // Electromagnetic: the Haydon stepper (milliseconds, millijoules).
+    const eh::retune_cost em = eh::make_harvester("electromagnetic")->actuator();
+    EXPECT_DOUBLE_EQ(em.step_time_s, 5.0e-3);
+    EXPECT_DOUBLE_EQ(em.single_step_energy_j, 4.06e-3);
+    EXPECT_DOUBLE_EQ(em.multi_step_energy_j, 2.03e-3);
+    EXPECT_DOUBLE_EQ(em.min_drive_voltage_v, 2.6);
+    // Electrostatic: a bias-DAC write (microseconds, microjoules).
+    const eh::retune_cost es = eh::make_harvester("electrostatic")->actuator();
+    EXPECT_DOUBLE_EQ(es.step_time_s, 1.0e-4);
+    EXPECT_DOUBLE_EQ(es.single_step_energy_j, 2.0e-6);
+    EXPECT_DOUBLE_EQ(es.multi_step_energy_j, 1.0e-6);
+    EXPECT_DOUBLE_EQ(es.min_drive_voltage_v, 1.8);
+}
+
+TEST(Electrostatic, BiasRampFallsAsResonanceRises) {
+    const eh::electrostatic_harvester dev;
+    const eh::electrostatic_params& p = dev.params();
+    EXPECT_DOUBLE_EQ(dev.bias_at(0), p.bias_max_v);
+    EXPECT_DOUBLE_EQ(dev.bias_at(255), p.bias_min_v);
+    // Falling bias -> stiffer (less softened) spring -> higher resonance.
+    for (int pos = 1; pos < dev.position_count(); ++pos) {
+        EXPECT_LT(dev.bias_at(pos), dev.bias_at(pos - 1));
+        EXPECT_GT(dev.effective_stiffness(pos),
+                  dev.effective_stiffness(pos - 1));
+        EXPECT_LT(dev.electrical_damping(pos),
+                  dev.electrical_damping(pos - 1));
+    }
+    // Default calibration: a 58..94 Hz band bracketing the paper device's
+    // 64..88 Hz.
+    EXPECT_NEAR(dev.min_frequency(), 58.0, 0.1);
+    EXPECT_NEAR(dev.max_frequency(), 94.0, 0.1);
+    EXPECT_THROW((void)dev.bias_at(-1), std::out_of_range);
+    EXPECT_THROW((void)dev.bias_at(256), std::out_of_range);
+}
+
+TEST(Electrostatic, SofteningAndExtractionFollowBiasSquared) {
+    const eh::electrostatic_harvester dev;
+    const eh::electrostatic_params& p = dev.params();
+    for (int pos : {0, 100, 255}) {
+        const double u = dev.bias_at(pos) / p.pull_in_voltage_v;
+        EXPECT_NEAR(dev.effective_stiffness(pos),
+                    dev.base_stiffness() * (1.0 - p.softening_alpha * u * u),
+                    1e-9 * dev.base_stiffness());
+        EXPECT_NEAR(dev.electrical_damping(pos), p.coupling_damping * u * u,
+                    1e-12);
+    }
+}
+
+TEST(Electrostatic, DisplacementClipsAtEndStops) {
+    const eh::electrostatic_harvester dev;
+    const double omega = 2.0 * std::numbers::pi * dev.resonant_frequency(128);
+    // Resonant drive at an absurd acceleration must saturate at the stops.
+    EXPECT_DOUBLE_EQ(dev.displacement_amplitude(omega, 500.0, 128),
+                     dev.params().max_displacement_m);
+    // A gentle off-resonance drive stays well inside them.
+    EXPECT_LT(dev.displacement_amplitude(0.5 * omega, 0.1, 128),
+              dev.params().max_displacement_m);
+}
+
+TEST(Electrostatic, EnvelopeRelaxesTowardSteadyStateAmplitude) {
+    const eh::electrostatic_harvester dev;
+    const power::rectifier_params rect;
+    const double f = dev.resonant_frequency(64);
+    const double accel = 0.6;
+    const int pos = 64;
+    const double target = dev.initial_amplitude(f, accel, pos, 2.5, rect);
+    const auto below = dev.envelope_dynamics(
+        f, accel, pos, 2.5, 0.5 * target, eh::conditioning_kind::diode_bridge,
+        1.0, rect);
+    const auto at = dev.envelope_dynamics(
+        f, accel, pos, 2.5, target, eh::conditioning_kind::diode_bridge, 1.0,
+        rect);
+    EXPECT_GT(below.amplitude_rate, 0.0);
+    EXPECT_NEAR(at.amplitude_rate, 0.0, 1e-12);
+    EXPECT_GT(at.charge_current_a, 0.0);
+    // Below the priming threshold the pump cannot deliver.
+    const auto unprimed = dev.envelope_dynamics(
+        f, accel, pos, 0.1, target, eh::conditioning_kind::diode_bridge, 1.0,
+        rect);
+    EXPECT_DOUBLE_EQ(unprimed.charge_current_a, 0.0);
+}
+
+TEST(Electrostatic, InvalidParametersAreRejected) {
+    eh::electrostatic_params bad_mass;
+    bad_mass.mass_kg = 0.0;
+    EXPECT_THROW(eh::electrostatic_harvester{bad_mass}, std::invalid_argument);
+    eh::electrostatic_params inverted;
+    inverted.bias_min_v = 50.0;  // above bias_max_v
+    EXPECT_THROW(eh::electrostatic_harvester{inverted}, std::invalid_argument);
+    eh::electrostatic_params collapsed;
+    collapsed.bias_max_v = collapsed.pull_in_voltage_v * 1.3;
+    EXPECT_THROW(eh::electrostatic_harvester{collapsed}, std::invalid_argument);
+}
+
+TEST(Electrostatic, TransientSystemContract) {
+    const eh::electrostatic_harvester dev;
+    const eh::vibration_source vib(0.6, 70.0);
+    const power::supercapacitor cap;
+    const power::load_bank loads;
+    const power::rectifier_params rect;
+    const auto rhs = dev.make_transient(vib, cap, loads, rect);
+    ASSERT_NE(rhs, nullptr);
+    EXPECT_EQ(rhs->state_size(), 4u);
+    const auto x0 = rhs->initial_state(2.7);
+    ASSERT_EQ(x0.size(), 4u);
+    EXPECT_DOUBLE_EQ(x0[rhs->voltage_index()], 2.7);
+    EXPECT_DOUBLE_EQ(x0[rhs->harvested_index()], 0.0);
+    rhs->set_position(200);
+    EXPECT_EQ(rhs->position(), 200);
+    EXPECT_THROW(rhs->set_position(-1), std::out_of_range);
+    EXPECT_THROW(rhs->set_position(256), std::out_of_range);
+    // The step ceiling resolves the fastest achievable resonance.
+    EXPECT_LE(rhs->suggested_max_dt(), 1.0 / (20.0 * dev.max_frequency()));
+}
+
+TEST(Electrostatic, EnvelopeAndTransientAgreeOnHarvestedEnergy) {
+    // The charge pump enters both fidelities as the same equivalent
+    // viscous damping, so the envelope fast path and the cycle-resolving
+    // transient model must agree on the energy actually delivered.
+    dse::scenario s;
+    s.duration_s = 240.0;
+    s.step_period_s = 100.0;
+    s.step_count = 1;
+    const dse::system_evaluator ev(s, spec::harvester_spec{"electrostatic"});
+    dse::evaluation_options env_opts, tr_opts;
+    tr_opts.model = dse::fidelity::transient;
+    const auto env = ev.evaluate(dse::system_config::original(), env_opts);
+    const auto tr = ev.evaluate(dse::system_config::original(), tr_opts);
+    EXPECT_TRUE(env.sim_ok);
+    EXPECT_TRUE(tr.sim_ok);
+    EXPECT_GT(env.harvested_energy_j, 0.0);
+    EXPECT_NEAR(tr.harvested_energy_j, env.harvested_energy_j,
+                0.10 * env.harvested_energy_j);
+    EXPECT_NEAR(static_cast<double>(tr.transmissions),
+                static_cast<double>(env.transmissions), 2.0);
+    // The transient kernel resolves every vibration cycle.
+    EXPECT_GT(tr.ode_steps, 20u * env.ode_steps);
+}
+
+}  // namespace

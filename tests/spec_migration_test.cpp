@@ -1,0 +1,104 @@
+// Golden migration suite for the spec schema lineage. The fixtures under
+// tests/data/spec_migration are one "rich" experiment pinned in every
+// layout the codec has ever written:
+//
+//   rich_v1.json           ehdse.experiment_spec/1 (no design/surrogate,
+//                          no harvester section)
+//   rich_v2.json           ehdse.experiment_spec/2 (no harvester section)
+//   rich_v3_canonical.json the canonical /3 document
+//   rich_spec_hash.txt     spec_hash_hex of the canonicalized spec
+//
+// Every layout must decode to the SAME experiment_spec (absent sections
+// fill in the defaults those layouts hardwired — in particular the
+// electromagnetic harvester), re-encode byte-identically to the canonical
+// /3 document, and hash to the pinned value. A failure here means old
+// dumped specs would replay differently or lose their cache keys.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spec/json_codec.hpp"
+#include "spec/spec_hash.hpp"
+
+namespace {
+
+using namespace ehdse;
+
+std::string load_fixture(const std::string& name) {
+    const std::string path =
+        std::string(EHDSE_TEST_DATA_DIR) + "/spec_migration/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string reencode(const spec::experiment_spec& parsed) {
+    return spec::to_json(parsed).dump(2) + "\n";
+}
+
+std::string trimmed(std::string text) {
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+    return text;
+}
+
+class SpecMigration : public ::testing::Test {
+protected:
+    const std::string v1_text_ = load_fixture("rich_v1.json");
+    const std::string v2_text_ = load_fixture("rich_v2.json");
+    const std::string v3_text_ = load_fixture("rich_v3_canonical.json");
+    const std::string pinned_hash_ = trimmed(load_fixture("rich_spec_hash.txt"));
+};
+
+TEST_F(SpecMigration, EveryLayoutDecodesToTheSameSpec) {
+    const spec::experiment_spec v1 = spec::parse_spec(v1_text_);
+    const spec::experiment_spec v2 = spec::parse_spec(v2_text_);
+    const spec::experiment_spec v3 = spec::parse_spec(v3_text_);
+    EXPECT_EQ(v1, v3);
+    EXPECT_EQ(v2, v3);
+}
+
+TEST_F(SpecMigration, AbsentHarvesterSectionMeansElectromagnetic) {
+    EXPECT_EQ(spec::parse_spec(v1_text_).harv.model, "electromagnetic");
+    EXPECT_EQ(spec::parse_spec(v2_text_).harv.model, "electromagnetic");
+}
+
+TEST_F(SpecMigration, ReencodeIsByteIdenticalCanonicalV3) {
+    EXPECT_EQ(reencode(spec::parse_spec(v1_text_)), v3_text_);
+    EXPECT_EQ(reencode(spec::parse_spec(v2_text_)), v3_text_);
+    // The canonical document itself is a fixed point of the codec.
+    EXPECT_EQ(reencode(spec::parse_spec(v3_text_)), v3_text_);
+}
+
+TEST_F(SpecMigration, CanonicalHashIsPinned) {
+    for (const std::string* text : {&v1_text_, &v2_text_, &v3_text_}) {
+        const spec::experiment_spec parsed = spec::parse_spec(*text);
+        EXPECT_EQ(spec::spec_hash_hex(spec::spec_hash(parsed.canonicalized())),
+                  pinned_hash_);
+    }
+}
+
+// The schema tag is an accepted-version allowlist, not a per-version key
+// filter: a document carrying newer sections under an older tag still
+// parses to the same spec (content wins), while an unknown tag fails.
+TEST_F(SpecMigration, SchemaTagIsAnAllowlist) {
+    const spec::experiment_spec canonical = spec::parse_spec(v3_text_);
+    const std::string from = std::string("\"") + spec::k_spec_schema + "\"";
+    for (const char* schema :
+         {spec::k_spec_schema_legacy, spec::k_spec_schema_v2}) {
+        std::string text = v3_text_;
+        text.replace(text.find(from), from.size(),
+                     std::string("\"") + schema + "\"");
+        EXPECT_EQ(spec::parse_spec(text), canonical) << schema;
+    }
+    std::string unknown = v3_text_;
+    unknown.replace(unknown.find(from), from.size(),
+                    "\"ehdse.experiment_spec/99\"");
+    EXPECT_THROW((void)spec::parse_spec(unknown), std::invalid_argument);
+}
+
+}  // namespace

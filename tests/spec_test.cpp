@@ -86,6 +86,7 @@ TEST(SpecJson, GoldenDefaultDocument) {
         "\"f_start_hz\":64,\"f_step_hz\":5,\"step_period_s\":1500,"
         "\"step_count\":2,\"v_initial\":2.8,\"initial_position\":-1,"
         "\"frequency_schedule\":[],\"amplitude_schedule\":[]},"
+        "\"harvester\":{\"model\":\"electromagnetic\"},"
         "\"config\":{\"mcu_clock_hz\":4000000,\"watchdog_period_s\":320,"
         "\"tx_interval_s\":5},"
         "\"evaluation\":{\"record_traces\":false,\"trace_interval_s\":1,"
@@ -103,14 +104,17 @@ TEST(SpecJson, GoldenDefaultDocument) {
 // previously stored manifest/cache key stops matching — bump
 // k_spec_hash_version when that is intentional.
 TEST(SpecHash, ReferenceValuesAreStable) {
-    ASSERT_EQ(es::k_spec_hash_version, 2);
+    ASSERT_EQ(es::k_spec_hash_version, 3);
     EXPECT_EQ(es::spec_hash_hex(es::spec_hash(es::experiment_spec{})),
-              "dcf9ec62065360f7");
+              "d08ba15096d6b676");
     EXPECT_EQ(es::spec_hash_hex(es::spec_hash(rich_spec())),
-              "5c5fa154f212b606");
+              "17c4a65a2d371629");
+    es::experiment_spec estat;
+    estat.harv.model = "electrostatic";
+    EXPECT_EQ(es::spec_hash_hex(es::spec_hash(estat)), "ab4688736d5c86af");
 }
 
-// The hash sees every part: perturbing one field in any of the four
+// The hash sees every part: perturbing one field in any of the five
 // sub-structs changes the spec hash.
 TEST(SpecHash, EveryPartParticipates) {
     const es::experiment_spec base = rich_spec();
@@ -119,6 +123,10 @@ TEST(SpecHash, EveryPartParticipates) {
     es::experiment_spec a = base;
     a.scn.accel_mg += 1.0;
     EXPECT_NE(es::spec_hash(a), h0);
+
+    es::experiment_spec h = base;
+    h.harv.model = "electrostatic";
+    EXPECT_NE(es::spec_hash(h), h0);
 
     es::experiment_spec b = base;
     b.config.tx_interval_s += 0.125;
@@ -185,12 +193,16 @@ TEST(SpecJson, GoldenNonDefaultSurrogateAndDesign) {
     EXPECT_EQ(es::parse_spec(text), s);
 }
 
-// Pre-refactor documents carry schema /1 and no design / surrogate keys;
-// they must still load, with the absent fields meaning the defaults.
+// Pre-refactor documents carry schema /1, no harvester section and no
+// design / surrogate keys; they must still load, with the absent fields
+// meaning the defaults (electromagnetic harvester included).
 TEST(SpecJson, LegacySchemaV1StillLoads) {
     std::string text = serialize(es::experiment_spec{});
     const std::string tag = es::k_spec_schema;
     text.replace(text.find(tag), tag.size(), es::k_spec_schema_legacy);
+    const std::string harvester_field =
+        "\"harvester\":{\"model\":\"electromagnetic\"},";
+    text.replace(text.find(harvester_field), harvester_field.size(), "");
     const std::string design_field = "\"design\":\"d_optimal\",";
     text.replace(text.find(design_field), design_field.size(), "");
     const std::string surrogate_field = "\"surrogate\":\"quadratic\",";
@@ -199,6 +211,54 @@ TEST(SpecJson, LegacySchemaV1StillLoads) {
     EXPECT_EQ(parsed, es::experiment_spec{});
     EXPECT_EQ(parsed.flow.design, "d_optimal");
     EXPECT_EQ(parsed.flow.surrogate, "quadratic");
+    EXPECT_EQ(parsed.harv.model, "electromagnetic");
+}
+
+// Schema /2 documents (pre-harvester) load with the electromagnetic
+// default, and re-encode byte-identically to the canonical /3 form of
+// the same experiment.
+TEST(SpecJson, SchemaV2MigratesToCanonicalV3) {
+    const std::string v3 = serialize(rich_spec());
+    std::string v2 = v3;
+    const std::string tag = es::k_spec_schema;
+    v2.replace(v2.find(tag), tag.size(), es::k_spec_schema_v2);
+    const std::string harvester_field =
+        "\"harvester\":{\"model\":\"electromagnetic\"},";
+    v2.replace(v2.find(harvester_field), harvester_field.size(), "");
+    const es::experiment_spec parsed = es::parse_spec(v2);
+    EXPECT_EQ(parsed, rich_spec());
+    EXPECT_EQ(parsed.harv.model, "electromagnetic");
+    EXPECT_EQ(serialize(parsed), v3);
+    // Same canonical v3 value => same spec hash => same cache keys.
+    EXPECT_EQ(es::spec_hash(parsed.canonicalized()),
+              es::spec_hash(rich_spec().canonicalized()));
+}
+
+// A v2/v1 document naming a harvester is impossible (the section arrived
+// with /3), but a /3 document may spell any registered backend.
+TEST(SpecJson, HarvesterSectionRoundTrips) {
+    es::experiment_spec s;
+    s.harv.model = "electrostatic";
+    const std::string text = serialize(s);
+    EXPECT_NE(text.find("\"harvester\":{\"model\":\"electrostatic\"}"),
+              std::string::npos);
+    EXPECT_EQ(es::parse_spec(text), s);
+}
+
+TEST(SpecValidate, UnknownHarvesterIsRejectedByName) {
+    es::experiment_spec s;
+    s.harv.model = "piezoelectric";
+    try {
+        s.validate();
+        FAIL() << "unknown harvester was accepted";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown harvester 'piezoelectric'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("electromagnetic"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("electrostatic"), std::string::npos) << msg;
+    }
 }
 
 // Every name each registry exports survives serialise -> parse inside a

@@ -90,7 +90,7 @@ inline void require_results_bit_equal(const dse::evaluation_result& a,
 /// repeat request hits the cache, and a request differing only in
 /// canonicalised-away fields hits too.
 inline void check_cache_bit_equality(const spec::experiment_spec& s) {
-    const dse::system_evaluator inner(s.scn);
+    const dse::system_evaluator inner(s.scn, s.harv);
     const dse::cached_evaluator cached(inner, 8);
     const dse::evaluation_result direct = inner.evaluate(s.config, s.eval);
     const dse::evaluation_result first = cached.evaluate(s.config, s.eval);
@@ -186,7 +186,7 @@ inline void check_batch_vs_scalar(const spec::experiment_spec& s) {
     configs.push_back(s.config);
     while (configs.size() < width) configs.push_back(gen_system_config(lane_rng));
 
-    const dse::system_evaluator evaluator(s.scn);
+    const dse::system_evaluator evaluator(s.scn, s.harv);
     const std::vector<dse::evaluation_result> batch =
         evaluator.evaluate_batch(configs, eval);
     require(batch.size() == configs.size(),
@@ -209,7 +209,7 @@ inline void check_batch_vs_scalar(const spec::experiment_spec& s) {
 /// A sequential flow and a 3-worker parallel flow over the same spec
 /// produce identical responses, fits, and optimiser outcomes.
 inline void check_jobs_determinism(const spec::experiment_spec& s) {
-    const dse::system_evaluator evaluator(s.scn);
+    const dse::system_evaluator evaluator(s.scn, s.harv);
     dse::flow_options seq = dse::flow_options_from_spec(s);
     seq.parallel = false;
     seq.jobs = 0;

@@ -3,13 +3,15 @@
 //
 //   ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]
 //                      [--duration S] [--accel MG] [--seed N]
+//                      [--harvester NAME]
 //                      [--fidelity envelope|transient] [--trace FILE.csv]
 //                      [--metrics-out FILE.json]
 //   ehdse_cli flow     [--runs N] [--seed N] [--replicates N] [--parallel]
-//                      [--design NAME] [--surrogate NAME]
+//                      [--harvester NAME] [--design NAME] [--surrogate NAME]
 //                      [--report FILE.md] [--metrics-out FILE.json] [--progress]
 //   ehdse_cli sweep    --param clock|watchdog|interval
 //                      [--from X] [--to X] [--points N] [--log]
+//                      [--harvester NAME]
 //
 // `simulate` and `flow` are spec-driven: every invocation first builds a
 // canonical spec::experiment_spec — defaults, overlaid by `--spec
@@ -36,6 +38,7 @@
 
 #include "doe/design.hpp"
 #include "dse/report.hpp"
+#include "harvester/harvester_model.hpp"
 #include "dse/rsm_flow.hpp"
 #include "obs/metrics.hpp"
 #include "opt/optimizer.hpp"
@@ -120,11 +123,13 @@ void print_usage() {
         "usage:\n"
         "  ehdse_cli simulate [--clock HZ] [--watchdog S] [--interval S]\n"
         "                     [--duration S] [--accel MG] [--seed N]\n"
+        "                     [--harvester NAME]\n"
         "                     [--fidelity envelope|transient] [--trace FILE]\n"
         "                     [--schedule FILE.csv] [--metrics-out FILE.json]\n"
         "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli flow     [--runs N] [--seed N] [--replicates N]\n"
-        "                     [--design NAME] [--surrogate NAME]\n"
+        "                     [--harvester NAME] [--design NAME]\n"
+        "                     [--surrogate NAME]\n"
         "                     [--parallel] [--jobs N] [--no-cache]\n"
         "                     [--duration S] [--accel MG] [--schedule FILE.csv]\n"
         "                     [--report FILE.md] [--progress]\n"
@@ -132,11 +137,15 @@ void print_usage() {
         "                     [--spec FILE.json] [--dump-spec FILE.json]\n"
         "  ehdse_cli sweep    --param clock|watchdog|interval\n"
         "                     [--from X] [--to X] [--points N] [--log]\n"
+        "                     [--harvester NAME]\n"
         "                     [--duration S] [--accel MG] [--schedule FILE.csv]\n"
         "  ehdse_cli --list-designs | --list-surrogates | --list-optimizers\n"
+        "  ehdse_cli --list-harvesters\n"
         "\n"
         "--list-* prints every registry name the flow accepts (one per\n"
-        "line with a short description) and exits 0.\n"
+        "line with a short description) and exits 0. --harvester selects\n"
+        "the harvester backend (see --list-harvesters; default\n"
+        "electromagnetic).\n"
         "--spec seeds the run from a canonical experiment-spec JSON file\n"
         "(explicit flags still win); --dump-spec writes the spec a run\n"
         "resolves to, for replay. --metrics-out writes a run manifest\n"
@@ -246,6 +255,7 @@ void stamp_spec(obs::run_manifest& manifest,
 
 int cmd_simulate(const arg_map& args) {
     spec::experiment_spec espec = load_spec(args);
+    espec.harv.model = args.str("harvester", espec.harv.model);
     espec.config.mcu_clock_hz = args.num("clock", espec.config.mcu_clock_hz);
     espec.config.watchdog_period_s =
         args.num("watchdog", espec.config.watchdog_period_s);
@@ -280,7 +290,7 @@ int cmd_simulate(const arg_map& args) {
         obs::set_global_registry(&registry);
     }
 
-    dse::system_evaluator evaluator(espec.scn);
+    dse::system_evaluator evaluator(espec.scn, espec.harv);
     const auto r = evaluator.evaluate(cfg, opts);
 
     std::printf("config: clock=%.6g Hz, watchdog=%.6g s, interval=%.6g s "
@@ -357,6 +367,7 @@ int cmd_simulate(const arg_map& args) {
 
 int cmd_flow(const arg_map& args) {
     spec::experiment_spec espec = load_spec(args);
+    espec.harv.model = args.str("harvester", espec.harv.model);
     espec.scn = scenario_from(args, espec.scn);
     espec.flow.doe_runs = static_cast<std::size_t>(
         args.num("runs", static_cast<double>(espec.flow.doe_runs)));
@@ -460,7 +471,16 @@ int cmd_sweep(const arg_map& args) {
         return 2;
     }
 
-    dse::system_evaluator evaluator(scenario_from(args));
+    spec::harvester_spec harv;
+    harv.model = args.str("harvester", harv.model);
+    try {
+        harv.validate();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    dse::system_evaluator evaluator(scenario_from(args), harv);
     std::printf("%16s %10s %12s %12s\n", param.c_str(), "tx/h", "harvested",
                 "final V");
     for (int i = 0; i < points; ++i) {
@@ -481,20 +501,29 @@ int cmd_sweep(const arg_map& args) {
 }
 
 const std::set<std::string> k_simulate_flags = {
-    "clock", "watchdog", "interval", "duration", "accel", "seed",
+    "clock", "watchdog", "interval", "duration", "accel", "seed", "harvester",
     "fidelity", "trace", "schedule", "metrics-out", "spec", "dump-spec"};
 const std::set<std::string> k_flow_flags = {
-    "runs", "seed", "replicates", "design", "surrogate", "parallel", "jobs",
-    "no-cache", "report", "duration", "accel", "schedule", "metrics-out",
-    "progress", "spec", "dump-spec"};
+    "runs", "seed", "replicates", "harvester", "design", "surrogate",
+    "parallel", "jobs", "no-cache", "report", "duration", "accel", "schedule",
+    "metrics-out", "progress", "spec", "dump-spec"};
 const std::set<std::string> k_sweep_flags = {
-    "param", "from", "to", "points", "log", "duration", "accel", "schedule"};
+    "param", "from", "to", "points", "log", "harvester", "duration", "accel",
+    "schedule"};
 
-/// `--list-optimizers` / `--list-surrogates` / `--list-designs`: print each
-/// registry (name + one-line description) and exit 0. The names printed
-/// here are exactly the ones a spec's flow.optimizers / flow.surrogate /
-/// flow.design accept.
+/// `--list-optimizers` / `--list-surrogates` / `--list-designs` /
+/// `--list-harvesters`: print each registry (name + one-line description)
+/// and exit 0. The names printed here are exactly the ones a spec's
+/// flow.optimizers / flow.surrogate / flow.design / harvester.model
+/// accept.
 int cmd_list(const std::string& which) {
+    if (which == "--list-harvesters") {
+        for (const harvester::harvester_info& info :
+             harvester::harvester_registry())
+            std::printf("%-24s %s\n", info.name.c_str(),
+                        info.description.c_str());
+        return 0;
+    }
     if (which == "--list-optimizers") {
         for (const opt::optimizer_info& info : opt::optimizer_registry())
             std::printf("%-24s %s\n", info.name.c_str(),
@@ -521,7 +550,7 @@ int main(int argc, char** argv) {
     }
     const std::string cmd = argv[1];
     if (cmd == "--list-optimizers" || cmd == "--list-surrogates" ||
-        cmd == "--list-designs")
+        cmd == "--list-designs" || cmd == "--list-harvesters")
         return cmd_list(cmd);
     if (cmd == "simulate")
         return cmd_simulate(parse_args(argc, argv, 2, k_simulate_flags));

@@ -8,6 +8,7 @@
 //   ehdsed [--unix PATH] [--listen HOST:PORT] [--jobs N]
 //          [--queue N] [--quota N] [--cache-capacity N]
 //          [--max-evaluators N] [--name NAME] [--metrics-out FILE.json]
+//   ehdsed --list-harvesters
 //
 // At least one of --unix / --listen is required. --listen accepts port 0
 // for an ephemeral port; the resolved endpoint is printed on stdout as
@@ -32,6 +33,7 @@
 
 #include <unistd.h>
 
+#include "harvester/harvester_model.hpp"
 #include "obs/metrics.hpp"
 #include "svc/server.hpp"
 
@@ -55,7 +57,11 @@ void print_usage() {
         "         [--queue N] [--quota N] [--cache-capacity N]\n"
         "         [--max-evaluators N] [--name NAME]\n"
         "         [--metrics-out FILE.json]\n"
+        "  ehdsed --list-harvesters\n"
         "\n"
+        "--list-harvesters prints every harvester backend a submitted\n"
+        "spec's harvester.model may name (with a short description) and\n"
+        "exits 0.\n"
         "Serve experiment-spec requests over the ehdse.svc/1 protocol\n"
         "(docs/service.md). At least one listener is required; --listen\n"
         "with port 0 picks an ephemeral port (printed on stdout).\n"
@@ -79,6 +85,13 @@ options parse_options(int argc, char** argv) {
         std::string key = argv[i];
         if (key == "help" || key == "--help" || key == "-h") {
             print_usage();
+            std::exit(0);
+        }
+        if (key == "--list-harvesters") {
+            for (const harvester::harvester_info& info :
+                 harvester::harvester_registry())
+                std::printf("%-24s %s\n", info.name.c_str(),
+                            info.description.c_str());
             std::exit(0);
         }
         if (key.rfind("--", 0) != 0) {
